@@ -1,0 +1,34 @@
+// Figure 3: ViT training performance with increasing GPU frequencies at two
+// CPU settings (0.42 and 2.26 GHz), memory at maximum.
+// (a) execution latency per minibatch; (b) energy per minibatch.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace bofl;
+  const device::DeviceModel agx = device::jetson_agx();
+  const device::WorkloadProfile vit = device::vit_profile();
+  const device::DvfsSpace& space = agx.space();
+  const std::size_t mem_max = space.mem_table().size() - 1;
+  const std::size_t cpu_min = 0;
+  const std::size_t cpu_max = space.cpu_table().size() - 1;
+
+  bench::print_header(
+      "Figure 3: ViT vs GPU frequency (AGX, mem at max)",
+      "columns: gpu GHz | T(cpu=0.42) T(cpu=2.26) [s] | E(cpu=0.42) "
+      "E(cpu=2.26) [J]");
+  // The paper plots 0.9-1.3 GHz; print the wider 0.7-1.38 band for context.
+  for (std::size_t g = space.gpu_table().nearest_index(GigaHertz{0.7});
+       g < space.gpu_table().size(); ++g) {
+    const device::DvfsConfig slow{cpu_min, g, mem_max};
+    const device::DvfsConfig fast{cpu_max, g, mem_max};
+    std::printf("  %5.2f | %7.3f %7.3f | %7.3f %7.3f\n",
+                space.gpu_table().at(g).value(),
+                agx.latency(vit, slow).value(), agx.latency(vit, fast).value(),
+                agx.energy(vit, slow).value(), agx.energy(vit, fast).value());
+  }
+  std::printf(
+      "\nExpected shape (paper): latency saturates under the slow CPU; the "
+      "energy curves cross —\nslow CPU wins at low GPU clocks, fast CPU "
+      "wins at high GPU clocks.\n");
+  return 0;
+}

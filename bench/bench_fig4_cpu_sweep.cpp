@@ -1,0 +1,38 @@
+// Figure 4: training performance of the three models with increasing CPU
+// frequency (GPU and memory at maximum).
+// (a) execution latency per minibatch; (b) energy per minibatch.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace bofl;
+  const device::DeviceModel agx = device::jetson_agx();
+  const device::DvfsSpace& space = agx.space();
+  const auto profiles = device::paper_profiles();
+
+  bench::print_header(
+      "Figure 4: models vs CPU frequency (AGX, gpu/mem at max)",
+      "columns: cpu GHz | T(vit) T(resnet50) T(lstm) [s] | E(vit) "
+      "E(resnet50) E(lstm) [J]");
+  const device::DvfsConfig top{0, space.gpu_table().size() - 1,
+                               space.mem_table().size() - 1};
+  // The paper sweeps 0.7-1.7 GHz.
+  for (std::size_t c = space.cpu_table().nearest_index(GigaHertz{0.7});
+       c <= space.cpu_table().nearest_index(GigaHertz{1.7}); ++c) {
+    device::DvfsConfig config = top;
+    config.cpu = c;
+    std::printf("  %5.2f |", space.cpu_table().at(c).value());
+    for (const auto& p : profiles) {
+      std::printf(" %7.3f", agx.latency(p, config).value());
+    }
+    std::printf(" |");
+    for (const auto& p : profiles) {
+      std::printf(" %6.2f", agx.energy(p, config).value());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape (paper): ViT/ResNet50 latency nearly flat, LSTM "
+      "halves; ResNet50 energy\nrises with CPU clock while LSTM energy "
+      "falls.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Micro-benchmarks: 2-D hypervolume and Pareto-front extraction, the
+// primitives behind the phase-2 stopping rule.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "pareto/hypervolume.hpp"
+
+namespace {
+
+using namespace bofl;
+
+std::vector<pareto::Point2> random_cloud(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<pareto::Point2> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+  }
+  return points;
+}
+
+void BM_ParetoFront(benchmark::State& state) {
+  const auto cloud = random_cloud(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pareto::pareto_front(cloud));
+  }
+}
+BENCHMARK(BM_ParetoFront)->Arg(32)->Arg(256)->Arg(2048);
+
+void BM_Hypervolume2d(benchmark::State& state) {
+  const auto cloud = random_cloud(static_cast<std::size_t>(state.range(0)), 2);
+  const pareto::Point2 ref{10.0, 10.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pareto::hypervolume_2d(cloud, ref));
+  }
+}
+BENCHMARK(BM_Hypervolume2d)->Arg(32)->Arg(256)->Arg(2048);
+
+void BM_HypervolumeImprovement(benchmark::State& state) {
+  const auto front = random_cloud(64, 3);
+  const auto batch = random_cloud(static_cast<std::size_t>(state.range(0)), 4);
+  const pareto::Point2 ref{10.0, 10.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pareto::hypervolume_improvement(front, batch, ref));
+  }
+}
+BENCHMARK(BM_HypervolumeImprovement)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_NonDominatedIndices(benchmark::State& state) {
+  const auto cloud = random_cloud(static_cast<std::size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pareto::non_dominated_indices(cloud));
+  }
+}
+BENCHMARK(BM_NonDominatedIndices)->Arg(32)->Arg(256);
+
+}  // namespace

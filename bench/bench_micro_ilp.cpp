@@ -1,0 +1,87 @@
+// Micro-benchmarks: the per-round exploitation ILP.  The paper reports
+// Gurobi solving Eqn. (1) within 20 ms; the branch-and-bound substrate must
+// stay in that ballpark on realistic Pareto-set sizes.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/oracle_controller.hpp"
+#include "device/device_model.hpp"
+#include "ilp/schedule_solver.hpp"
+
+namespace {
+
+using namespace bofl;
+
+std::vector<ilp::ConfigProfile> synthetic_front(std::size_t n,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ilp::ConfigProfile> profiles;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = 0.18 + 0.5 * static_cast<double>(i) /
+                                static_cast<double>(n);
+    profiles.push_back({i, 6.0 * 0.18 / t + 0.05 * rng.uniform(), t});
+  }
+  return profiles;
+}
+
+void BM_RoundScheduleIlp(benchmark::State& state) {
+  const auto profiles =
+      synthetic_front(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ilp::solve_round_schedule(profiles, 200, 60.0));
+  }
+}
+BENCHMARK(BM_RoundScheduleIlp)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(50)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RoundScheduleOnTrueParetoFront(benchmark::State& state) {
+  // The actual exploitation-phase workload: the AGX/ViT true Pareto set.
+  const device::DeviceModel agx = device::jetson_agx();
+  const auto profiles =
+      core::true_pareto_profiles(agx, device::vit_profile());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ilp::solve_round_schedule(profiles, 200, 55.0));
+  }
+}
+BENCHMARK(BM_RoundScheduleOnTrueParetoFront)->Unit(benchmark::kMicrosecond);
+
+void BM_ExhaustiveReference(benchmark::State& state) {
+  const auto profiles = synthetic_front(3, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ilp::solve_round_schedule_exhaustive(profiles, 40, 14.0));
+  }
+}
+BENCHMARK(BM_ExhaustiveReference)->Unit(benchmark::kMicrosecond);
+
+void BM_SimplexLp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto profiles = synthetic_front(n, 3);
+  ilp::LpProblem problem;
+  problem.objective.resize(n);
+  ilp::LpConstraint all_jobs;
+  all_jobs.coefficients.assign(n, 1.0);
+  all_jobs.relation = ilp::Relation::kEqual;
+  all_jobs.rhs = 200.0;
+  ilp::LpConstraint deadline;
+  deadline.coefficients.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    problem.objective[i] = profiles[i].energy_per_job;
+    deadline.coefficients[i] = profiles[i].latency_per_job;
+  }
+  deadline.relation = ilp::Relation::kLessEqual;
+  deadline.rhs = 60.0;
+  problem.constraints = {all_jobs, deadline};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp::solve_lp(problem));
+  }
+}
+BENCHMARK(BM_SimplexLp)->Arg(10)->Arg(50)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Robustness under execution disturbances (beyond the paper): latency
+// spikes from background OS activity and transparent thermal throttling.
+// Reports deadline miss rates, worst overshoots, and whether BoFL's energy
+// advantage survives — the graceful-degradation story the closed-loop
+// exploitation is built for.
+#include "figure_common.hpp"
+
+namespace {
+
+using namespace bofl;
+
+struct Outcome {
+  double bofl_energy = 0.0;
+  double performant_energy = 0.0;
+  int misses = 0;
+  double worst_overshoot_s = 0.0;
+};
+
+Outcome run_case(const device::NoiseModel& noise, double ratio) {
+  const device::DeviceModel agx = device::jetson_agx();
+  core::FlTaskSpec task = core::cifar10_vit_task(agx.name());
+  task.num_rounds = 50;
+  const auto rounds = core::make_rounds(task, agx, ratio, 20221107);
+  core::BoflController bofl(agx, task.profile, noise,
+                            bench::default_bofl_options(agx), 91);
+  core::PerformantController performant(agx, task.profile, noise, 92);
+  const core::TaskResult rb = core::run_task(bofl, rounds);
+  const core::TaskResult rp = core::run_task(performant, rounds);
+  Outcome out;
+  out.bofl_energy = core::total_energy(rb).value();
+  out.performant_energy = core::total_energy(rp).value();
+  for (const core::RoundTrace& trace : rb.rounds) {
+    if (!trace.deadline_met()) {
+      ++out.misses;
+      out.worst_overshoot_s =
+          std::max(out.worst_overshoot_s,
+                   trace.elapsed().value() - trace.deadline.value());
+    }
+  }
+  return out;
+}
+
+void print_outcome(const char* label, const Outcome& out) {
+  std::printf(
+      "  %-28s BoFL %7.0f J vs Performant %7.0f J (%+5.1f%%), misses "
+      "%d/50, worst overshoot %.2f s\n",
+      label, out.bofl_energy, out.performant_energy,
+      100.0 * (out.bofl_energy / out.performant_energy - 1.0), out.misses,
+      out.worst_overshoot_s);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Robustness: BoFL under execution disturbances (AGX, CIFAR10-ViT, "
+      "50 rounds, Tmax/Tmin = 2.5)",
+      "disturbances hit the *true* execution, so hard guarantees are "
+      "impossible; the target is graceful degradation");
+
+  device::NoiseModel clean;
+  print_outcome("clean", run_case(clean, 2.5));
+
+  device::NoiseModel rare_spikes;
+  rare_spikes.spike_probability = 0.005;
+  rare_spikes.spike_magnitude = 3.0;
+  print_outcome("spikes p=0.5% k=3", run_case(rare_spikes, 2.5));
+
+  device::NoiseModel heavy_spikes;
+  heavy_spikes.spike_probability = 0.02;
+  heavy_spikes.spike_magnitude = 4.0;
+  print_outcome("spikes p=2% k=4", run_case(heavy_spikes, 2.5));
+
+  device::NoiseModel thermal;
+  device::ThermalParams params;
+  params.throttle_temp_c = 60.0;
+  params.time_constant_s = 120.0;
+  params.thermal_resistance_c_per_w = 1.6;
+  thermal.thermal = params;
+  print_outcome("thermal throttling", run_case(thermal, 2.5));
+
+  device::NoiseModel everything = heavy_spikes;
+  everything.thermal = params;
+  print_outcome("spikes + thermal", run_case(everything, 2.5));
+
+  std::printf(
+      "\nMechanism: exploitation runs closed-loop (slowest block first, "
+      "blocks capped at half the\nremaining jobs, ILP re-solved per block "
+      "with refreshed measurements), so optimistic or\nstale latency "
+      "estimates are corrected before they can sink a round.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Table 1: BoFL testbed hardware specifications — the DVFS frequency
+// ranges, step counts, and resulting configuration-space sizes of the two
+// simulated devices.
+#include "figure_common.hpp"
+
+namespace {
+
+void print_device(const bofl::device::DeviceModel& model) {
+  const auto& space = model.space();
+  std::printf("%s\n", model.name().c_str());
+  const auto row = [](const char* unit,
+                      const bofl::device::FrequencyTable& table) {
+    std::printf("  %-6s %5.2f GHz -> %5.2f GHz  (%2zu steps)\n", unit,
+                table.min().value(), table.max().value(), table.size());
+  };
+  row("CPU", space.cpu_table());
+  row("GPU", space.gpu_table());
+  row("MEM", space.mem_table());
+  std::printf("  total configurations |X| = %zu\n", space.size());
+}
+
+}  // namespace
+
+int main() {
+  bofl::bench::print_header("Table 1: Testbed hardware specifications");
+  print_device(bofl::device::jetson_agx());
+  print_device(bofl::device::jetson_tx2());
+  std::printf(
+      "\nPaper reference: AGX 0.42-2.26 GHz x25 / 0.11-1.38 x14 / "
+      "0.20-2.13 x6 (2100 configs);\n"
+      "                 TX2 0.34-2.03 x12 / 0.11-1.30 x13 / 0.41-1.87 x6 "
+      "(936 configs).\n");
+  return 0;
+}

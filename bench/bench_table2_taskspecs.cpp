@@ -1,0 +1,36 @@
+// Table 2: federated learning task specifications — B, E, N per device,
+// |T| and the measured T_min (round time at x_max) per task and device.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace bofl;
+  bench::print_header("Table 2: Federated learning task specifications");
+
+  const device::DeviceModel agx = device::jetson_agx();
+  const device::DeviceModel tx2 = device::jetson_tx2();
+
+  std::printf("%-20s %4s %4s %8s %8s %6s %12s %12s\n", "task", "B", "E",
+              "N(AGX)", "N(TX2)", "|T|", "Tmin(AGX)", "Tmin(TX2)");
+  for (std::size_t i = 0; i < 3; ++i) {
+    const core::FlTaskSpec on_agx = core::paper_tasks(agx.name())[i];
+    const core::FlTaskSpec on_tx2 = core::paper_tasks(tx2.name())[i];
+    const double t_min_agx =
+        agx.round_t_min(on_agx.profile, on_agx.jobs_per_round()).value();
+    const double t_min_tx2 =
+        tx2.round_t_min(on_tx2.profile, on_tx2.jobs_per_round()).value();
+    std::printf("%-20s %4lld %4lld %8lld %8lld %6lld %11.1fs %11.1fs\n",
+                on_agx.name.c_str(),
+                static_cast<long long>(on_agx.minibatch_size),
+                static_cast<long long>(on_agx.epochs),
+                static_cast<long long>(on_agx.num_minibatches),
+                static_cast<long long>(on_tx2.num_minibatches),
+                static_cast<long long>(on_agx.num_rounds), t_min_agx,
+                t_min_tx2);
+  }
+  std::printf(
+      "\nDeadline sampling: T ~ Uniform[Tmin, r*Tmin], r in {2.0, 2.5, 3.0, "
+      "3.5, 4.0}.\n"
+      "Paper Tmin reference (s): AGX {37.2, 46.9, 46.1}, TX2 {36.0, 49.2, "
+      "55.6}.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// The TX2 half of the §6 evaluation: the paper trains all three tasks on
+// *both* testbeds for 100 rounds.  Figures 9-12 show the AGX numbers; this
+// bench produces the equivalent improvement/regret table on the Jetson TX2
+// (936-configuration space, weaker GPU, different power balance).
+#include "figure_common.hpp"
+
+int main() {
+  using namespace bofl;
+  const device::DeviceModel tx2 = device::jetson_tx2();
+  const std::vector<double> ratios{2.0, 3.0, 4.0};
+
+  bench::print_header(
+      "TX2 evaluation: improvement vs Performant / regret vs Oracle "
+      "(100 rounds)",
+      "the paper evaluates both testbeds; its Fig. 12 bands (20.3-25.9 % / "
+      "1.2-3.4 %) cover both");
+  std::printf("%-28s", "Tmax/Tmin");
+  for (double r : ratios) {
+    std::printf("%9.1fx", r);
+  }
+  std::printf("\n");
+
+  for (const core::FlTaskSpec& task : core::paper_tasks(tx2.name())) {
+    std::vector<double> improvements;
+    std::vector<double> regrets;
+    for (double ratio : ratios) {
+      const bench::ComparisonResult cmp =
+          bench::run_comparison(tx2, task, ratio);
+      improvements.push_back(100.0 *
+                             core::improvement_vs(cmp.bofl, cmp.performant));
+      regrets.push_back(100.0 * core::regret_vs(cmp.bofl, cmp.oracle));
+      if (!cmp.bofl.all_deadlines_met()) {
+        std::printf("!! deadline missed on %s at ratio %.1f\n",
+                    task.name.c_str(), ratio);
+      }
+    }
+    bench::print_row(task.name + "  improv. [%]", improvements);
+    bench::print_row(task.name + "  regret  [%]", regrets);
+  }
+  return 0;
+}

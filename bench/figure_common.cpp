@@ -1,0 +1,134 @@
+#include "figure_common.hpp"
+
+#include <cstdlib>
+
+#include "common/csv.hpp"
+
+namespace bofl::bench {
+
+core::BoflOptions default_bofl_options(const device::DeviceModel& model) {
+  core::BoflOptions options;
+  options.mbo_cost = core::mbo_cost_for_device(model.name());
+  return options;
+}
+
+ComparisonResult run_comparison(const device::DeviceModel& model,
+                                const core::FlTaskSpec& task,
+                                double deadline_ratio, const Seeds& seeds) {
+  ComparisonResult result;
+  result.rounds = core::make_rounds(task, model, deadline_ratio,
+                                    seeds.deadlines);
+  const device::NoiseModel noise;
+  core::BoflController bofl(model, task.profile, noise,
+                            default_bofl_options(model), seeds.bofl);
+  core::PerformantController performant(model, task.profile, noise,
+                                        seeds.performant);
+  core::OracleController oracle(model, task.profile, noise, seeds.oracle);
+  result.bofl = core::run_task(bofl, result.rounds);
+  result.performant = core::run_task(performant, result.rounds);
+  result.oracle = core::run_task(oracle, result.rounds);
+  return result;
+}
+
+std::unique_ptr<core::BoflController> run_bofl_only(
+    const device::DeviceModel& model, const core::FlTaskSpec& task,
+    double deadline_ratio, core::TaskResult& result_out, const Seeds& seeds) {
+  const auto rounds =
+      core::make_rounds(task, model, deadline_ratio, seeds.deadlines);
+  auto controller = std::make_unique<core::BoflController>(
+      model, task.profile, device::NoiseModel{}, default_bofl_options(model),
+      seeds.bofl);
+  result_out = core::run_task(*controller, rounds);
+  return controller;
+}
+
+void print_energy_figure(const char* figure_label, double deadline_ratio) {
+  const device::DeviceModel agx = device::jetson_agx();
+  char title[160];
+  std::snprintf(title, sizeof(title),
+                "%s: per-round energy, AGX, Tmax/Tmin = %.0f (100 rounds, "
+                "first 40 shown)",
+                figure_label, deadline_ratio);
+  print_header(title,
+               "columns: round | phase | deadline [s] | E(BoFL) "
+               "E(Performant) E(Oracle) [J]");
+
+  const char sub = 'a';
+  const auto tasks = core::paper_tasks(agx.name());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const core::FlTaskSpec& task = tasks[t];
+    const ComparisonResult cmp = run_comparison(agx, task, deadline_ratio);
+    std::printf("\n(%c) %s\n", static_cast<char>(sub + t),
+                task.name.c_str());
+    std::unique_ptr<CsvWriter> csv;
+    const std::string csv_path = csv_path_or_empty(
+        std::string(figure_label) + "_" + task.name + "_r" +
+        std::to_string(static_cast<int>(deadline_ratio)) + ".csv");
+    if (!csv_path.empty()) {
+      csv = std::make_unique<CsvWriter>(
+          csv_path, std::vector<std::string>{"round", "phase", "deadline_s",
+                                             "bofl_J", "performant_J",
+                                             "oracle_J"});
+      for (std::size_t r = 0; r < cmp.rounds.size(); ++r) {
+        csv->write_row(std::vector<double>{
+            static_cast<double>(r + 1),
+            static_cast<double>(static_cast<int>(cmp.bofl.rounds[r].phase)),
+            cmp.rounds[r].deadline.value(),
+            cmp.bofl.rounds[r].energy().value(),
+            cmp.performant.rounds[r].energy().value(),
+            cmp.oracle.rounds[r].energy().value()});
+      }
+      std::printf("  [csv written to %s]\n", csv_path.c_str());
+    }
+    for (std::size_t r = 0; r < 40 && r < cmp.rounds.size(); ++r) {
+      std::printf("  r%02zu | p%d | %6.1f | %8.1f %8.1f %8.1f\n", r + 1,
+                  static_cast<int>(cmp.bofl.rounds[r].phase),
+                  cmp.rounds[r].deadline.value(),
+                  cmp.bofl.rounds[r].energy().value(),
+                  cmp.performant.rounds[r].energy().value(),
+                  cmp.oracle.rounds[r].energy().value());
+    }
+    std::printf(
+        "  summary (all 100 rounds): improvement vs Performant = %.1f%%, "
+        "regret vs Oracle = %.2f%%,\n"
+        "  deadlines met: BoFL=%s Performant=%s Oracle=%s; BoFL phases "
+        "1/2/3 = %lld/%lld/%lld rounds\n",
+        100.0 * core::improvement_vs(cmp.bofl, cmp.performant),
+        100.0 * core::regret_vs(cmp.bofl, cmp.oracle),
+        cmp.bofl.all_deadlines_met() ? "all" : "MISSED",
+        cmp.performant.all_deadlines_met() ? "all" : "MISSED",
+        cmp.oracle.all_deadlines_met() ? "all" : "MISSED",
+        static_cast<long long>(
+            cmp.bofl.rounds_in_phase(core::Phase::kSafeRandomExploration)),
+        static_cast<long long>(
+            cmp.bofl.rounds_in_phase(core::Phase::kParetoConstruction)),
+        static_cast<long long>(
+            cmp.bofl.rounds_in_phase(core::Phase::kExploitation)));
+  }
+}
+
+std::string csv_path_or_empty(const std::string& filename) {
+  const char* dir = std::getenv("BOFL_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') {
+    return {};
+  }
+  return std::string(dir) + "/" + filename;
+}
+
+void print_header(const std::string& title, const std::string& subtitle) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!subtitle.empty()) {
+    std::printf("%s\n", subtitle.c_str());
+  }
+}
+
+void print_row(const std::string& label, const std::vector<double>& cells,
+               const char* format) {
+  std::printf("%-28s", label.c_str());
+  for (double cell : cells) {
+    std::printf(format, cell);
+  }
+  std::printf("\n");
+}
+
+}  // namespace bofl::bench

@@ -1,0 +1,65 @@
+// Quickstart: run BoFL on one simulated Jetson AGX for the paper's
+// CIFAR10-ViT task and compare it with the Performant baseline.
+//
+//   $ ./quickstart
+//
+// Walks through the public API in the order a user would meet it:
+//   1. pick a device model,
+//   2. describe the FL task (B, E, N, deadlines),
+//   3. construct a pace controller,
+//   4. feed it rounds and read the traces.
+#include <cstdio>
+
+#include "core/bofl_controller.hpp"
+#include "core/harness.hpp"
+#include "core/performant_controller.hpp"
+
+int main() {
+  using namespace bofl;
+
+  // 1. The device: a calibrated Jetson AGX Xavier simulation with the full
+  //    25 x 14 x 6 DVFS lattice.
+  const device::DeviceModel agx = device::jetson_agx();
+  std::printf("device: %s with %zu DVFS configurations\n",
+              agx.name().c_str(), agx.space().size());
+
+  // 2. The task: CIFAR10-ViT per the paper's Table 2 — minibatch 32,
+  //    5 epochs over 40 local minibatches = 200 jobs per round, with
+  //    deadlines sampled uniformly in [T_min, 2 T_min].
+  core::FlTaskSpec task = core::cifar10_vit_task(agx.name());
+  task.num_rounds = 30;
+  const auto rounds = core::make_rounds(task, agx, /*ratio=*/2.0, /*seed=*/7);
+  std::printf("task: %s, %lld jobs/round, %zu rounds\n", task.name.c_str(),
+              static_cast<long long>(task.jobs_per_round()), rounds.size());
+
+  // 3. The controllers.
+  core::BoflOptions options;
+  options.mbo_cost = core::mbo_cost_for_device(agx.name());
+  core::BoflController bofl(agx, task.profile, device::NoiseModel{}, options,
+                            /*seed=*/1);
+  core::PerformantController performant(agx, task.profile,
+                                        device::NoiseModel{}, /*seed=*/2);
+
+  // 4. Run both and inspect.
+  const core::TaskResult bofl_result = core::run_task(bofl, rounds);
+  const core::TaskResult perf_result = core::run_task(performant, rounds);
+
+  std::printf("\nround | phase | deadline |  BoFL energy | Performant\n");
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    std::printf("  %3zu |   %d   | %6.1fs  | %9.1f J  | %9.1f J\n", r + 1,
+                static_cast<int>(bofl_result.rounds[r].phase),
+                rounds[r].deadline.value(),
+                bofl_result.rounds[r].energy().value(),
+                perf_result.rounds[r].energy().value());
+  }
+  std::printf(
+      "\ntotal: BoFL %.0f J (+ %.0f J MBO)  vs  Performant %.0f J  ->  "
+      "%.1f%% energy saved\n",
+      bofl_result.total_training_energy().value(),
+      bofl_result.total_mbo_energy().value(),
+      perf_result.total_training_energy().value(),
+      100.0 * core::improvement_vs(bofl_result, perf_result));
+  std::printf("all deadlines met: %s\n",
+              bofl_result.all_deadlines_met() ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "bo/ehvi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace bofl::bo {
+
+namespace {
+
+/// P(Y <= t) for Y ~ N(mu, sigma^2), handling sigma == 0.
+double gaussian_cdf(double t, double mu, double sigma) {
+  if (sigma == 0.0) {
+    return mu <= t ? 1.0 : 0.0;
+  }
+  return normal_cdf((t - mu) / sigma);
+}
+
+/// E[(v - max(Y, u))^+] for Y ~ N(mu, sigma^2) and u <= v.
+/// u may be -infinity (plain E[(v - Y)^+]).
+double expected_clamped_width(double u, double v, double mu, double sigma) {
+  if (v <= u) {
+    return 0.0;
+  }
+  if (std::isinf(u)) {
+    return psi_ei(v, v, mu, sigma);
+  }
+  // (v-u) * P(Y <= u)  +  E[(v - Y) 1{u < Y <= v}]
+  return (v - u) * gaussian_cdf(u, mu, sigma) +
+         (psi_ei(v, v, mu, sigma) - psi_ei(v, u, mu, sigma));
+}
+
+}  // namespace
+
+double ehvi_2d(const GaussianPair& belief,
+               const std::vector<pareto::Point2>& front,
+               const pareto::Point2& ref) {
+  BOFL_REQUIRE(belief.sigma1 >= 0.0 && belief.sigma2 >= 0.0,
+               "EHVI needs non-negative standard deviations");
+  // Clean front: non-dominated, sorted ascending in f1 (descending f2),
+  // restricted to points that dominate some part of the reference box.
+  std::vector<pareto::Point2> sorted;
+  sorted.reserve(front.size());
+  for (const pareto::Point2& p : front) {
+    if (p.f1 < ref.f1 && p.f2 < ref.f2) {
+      sorted.push_back(p);
+    }
+  }
+  sorted = pareto::pareto_front(std::move(sorted));
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  // Strip k = 0..n: z1 in [u_k, v_k), ceiling c_k on z2.
+  //   k = 0:       u = -inf,        v = a_1 (or r1 if empty front), c = r2
+  //   k = 1..n:    u = a_k,         v = a_{k+1} (or r1),            c = b_k
+  const std::size_t n = sorted.size();
+  for (std::size_t k = 0; k <= n; ++k) {
+    const double u = (k == 0) ? kNegInf : sorted[k - 1].f1;
+    const double v = (k == n) ? ref.f1 : sorted[k].f1;
+    const double ceiling = (k == 0) ? ref.f2 : sorted[k - 1].f2;
+    const double width =
+        expected_clamped_width(u, v, belief.mu1, belief.sigma1);
+    if (width <= 0.0) {
+      continue;
+    }
+    const double height =
+        psi_ei(ceiling, ceiling, belief.mu2, belief.sigma2);
+    total += width * height;
+  }
+  return std::max(total, 0.0);
+}
+
+double ehvi_2d_monte_carlo(
+    const GaussianPair& belief, const std::vector<pareto::Point2>& front,
+    const pareto::Point2& ref,
+    const std::vector<std::pair<double, double>>& normal_samples) {
+  BOFL_REQUIRE(!normal_samples.empty(), "MC estimator needs samples");
+  double sum = 0.0;
+  for (const auto& [z1, z2] : normal_samples) {
+    const pareto::Point2 y{belief.mu1 + belief.sigma1 * z1,
+                           belief.mu2 + belief.sigma2 * z2};
+    sum += pareto::hypervolume_improvement(front, {y}, ref);
+  }
+  return sum / static_cast<double>(normal_samples.size());
+}
+
+}  // namespace bofl::bo

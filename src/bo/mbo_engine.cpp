@@ -1,0 +1,230 @@
+#include "bo/mbo_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "pareto/hypervolume.hpp"
+
+namespace bofl::bo {
+
+const char* to_string(AcquisitionKind kind) {
+  switch (kind) {
+    case AcquisitionKind::kEhvi:
+      return "ehvi";
+    case AcquisitionKind::kRandomUnobserved:
+      return "random";
+    case AcquisitionKind::kThompsonMarginal:
+      return "thompson";
+  }
+  return "unknown";
+}
+
+MboEngine::MboEngine(std::vector<linalg::Vector> candidates,
+                     MboOptions options, std::uint64_t seed)
+    : candidates_(std::move(candidates)),
+      options_(options),
+      rng_(seed),
+      observed_(candidates_.size(), false) {
+  BOFL_REQUIRE(!candidates_.empty(), "MboEngine needs a candidate set");
+  const std::size_t dim = candidates_.front().size();
+  for (const auto& c : candidates_) {
+    BOFL_REQUIRE(c.size() == dim, "all candidates must share one dimension");
+  }
+  BOFL_REQUIRE(options_.max_batch_size >= 1, "max batch size must be >= 1");
+}
+
+double MboEngine::transform(double raw) const {
+  if (options_.log_transform) {
+    BOFL_REQUIRE(raw > 0.0, "log-transformed objectives must be positive");
+    return std::log(raw);
+  }
+  return raw;
+}
+
+void MboEngine::add_observation(const MboObservation& obs) {
+  BOFL_REQUIRE(obs.candidate_index < candidates_.size(),
+               "candidate index out of range");
+  BOFL_REQUIRE(std::isfinite(obs.f1) && std::isfinite(obs.f2),
+               "objective values must be finite");
+  if (options_.log_transform) {
+    BOFL_REQUIRE(obs.f1 > 0.0 && obs.f2 > 0.0,
+                 "objectives must be positive under the log transform");
+  }
+  observations_.push_back(obs);
+  observed_[obs.candidate_index] = true;
+}
+
+void MboEngine::set_reference(const pareto::Point2& ref) { reference_ = ref; }
+
+pareto::Point2 MboEngine::reference() const {
+  if (reference_) {
+    return *reference_;
+  }
+  BOFL_REQUIRE(!observations_.empty(),
+               "reference point needs observations or set_reference()");
+  pareto::Point2 worst{-std::numeric_limits<double>::infinity(),
+                       -std::numeric_limits<double>::infinity()};
+  for (const MboObservation& o : observations_) {
+    worst.f1 = std::max(worst.f1, o.f1);
+    worst.f2 = std::max(worst.f2, o.f2);
+  }
+  return worst;
+}
+
+std::size_t MboEngine::num_observed_candidates() const {
+  return static_cast<std::size_t>(
+      std::count(observed_.begin(), observed_.end(), true));
+}
+
+bool MboEngine::is_observed(std::size_t candidate_index) const {
+  BOFL_REQUIRE(candidate_index < candidates_.size(),
+               "candidate index out of range");
+  return observed_[candidate_index];
+}
+
+std::vector<pareto::Point2> MboEngine::observed_front() const {
+  std::vector<pareto::Point2> points;
+  points.reserve(observations_.size());
+  for (const MboObservation& o : observations_) {
+    points.push_back({o.f1, o.f2});
+  }
+  return pareto::pareto_front(std::move(points));
+}
+
+double MboEngine::observed_hypervolume() const {
+  return pareto::hypervolume_2d(observed_front(), reference());
+}
+
+std::vector<std::size_t> MboEngine::propose_batch(std::size_t batch_size) {
+  BOFL_REQUIRE(observations_.size() >= 3,
+               "propose_batch needs at least 3 observations");
+  batch_size = std::min(batch_size, options_.max_batch_size);
+
+  if (options_.acquisition == AcquisitionKind::kRandomUnobserved) {
+    // Ablation strategy: uniform over the unobserved candidates, no GP.
+    std::vector<std::size_t> unobserved;
+    for (std::size_t c = 0; c < candidates_.size(); ++c) {
+      if (!observed_[c]) {
+        unobserved.push_back(c);
+      }
+    }
+    rng_.shuffle(unobserved);
+    if (unobserved.size() > batch_size) {
+      unobserved.resize(batch_size);
+    }
+    last_best_ehvi_.reset();
+    return unobserved;
+  }
+
+  // --- 1. Standardize targets in transformed space. -----------------------
+  std::vector<double> t1;
+  std::vector<double> t2;
+  std::vector<linalg::Vector> inputs;
+  t1.reserve(observations_.size());
+  t2.reserve(observations_.size());
+  inputs.reserve(observations_.size());
+  for (const MboObservation& o : observations_) {
+    inputs.push_back(candidates_[o.candidate_index]);
+    t1.push_back(transform(o.f1));
+    t2.push_back(transform(o.f2));
+  }
+  auto make_standardizer = [](const std::vector<double>& v) {
+    Standardizer s;
+    s.mean = mean_of(v);
+    const double sd = stddev_of(v);
+    s.scale = sd > 1e-12 ? sd : 1.0;
+    return s;
+  };
+  const Standardizer s1 = make_standardizer(t1);
+  const Standardizer s2 = make_standardizer(t2);
+  std::vector<double> z1(t1.size());
+  std::vector<double> z2(t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    z1[i] = s1.forward(t1[i]);
+    z2[i] = s2.forward(t2[i]);
+  }
+
+  // --- 2. Fit hyperparameters and condition the two GPs. ------------------
+  const gp::HyperoptResult h1 = gp::fit_hyperparameters(
+      options_.kernel_family, inputs, z1, rng_, options_.hyperopt);
+  const gp::HyperoptResult h2 = gp::fit_hyperparameters(
+      options_.kernel_family, inputs, z2, rng_, options_.hyperopt);
+  gp::GaussianProcess gp1(h1.kernel, h1.noise_variance);
+  gp::GaussianProcess gp2(h2.kernel, h2.noise_variance);
+  gp1.condition(inputs, z1);
+  gp2.condition(inputs, z2);
+
+  // --- 3. Working front and reference in standardized space. --------------
+  const pareto::Point2 raw_ref = reference();
+  const pareto::Point2 ref{s1.forward(transform(raw_ref.f1)),
+                           s2.forward(transform(raw_ref.f2))};
+  std::vector<pareto::Point2> front;
+  front.reserve(observations_.size());
+  for (std::size_t i = 0; i < observations_.size(); ++i) {
+    front.push_back({z1[i], z2[i]});
+  }
+  front = pareto::pareto_front(std::move(front));
+
+  // --- 4. Sequential-greedy (Kriging believer) selection. -----------------
+  const bool thompson =
+      options_.acquisition == AcquisitionKind::kThompsonMarginal;
+  std::vector<bool> taken = observed_;
+  std::vector<std::size_t> batch;
+  last_best_ehvi_.reset();
+  for (std::size_t pick = 0; pick < batch_size; ++pick) {
+    double best_value = -1.0;
+    double best_uncertainty = -1.0;
+    std::size_t best_index = candidates_.size();
+    GaussianPair best_belief;
+    for (std::size_t c = 0; c < candidates_.size(); ++c) {
+      if (taken[c]) {
+        continue;
+      }
+      const gp::Prediction p1 = gp1.predict(candidates_[c]);
+      const gp::Prediction p2 = gp2.predict(candidates_[c]);
+      const GaussianPair belief{p1.mean, p1.stddev(), p2.mean, p2.stddev()};
+      double value = 0.0;
+      if (thompson) {
+        // One marginal posterior draw per objective; the acquisition value
+        // is the deterministic HVI of the sampled point.
+        const pareto::Point2 sample{
+            belief.mu1 + belief.sigma1 * rng_.normal(),
+            belief.mu2 + belief.sigma2 * rng_.normal()};
+        value = pareto::hypervolume_improvement(front, {sample}, ref);
+      } else {
+        value = ehvi_2d(belief, front, ref);
+      }
+      const double uncertainty = p1.variance + p2.variance;
+      // Primary criterion: EHVI.  Tie-break (all-zero EHVI happens once the
+      // front looks converged): keep exploring where the model is least sure.
+      const bool better =
+          value > best_value ||
+          (value == best_value && uncertainty > best_uncertainty);
+      if (better) {
+        best_value = value;
+        best_uncertainty = uncertainty;
+        best_index = c;
+        best_belief = belief;
+      }
+    }
+    if (best_index == candidates_.size()) {
+      break;  // every candidate observed or taken
+    }
+    if (pick == 0) {
+      last_best_ehvi_ = best_value;
+    }
+    batch.push_back(best_index);
+    taken[best_index] = true;
+    // Fantasize the observation at the posterior mean and re-condition.
+    gp1.add_observation(candidates_[best_index], best_belief.mu1);
+    gp2.add_observation(candidates_[best_index], best_belief.mu2);
+    std::vector<pareto::Point2> updated = std::move(front);
+    updated.push_back({best_belief.mu1, best_belief.mu2});
+    front = pareto::pareto_front(std::move(updated));
+  }
+  return batch;
+}
+
+}  // namespace bofl::bo

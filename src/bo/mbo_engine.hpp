@@ -1,0 +1,121 @@
+// Multi-objective Bayesian optimization engine (paper §4.3).
+//
+// Owns the discrete candidate set (the DVFS lattice mapped to the unit
+// cube), the observation history, and two independent Gaussian processes —
+// one per objective (latency, energy).  Each propose_batch() call:
+//   1. re-standardizes the (optionally log-transformed) targets,
+//   2. refits kernel hyperparameters by marginal likelihood,
+//   3. greedily selects K candidates by exact 2-D EHVI, fantasizing each
+//      pick at its posterior mean (Kriging believer) before the next pick.
+// The engine is deliberately ignorant of deadlines and scheduling; the core
+// controller feeds it measurements and consumes its suggestions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bo/ehvi.hpp"
+#include "common/rng.hpp"
+#include "gp/hyperopt.hpp"
+#include "pareto/pareto.hpp"
+
+namespace bofl::bo {
+
+/// How propose_batch picks candidates.
+enum class AcquisitionKind {
+  kEhvi,              ///< the paper's exact 2-D EHVI with Kriging believer
+  kRandomUnobserved,  ///< uniform over unobserved candidates (ablation)
+  /// Marginal Thompson sampling: draw one posterior sample per candidate
+  /// and objective, pick the candidate whose sampled point adds the most
+  /// hypervolume.  A classic MBO baseline between random and EHVI.
+  kThompsonMarginal,
+};
+
+[[nodiscard]] const char* to_string(AcquisitionKind kind);
+
+struct MboOptions {
+  gp::KernelFamily kernel_family = gp::KernelFamily::kMatern52;
+  AcquisitionKind acquisition = AcquisitionKind::kEhvi;
+  /// Model log-objectives (positivity-preserving, tames the right tail).
+  bool log_transform = true;
+  /// Upper bound on one batch (the paper caps at ~10 to bound MBO latency).
+  std::size_t max_batch_size = 10;
+  gp::HyperoptOptions hyperopt;
+};
+
+/// One completed measurement of a candidate.
+struct MboObservation {
+  std::size_t candidate_index = 0;
+  double f1 = 0.0;  ///< first objective, raw units (BoFL: energy per job, J)
+  double f2 = 0.0;  ///< second objective, raw units (BoFL: latency per job, s)
+};
+
+class MboEngine {
+ public:
+  /// `candidates` are the feature vectors of the whole discrete design
+  /// space, normalized to comparable scales (BoFL uses [0,1]^3).
+  MboEngine(std::vector<linalg::Vector> candidates, MboOptions options,
+            std::uint64_t seed);
+
+  /// Record a measurement.  A candidate may be re-observed; all
+  /// observations are kept (the GP averages through its noise term).
+  void add_observation(const MboObservation& obs);
+
+  /// Fix the reference point (raw objective units).  If never called, the
+  /// component-wise worst observation is used (the paper's phase-1 rule).
+  void set_reference(const pareto::Point2& ref);
+  [[nodiscard]] pareto::Point2 reference() const;
+
+  /// Greedy EHVI batch of up to `batch_size` *distinct unobserved*
+  /// candidates (also capped by options.max_batch_size and by the number of
+  /// unobserved candidates left).  Requires >= 3 observations.
+  [[nodiscard]] std::vector<std::size_t> propose_batch(std::size_t batch_size);
+
+  /// Pareto front of the raw observations.
+  [[nodiscard]] std::vector<pareto::Point2> observed_front() const;
+
+  /// Hypervolume of the observed front w.r.t. reference(), raw units.
+  [[nodiscard]] double observed_hypervolume() const;
+
+  /// EHVI of the first (best) pick in the most recent batch, in the
+  /// engine's internal standardized space.  Diagnostic / stopping signal.
+  [[nodiscard]] std::optional<double> last_best_ehvi() const {
+    return last_best_ehvi_;
+  }
+
+  [[nodiscard]] std::size_t num_candidates() const { return candidates_.size(); }
+  [[nodiscard]] std::size_t num_observations() const {
+    return observations_.size();
+  }
+  /// Number of distinct candidates observed at least once.
+  [[nodiscard]] std::size_t num_observed_candidates() const;
+  [[nodiscard]] bool is_observed(std::size_t candidate_index) const;
+  [[nodiscard]] const std::vector<linalg::Vector>& candidates() const {
+    return candidates_;
+  }
+  [[nodiscard]] const std::vector<MboObservation>& observations() const {
+    return observations_;
+  }
+
+ private:
+  struct Standardizer {
+    double mean = 0.0;
+    double scale = 1.0;
+    [[nodiscard]] double forward(double raw_transformed) const {
+      return (raw_transformed - mean) / scale;
+    }
+  };
+
+  [[nodiscard]] double transform(double raw) const;
+
+  std::vector<linalg::Vector> candidates_;
+  MboOptions options_;
+  Rng rng_;
+  std::vector<MboObservation> observations_;
+  std::vector<bool> observed_;
+  std::optional<pareto::Point2> reference_;
+  std::optional<double> last_best_ehvi_;
+};
+
+}  // namespace bofl::bo

@@ -1,0 +1,62 @@
+// Error-handling helpers shared across the BoFL libraries.
+//
+// Policy (following the C++ Core Guidelines, E.* section):
+//   * Precondition violations by the caller -> throw std::invalid_argument
+//     via BOFL_REQUIRE.  These are programmer errors at the API boundary and
+//     the message names the violated condition.
+//   * Internal invariant violations -> throw bofl::InternalError via
+//     BOFL_ASSERT.  These indicate a bug inside the library.
+//   * Recoverable domain conditions (e.g. "no feasible schedule") are
+//     expressed in return types, never via exceptions.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace bofl {
+
+/// Thrown when an internal invariant of the library is violated (a bug).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_require_failure(
+    const char* condition, const std::string& message,
+    std::source_location loc = std::source_location::current()) {
+  throw std::invalid_argument(std::string(loc.file_name()) + ":" +
+                              std::to_string(loc.line()) +
+                              ": precondition failed: " + condition +
+                              (message.empty() ? "" : " — " + message));
+}
+
+[[noreturn]] inline void throw_assert_failure(
+    const char* condition, const std::string& message,
+    std::source_location loc = std::source_location::current()) {
+  throw InternalError(std::string(loc.file_name()) + ":" +
+                      std::to_string(loc.line()) +
+                      ": invariant violated: " + condition +
+                      (message.empty() ? "" : " — " + message));
+}
+
+}  // namespace detail
+}  // namespace bofl
+
+/// Validate a caller-supplied precondition; throws std::invalid_argument.
+#define BOFL_REQUIRE(cond, msg)                             \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::bofl::detail::throw_require_failure(#cond, (msg));  \
+    }                                                       \
+  } while (false)
+
+/// Validate an internal invariant; throws bofl::InternalError.
+#define BOFL_ASSERT(cond, msg)                              \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::bofl::detail::throw_assert_failure(#cond, (msg));   \
+    }                                                       \
+  } while (false)

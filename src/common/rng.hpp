@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in BoFL takes an explicit seed so that the
+// whole simulation — device noise, deadline sampling, exploration order —
+// is reproducible.  The generator is xoshiro256** (Blackman & Vigna, 2018)
+// seeded via SplitMix64, which is fast, high quality, and trivially
+// splittable for independent substreams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace bofl {
+
+/// SplitMix64: used for seeding and for cheap one-shot hashes.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG.  Satisfies UniformRandomBitGenerator so it can be
+/// plugged into <random> distributions, but the convenience members below
+/// cover everything BoFL needs without the libstdc++ distribution quirks.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform();
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).  Requires n > 0.
+  [[nodiscard]] std::size_t uniform_index(std::size_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (cached spare deviate).
+  [[nodiscard]] double normal();
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev);
+
+  /// Lognormal such that the *mean* of the distribution is `mean` and the
+  /// coefficient of variation is `cv`.  Used for multiplicative measurement
+  /// noise: lognormal_mean1(cv) has expectation exactly 1.
+  [[nodiscard]] double lognormal_mean1(double cv);
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniform_index(i)]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) without replacement.
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(
+      std::size_t n, std::size_t k);
+
+  /// Derive an independent child generator (for substreams).
+  [[nodiscard]] Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace bofl

@@ -1,0 +1,113 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace bofl {
+
+double normal_pdf(double z) {
+  static const double kInvSqrt2Pi = 1.0 / std::sqrt(2.0 * M_PI);
+  return kInvSqrt2Pi * std::exp(-0.5 * z * z);
+}
+
+double normal_cdf(double z) {
+  return 0.5 * std::erfc(-z * M_SQRT1_2);
+}
+
+double normal_quantile(double p) {
+  BOFL_REQUIRE(p > 0.0 && p < 1.0, "quantile needs p in (0, 1)");
+  // Acklam's rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double x = 0.0;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log1p(-p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step using the exact cdf/pdf.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+  x = x - u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double psi_ei(double a, double b, double mu, double sigma) {
+  BOFL_REQUIRE(sigma >= 0.0, "psi_ei needs sigma >= 0");
+  if (sigma == 0.0) {
+    // Deterministic Y = mu: contributes (a - mu) if mu <= b and a >= mu.
+    return (mu <= b) ? std::max(a - mu, 0.0) : 0.0;
+  }
+  const double t = (b - mu) / sigma;
+  return sigma * normal_pdf(t) + (a - mu) * normal_cdf(t);
+}
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::sample_variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double mean_of(const std::vector<double>& values) {
+  RunningStats s;
+  for (double v : values) {
+    s.add(v);
+  }
+  return s.mean();
+}
+
+double stddev_of(const std::vector<double>& values) {
+  RunningStats s;
+  for (double v : values) {
+    s.add(v);
+  }
+  return std::sqrt(s.sample_variance());
+}
+
+}  // namespace bofl

@@ -1,0 +1,110 @@
+// Strong scalar types for the physical quantities that flow through BoFL.
+//
+// The controller juggles seconds, joules, watts and hertz; mixing them up is
+// an easy and expensive mistake.  Each quantity is a distinct type holding a
+// double, with only the physically meaningful operations defined:
+//   Joules / Seconds -> Watts,  Watts * Seconds -> Joules, etc.
+// `.value()` extracts the raw double at the I/O boundary.
+#pragma once
+
+#include <compare>
+#include <ostream>
+
+namespace bofl {
+
+namespace detail {
+
+/// CRTP base providing the affine-quantity operations shared by all units.
+template <typename Derived>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{a.value() + b.value()};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{a.value() - b.value()};
+  }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived{a.value() * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived{a.value() * s};
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived{a.value() / s};
+  }
+  /// Ratio of two like quantities is a dimensionless double.
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.value() / b.value();
+  }
+  friend constexpr auto operator<=>(Derived a, Derived b) {
+    return a.value() <=> b.value();
+  }
+  friend constexpr bool operator==(Derived a, Derived b) {
+    return a.value() == b.value();
+  }
+  Derived& operator+=(Derived other) {
+    value_ += other.value();
+    return static_cast<Derived&>(*this);
+  }
+  Derived& operator-=(Derived other) {
+    value_ -= other.value();
+    return static_cast<Derived&>(*this);
+  }
+  friend std::ostream& operator<<(std::ostream& os, Derived q) {
+    return os << q.value() << Derived::unit_suffix();
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+}  // namespace detail
+
+class Seconds final : public detail::Quantity<Seconds> {
+ public:
+  using Quantity::Quantity;
+  static constexpr const char* unit_suffix() { return "s"; }
+};
+
+class Joules final : public detail::Quantity<Joules> {
+ public:
+  using Quantity::Quantity;
+  static constexpr const char* unit_suffix() { return "J"; }
+};
+
+class Watts final : public detail::Quantity<Watts> {
+ public:
+  using Quantity::Quantity;
+  static constexpr const char* unit_suffix() { return "W"; }
+};
+
+/// Operational frequency in GHz (the natural unit for Jetson DVFS tables).
+class GigaHertz final : public detail::Quantity<GigaHertz> {
+ public:
+  using Quantity::Quantity;
+  static constexpr const char* unit_suffix() { return "GHz"; }
+};
+
+/// Power integrated over time yields energy.
+constexpr Joules operator*(Watts p, Seconds t) {
+  return Joules{p.value() * t.value()};
+}
+constexpr Joules operator*(Seconds t, Watts p) { return p * t; }
+
+/// Energy over time yields average power.
+constexpr Watts operator/(Joules e, Seconds t) {
+  return Watts{e.value() / t.value()};
+}
+
+/// Energy at a given power takes this long.
+constexpr Seconds operator/(Joules e, Watts p) {
+  return Seconds{e.value() / p.value()};
+}
+
+}  // namespace bofl

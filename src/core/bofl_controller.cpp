@@ -1,0 +1,390 @@
+#include "core/bofl_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/quasirandom.hpp"
+#include "common/stats.hpp"
+#include "pareto/pareto.hpp"
+
+namespace bofl::core {
+
+namespace {
+
+/// Quasi-random starting points over the DVFS lattice (§4.2): Sobol points
+/// in the unit cube snapped to grid steps, deduplicated, x_max excluded
+/// (it is always measured first, separately).
+std::deque<std::size_t> sample_starting_points(const device::DvfsSpace& space,
+                                               double fraction) {
+  const auto target = static_cast<std::size_t>(std::max(
+      3.0, std::ceil(fraction * static_cast<double>(space.size()))));
+  const std::vector<std::size_t> sizes = {space.cpu_table().size(),
+                                          space.gpu_table().size(),
+                                          space.mem_table().size()};
+  SobolSequence sobol(3);
+  std::deque<std::size_t> points;
+  std::vector<bool> seen(space.size(), false);
+  const std::size_t x_max_flat = space.to_flat(space.max_config());
+  seen[x_max_flat] = true;
+  // Sobol collisions on the coarse lattice are common; cap the draw budget.
+  const std::size_t max_draws = 50 * target + 256;
+  for (std::size_t draw = 0; draw < max_draws && points.size() < target;
+       ++draw) {
+    const std::vector<std::size_t> idx = to_grid_indices(sobol.next(), sizes);
+    const std::size_t flat = space.to_flat({idx[0], idx[1], idx[2]});
+    if (!seen[flat]) {
+      seen[flat] = true;
+      points.push_back(flat);
+    }
+  }
+  BOFL_ASSERT(!points.empty(), "no starting points sampled");
+  return points;
+}
+
+bo::MboOptions make_engine_options(const BoflOptions& options) {
+  bo::MboOptions mbo = options.mbo;
+  mbo.max_batch_size = options.max_batch_size;
+  return mbo;
+}
+
+}  // namespace
+
+BoflController::BoflController(const device::DeviceModel& model,
+                               device::WorkloadProfile profile,
+                               device::NoiseModel noise, BoflOptions options,
+                               std::uint64_t seed)
+    : model_(model),
+      profile_(std::move(profile)),
+      options_(options),
+      observer_(model_, noise, seed),
+      engine_(model_.space().all_normalized(), make_engine_options(options),
+              seed ^ 0x9E3779B97F4A7C15ULL),
+      pending_(sample_starting_points(model_.space(),
+                                      options.initial_sample_fraction)),
+      x_max_flat_(model_.space().to_flat(model_.space().max_config())) {
+  BOFL_REQUIRE(options_.tau.value() > 0.0, "tau must be positive");
+  BOFL_REQUIRE(options_.initial_sample_fraction > 0.0,
+               "initial sample fraction must be positive");
+  // x_max is the very first configuration ever measured (§4.2).
+  pending_.push_front(x_max_flat_);
+}
+
+device::Measurement BoflController::run_config(RoundState& state,
+                                               const device::DvfsConfig& config,
+                                               std::int64_t jobs,
+                                               bool exploratory) {
+  BOFL_ASSERT(jobs > 0 && jobs <= state.remaining,
+              "run_config job accounting error");
+  const device::Measurement m =
+      observer_.run_jobs(profile_, config, jobs, clock_);
+  state.trace.runs.push_back(
+      {config, jobs, m.true_duration, m.true_energy, exploratory});
+  state.remaining -= jobs;
+  // Every run — exploratory or not — refines the per-config aggregate.
+  // Long exploitation runs are the most accurate readings the controller
+  // ever gets, so the schedule self-corrects against measurement noise.
+  const std::size_t flat = model_.space().to_flat(config);
+  Aggregate& agg = aggregates_[flat];
+  const auto jobs_d = static_cast<double>(jobs);
+  agg.jobs += jobs_d;
+  agg.latency_weighted += m.measured_latency.value() * jobs_d;
+  agg.energy_weighted += m.measured_energy.value() * jobs_d;
+  if (flat == x_max_flat_) {
+    t_x_max_ = Seconds{agg.mean_latency()};
+  }
+  return m;
+}
+
+void BoflController::record_observation(std::size_t flat,
+                                        double energy_per_job,
+                                        double latency_per_job, double jobs) {
+  (void)jobs;
+  engine_.add_observation({flat, energy_per_job, latency_per_job});
+}
+
+bool BoflController::guardian_allows(const RoundState& state,
+                                     Seconds budget) const {
+  BOFL_ASSERT(t_x_max_.has_value(), "guardian check before T(x_max) is known");
+  const double time_left =
+      state.trace.deadline.value() - state.trace.elapsed().value();
+  const double rescue = static_cast<double>(state.remaining) *
+                        t_x_max_->value() *
+                        (1.0 + options_.deadline_safety_margin);
+  return time_left - budget.value() >= rescue;
+}
+
+void BoflController::explore_candidate(RoundState& state, std::size_t flat) {
+  const device::DvfsConfig config = model_.space().from_flat(flat);
+  // First job: establishes the latency estimate for this configuration.
+  const device::Measurement first = run_config(state, config, 1, true);
+  double measured_time = first.true_duration.value();
+  double jobs = 1.0;
+  double latency_weighted = first.measured_latency.value();
+  double energy_weighted = first.measured_energy.value();
+
+  // Keep the configuration busy until it has been measured for >= τ, as
+  // long as jobs remain and the guardian stays satisfied.
+  if (measured_time < options_.tau.value() && state.remaining > 0) {
+    const double t_hat = std::max(first.measured_latency.value(), 1e-9);
+    auto more = static_cast<std::int64_t>(
+        std::ceil((options_.tau.value() - measured_time) / t_hat));
+    more = std::min(more, state.remaining);
+    if (t_x_max_) {
+      // Largest batch that keeps the x_max rescue plan viable.
+      const double time_left =
+          state.trace.deadline.value() - state.trace.elapsed().value();
+      const double rescue_per_job =
+          t_x_max_->value() * (1.0 + options_.deadline_safety_margin);
+      // time_left - more*t_hat >= (remaining - more) * rescue_per_job
+      const double numerator =
+          time_left -
+          static_cast<double>(state.remaining) * rescue_per_job;
+      const double denominator = t_hat - rescue_per_job;
+      if (denominator > 0.0) {
+        more = std::min(
+            more, static_cast<std::int64_t>(
+                      std::floor(numerator / denominator)));
+      }
+      more = std::max<std::int64_t>(more, 0);
+    }
+    if (more > 0) {
+      const device::Measurement rest = run_config(state, config, more, true);
+      measured_time += rest.true_duration.value();
+      jobs += static_cast<double>(more);
+      latency_weighted +=
+          rest.measured_latency.value() * static_cast<double>(more);
+      energy_weighted +=
+          rest.measured_energy.value() * static_cast<double>(more);
+    }
+  }
+
+  const double latency = latency_weighted / jobs;
+  const double energy = energy_weighted / jobs;
+  record_observation(flat, energy, latency, jobs);
+  state.trace.explored_flat_ids.push_back(flat);
+}
+
+void BoflController::exploit_remaining(RoundState& state) {
+  const device::DvfsConfig x_max = model_.space().max_config();
+  // Closed-loop schedule execution: re-solve the ILP before every block
+  // with the latest measurements and the *actual* remaining time, and run
+  // the slowest block first so faster configurations remain available to
+  // absorb any measurement optimism (winner's-curse latencies would
+  // otherwise accumulate into a deadline miss).
+  while (state.remaining > 0) {
+    // Disturbances (latency spikes, thermal throttling) can blow the budget
+    // mid-round; clamp at zero so the solver reports infeasible and the
+    // x_max damage-control path below finishes the round as fast as
+    // possible instead of tripping a precondition.
+    const double time_left =
+        std::max(0.0, state.trace.deadline.value() -
+                          state.trace.elapsed().value());
+    const std::vector<ilp::ConfigProfile> profiles = observed_profiles();
+    ilp::Schedule schedule;
+    if (!profiles.empty()) {
+      schedule = ilp::solve_round_schedule(
+          profiles, state.remaining,
+          time_left / (1.0 + options_.deadline_safety_margin));
+    }
+    if (!schedule.feasible) {
+      // No observations yet or no feasible mix: play safe at x_max.
+      run_config(state, x_max, state.remaining, false);
+      return;
+    }
+    std::size_t slowest = 0;
+    for (std::size_t a = 1; a < schedule.assignments.size(); ++a) {
+      if (profiles[schedule.assignments[a].first].latency_per_job >
+          profiles[schedule.assignments[slowest].first].latency_per_job) {
+        slowest = a;
+      }
+    }
+    const auto [profile_index, jobs] = schedule.assignments[slowest];
+    // Cap each block at half the remaining jobs: the block's own (long,
+    // accurate) measurement then dominates the config's aggregate before
+    // the next re-solve, so a stale optimistic latency estimate can never
+    // ride a full block into a deadline miss.
+    const std::int64_t block =
+        std::min(jobs, std::max<std::int64_t>(1, state.remaining / 2));
+    run_config(state, model_.space().from_flat(profiles[profile_index].config_id),
+               block, false);
+  }
+}
+
+void BoflController::mbo_update(RoundState& state) {
+  const double t_avg = t_avg_seconds_ > 0.0 ? t_avg_seconds_
+                                            : options_.tau.value();
+  auto batch = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, std::llround(t_avg / options_.tau.value())));
+  batch = std::min(batch, options_.max_batch_size);
+
+  const std::vector<std::size_t> suggestions = engine_.propose_batch(batch);
+  pending_.assign(suggestions.begin(), suggestions.end());
+
+  state.trace.mbo_latency =
+      options_.mbo_cost.latency(engine_.num_observations(), batch);
+  state.trace.mbo_energy =
+      options_.mbo_cost.energy(engine_.num_observations(), batch);
+  // The update runs in the configuration/reporting window between rounds
+  // (§4.3), so it consumes wall time but no deadline budget.
+  clock_.advance(state.trace.mbo_latency);
+}
+
+RoundTrace BoflController::run_round(const RoundSpec& spec) {
+  BOFL_REQUIRE(spec.num_jobs > 0, "round needs at least one job");
+  RoundState state;
+  state.trace.index = spec.index;
+  state.trace.deadline = spec.deadline;
+  state.trace.phase = phase_;
+  state.remaining = spec.num_jobs;
+
+  if (phase_ == Phase::kExploitation) {
+    exploit_remaining(state);
+    finish_round_bookkeeping(spec);
+    return state.trace;
+  }
+
+  if (phase_ == Phase::kParetoConstruction) {
+    mbo_update(state);
+  }
+
+  while (state.remaining > 0) {
+    if (pending_.empty()) {
+      // Candidates exhausted: spend the rest of the round on the best
+      // observed configurations (§4.2 "last round exploitation").
+      exploit_remaining(state);
+      break;
+    }
+    const std::size_t next = pending_.front();
+    if (!t_x_max_) {
+      // The very first measurement must be x_max (no guardian yet).
+      BOFL_ASSERT(next == x_max_flat_, "x_max must be explored first");
+      pending_.pop_front();
+      explore_candidate(state, next);
+      continue;
+    }
+    const Seconds budget{options_.tau.value() +
+                         options_.first_job_allowance * t_x_max_->value()};
+    if (!guardian_allows(state, budget)) {
+      // Deadline guardian trip: finish the round at x_max (Fig. 7).
+      run_config(state, model_.space().max_config(), state.remaining, false);
+      break;
+    }
+    pending_.pop_front();
+    explore_candidate(state, next);
+  }
+
+  finish_round_bookkeeping(spec);
+  return state.trace;
+}
+
+void BoflController::finish_round_bookkeeping(const RoundSpec& spec) {
+  if (phase_ == Phase::kSafeRandomExploration) {
+    phase1_deadlines_.push_back(spec.deadline.value());
+    if (pending_.empty()) {
+      phase_ = Phase::kParetoConstruction;
+      // Freeze the reference point at the phase-1 component-wise worst
+      // observation (§4.3) and start hypervolume tracking.
+      engine_.set_reference(engine_.reference());
+      t_avg_seconds_ = mean_of(phase1_deadlines_);
+      hv_prev_ = engine_.observed_hypervolume();
+    }
+    return;
+  }
+  if (phase_ == Phase::kParetoConstruction) {
+    ++pareto_rounds_done_;
+    const double hv = engine_.observed_hypervolume();
+    const double relative_improvement =
+        (hv - hv_prev_) / std::max(hv_prev_, 1e-12);
+    hv_prev_ = hv;
+    const bool explored_enough =
+        static_cast<double>(engine_.num_observed_candidates()) >=
+        options_.min_explored_fraction *
+            static_cast<double>(engine_.num_candidates());
+    const bool converged = relative_improvement < options_.hvi_stop_threshold;
+    const bool exhausted =
+        engine_.num_observed_candidates() == engine_.num_candidates();
+    if ((pareto_rounds_done_ >= options_.min_pareto_rounds &&
+         explored_enough && converged) ||
+        exhausted) {
+      phase_ = Phase::kExploitation;
+    }
+  }
+}
+
+std::vector<BoflController::SavedObservation> BoflController::export_state()
+    const {
+  std::vector<SavedObservation> saved;
+  saved.reserve(aggregates_.size());
+  for (const auto& [flat, agg] : aggregates_) {
+    saved.push_back({flat, agg.jobs, agg.mean_energy(), agg.mean_latency()});
+  }
+  std::sort(saved.begin(), saved.end(),
+            [](const SavedObservation& a, const SavedObservation& b) {
+              return a.config_flat < b.config_flat;
+            });
+  return saved;
+}
+
+void BoflController::import_state(
+    const std::vector<SavedObservation>& saved) {
+  BOFL_REQUIRE(aggregates_.empty() && phase_ == Phase::kSafeRandomExploration,
+               "import_state requires a fresh controller");
+  for (const SavedObservation& obs : saved) {
+    BOFL_REQUIRE(obs.config_flat < model_.space().size(),
+                 "saved observation out of range");
+    BOFL_REQUIRE(obs.jobs > 0.0 && obs.mean_energy > 0.0 &&
+                     obs.mean_latency > 0.0,
+                 "saved observation must be positive");
+    Aggregate& agg = aggregates_[obs.config_flat];
+    agg.jobs = obs.jobs;
+    agg.latency_weighted = obs.mean_latency * obs.jobs;
+    agg.energy_weighted = obs.mean_energy * obs.jobs;
+    engine_.add_observation(
+        {obs.config_flat, obs.mean_energy, obs.mean_latency});
+    if (obs.config_flat == x_max_flat_) {
+      t_x_max_ = Seconds{obs.mean_latency};
+    }
+  }
+  if (!t_x_max_) {
+    // Without the guardian anchor, exploration must restart from scratch —
+    // keep the sampled phase-1 plan as is.
+    return;
+  }
+  // x_max is known: skip phase 1 (its job was the initial uniform sample).
+  pending_.clear();
+  engine_.set_reference(engine_.reference());
+  hv_prev_ = engine_.observed_hypervolume();
+  const bool explored_enough =
+      static_cast<double>(engine_.num_observed_candidates()) >=
+      options_.min_explored_fraction *
+          static_cast<double>(engine_.num_candidates());
+  phase_ = explored_enough ? Phase::kExploitation
+                           : Phase::kParetoConstruction;
+}
+
+std::vector<ilp::ConfigProfile> BoflController::observed_profiles() const {
+  std::vector<ilp::ConfigProfile> profiles;
+  profiles.reserve(aggregates_.size());
+  for (const auto& [flat, agg] : aggregates_) {
+    profiles.push_back({flat, agg.mean_energy(), agg.mean_latency()});
+  }
+  return profiles;
+}
+
+std::vector<std::size_t> BoflController::pareto_flat_ids() const {
+  const std::vector<ilp::ConfigProfile> profiles = observed_profiles();
+  std::vector<pareto::Point2> points;
+  points.reserve(profiles.size());
+  for (const ilp::ConfigProfile& p : profiles) {
+    points.push_back({p.energy_per_job, p.latency_per_job});
+  }
+  std::vector<std::size_t> ids;
+  for (std::size_t index : pareto::non_dominated_indices(points)) {
+    ids.push_back(profiles[index].config_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace bofl::core

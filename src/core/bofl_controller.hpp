@@ -1,0 +1,156 @@
+// The BoFL pace controller (paper §4): safe random exploration, MBO-driven
+// Pareto-front construction, then ILP exploitation — all under the
+// deadline-guardian safety rule.
+//
+// Phase transitions:
+//   Phase 1 -> 2 : when every quasi-random starting point has been explored.
+//   Phase 2 -> 3 : when >= min_explored_fraction of the space is explored
+//                  and the round's relative hypervolume improvement drops
+//                  below hvi_stop_threshold (the paper's §4.3 stop rule),
+//                  or when MBO has no unobserved candidate left to propose.
+//
+// Safety.  Before exploring an unknown configuration the controller checks
+// a conservative form of the paper's Eqn. 2:
+//     T_remain - (tau + allowance · T(x_max)) >= W_remain · T(x_max) · m
+// where the allowance covers the first job of a possibly-pathological
+// configuration (a job cannot be preempted mid-flight) and m is a small
+// noise margin on the measured T(x_max).  On a failed check the remaining
+// jobs run at x_max (Fig. 7's guardian path).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "bo/mbo_engine.hpp"
+#include "core/mbo_cost.hpp"
+#include "core/pace_controller.hpp"
+#include "device/observer.hpp"
+#include "ilp/schedule_solver.hpp"
+
+namespace bofl::core {
+
+struct BoflOptions {
+  /// Fraction of the space sampled as phase-1 starting points (§4.2: ~1 %).
+  double initial_sample_fraction = 0.01;
+  /// Reference measurement duration τ (§4.2: e.g. 5 s).
+  ///
+  /// Safety contract: the deadline guarantee holds as long as the latency
+  /// measurement error at this τ stays below deadline_safety_margin.  With
+  /// the default sensor model (1 % CV at 5 s, growing as sqrt(5/τ)), τ of
+  /// 2.5 s or more keeps the error under the default 3 % margin; τ of 1 s
+  /// pushes the CV to ~2.2 % and occasional sub-0.1 s overshoots become
+  /// possible — exactly the paper's rationale for not measuring too
+  /// briefly (see the A2 ablation bench).
+  Seconds tau{5.0};
+  /// Phase-2 stop: explored share of the space must reach this first (~3 %).
+  double min_explored_fraction = 0.03;
+  /// Phase-2 stop: relative per-round hypervolume improvement below this.
+  double hvi_stop_threshold = 0.01;
+  /// Cap on the MBO batch size K (§4.3: e.g. 10).
+  std::size_t max_batch_size = 10;
+  /// Run at least this many Pareto-construction rounds before stopping.
+  std::size_t min_pareto_rounds = 2;
+  /// Guardian allowance for the first job of an unknown configuration,
+  /// in multiples of T(x_max).
+  double first_job_allowance = 12.0;
+  /// Noise margin applied to measured latencies in guardian and ILP
+  /// feasibility arithmetic.
+  double deadline_safety_margin = 0.03;
+  bo::MboOptions mbo{};
+  MboCostModel mbo_cost{};
+};
+
+class BoflController final : public PaceController {
+ public:
+  BoflController(const device::DeviceModel& model,
+                 device::WorkloadProfile profile, device::NoiseModel noise,
+                 BoflOptions options, std::uint64_t seed);
+
+  RoundTrace run_round(const RoundSpec& spec) override;
+  [[nodiscard]] std::string_view name() const override { return "BoFL"; }
+
+  [[nodiscard]] Phase phase() const { return phase_; }
+  [[nodiscard]] const bo::MboEngine& engine() const { return engine_; }
+
+  /// Measured per-job (energy, latency) profile of every explored
+  /// configuration (job-weighted averages of the noisy readings).
+  [[nodiscard]] std::vector<ilp::ConfigProfile> observed_profiles() const;
+
+  /// Flat ids of the observed configurations that are Pareto-optimal among
+  /// the observations (BoFL's constructed front, Fig. 11).
+  [[nodiscard]] std::vector<std::size_t> pareto_flat_ids() const;
+
+  /// One persisted per-configuration measurement aggregate (state_io.hpp
+  /// serializes these so a controller can resume after a device restart).
+  struct SavedObservation {
+    std::size_t config_flat = 0;
+    double jobs = 0.0;
+    double mean_energy = 0.0;   ///< J per job
+    double mean_latency = 0.0;  ///< s per job
+  };
+
+  /// Export every configuration's measurement aggregate.
+  [[nodiscard]] std::vector<SavedObservation> export_state() const;
+
+  /// Seed a *fresh* controller (no rounds run yet) with previously saved
+  /// aggregates.  If x_max is among them the exploration phases are
+  /// resumed where they left off: straight to exploitation when the saved
+  /// coverage already satisfies the stopping rule's exploration floor,
+  /// otherwise to Pareto construction.  Throws if any round already ran.
+  void import_state(const std::vector<SavedObservation>& saved);
+
+ private:
+  struct Aggregate {
+    double jobs = 0.0;
+    double latency_weighted = 0.0;  ///< sum of measured per-job latency * jobs
+    double energy_weighted = 0.0;   ///< sum of measured per-job energy * jobs
+
+    [[nodiscard]] double mean_latency() const {
+      return latency_weighted / jobs;
+    }
+    [[nodiscard]] double mean_energy() const { return energy_weighted / jobs; }
+  };
+
+  struct RoundState {
+    RoundTrace trace;
+    std::int64_t remaining = 0;
+  };
+
+  /// Run `jobs` jobs under `config`, appending a ConfigRun to the trace.
+  /// Returns the measurement.
+  device::Measurement run_config(RoundState& state,
+                                 const device::DvfsConfig& config,
+                                 std::int64_t jobs, bool exploratory);
+  /// Fold a measurement into the engine and the aggregate table.
+  void record_observation(std::size_t flat, double energy_per_job,
+                          double latency_per_job, double jobs);
+  /// Conservative Eqn. 2 check for spending `budget` on exploration now.
+  [[nodiscard]] bool guardian_allows(const RoundState& state,
+                                     Seconds budget) const;
+  /// Measure one candidate for >= τ seconds (Fig. 7's inner loop).
+  void explore_candidate(RoundState& state, std::size_t flat);
+  /// Finish the round's remaining jobs with the best observed schedule.
+  void exploit_remaining(RoundState& state);
+  /// Run the MBO update between rounds (phase 2), charging its cost.
+  void mbo_update(RoundState& state);
+  void finish_round_bookkeeping(const RoundSpec& spec);
+
+  const device::DeviceModel& model_;
+  device::WorkloadProfile profile_;
+  BoflOptions options_;
+  device::PerformanceObserver observer_;
+  device::SimClock clock_;
+  bo::MboEngine engine_;
+  Phase phase_ = Phase::kSafeRandomExploration;
+  std::deque<std::size_t> pending_;
+  std::size_t x_max_flat_;
+  std::optional<Seconds> t_x_max_;  ///< measured per-job latency at x_max
+  std::unordered_map<std::size_t, Aggregate> aggregates_;
+  std::vector<double> phase1_deadlines_;
+  double t_avg_seconds_ = 0.0;
+  double hv_prev_ = 0.0;
+  std::size_t pareto_rounds_done_ = 0;
+};
+
+}  // namespace bofl::core

@@ -1,0 +1,33 @@
+#include "core/harness.hpp"
+
+#include "common/error.hpp"
+
+namespace bofl::core {
+
+TaskResult run_task(PaceController& controller,
+                    const std::vector<RoundSpec>& rounds) {
+  TaskResult result;
+  result.rounds.reserve(rounds.size());
+  for (const RoundSpec& spec : rounds) {
+    result.rounds.push_back(controller.run_round(spec));
+  }
+  return result;
+}
+
+Joules total_energy(const TaskResult& result) {
+  return result.total_training_energy() + result.total_mbo_energy();
+}
+
+double improvement_vs(const TaskResult& subject, const TaskResult& baseline) {
+  const double baseline_energy = total_energy(baseline).value();
+  BOFL_REQUIRE(baseline_energy > 0.0, "baseline consumed no energy");
+  return 1.0 - total_energy(subject).value() / baseline_energy;
+}
+
+double regret_vs(const TaskResult& subject, const TaskResult& oracle) {
+  const double oracle_energy = total_energy(oracle).value();
+  BOFL_REQUIRE(oracle_energy > 0.0, "oracle consumed no energy");
+  return total_energy(subject).value() / oracle_energy - 1.0;
+}
+
+}  // namespace bofl::core

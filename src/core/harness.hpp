@@ -1,0 +1,28 @@
+// Task-level harness: drive a pace controller through a full FL task and
+// compute the paper's summary metrics.
+#pragma once
+
+#include "core/pace_controller.hpp"
+#include "core/task.hpp"
+#include "core/trace.hpp"
+
+namespace bofl::core {
+
+/// Run all rounds in order through `controller`.
+[[nodiscard]] TaskResult run_task(PaceController& controller,
+                                  const std::vector<RoundSpec>& rounds);
+
+/// Total energy attributable to the controller: training plus MBO overhead.
+[[nodiscard]] Joules total_energy(const TaskResult& result);
+
+/// "Improvement compared to Performant" (§6.4):
+///   1 − subject energy / baseline energy.
+[[nodiscard]] double improvement_vs(const TaskResult& subject,
+                                    const TaskResult& baseline);
+
+/// "Regret compared to Oracle" (§6.4):
+///   subject energy / oracle energy − 1.
+[[nodiscard]] double regret_vs(const TaskResult& subject,
+                               const TaskResult& oracle);
+
+}  // namespace bofl::core

@@ -1,0 +1,104 @@
+#include "core/linear_controller.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bofl::core {
+
+LinearModelController::LinearModelController(const device::DeviceModel& model,
+                                             device::WorkloadProfile profile,
+                                             device::NoiseModel noise,
+                                             std::uint64_t seed)
+    : model_(model),
+      profile_(std::move(profile)),
+      observer_(model_, noise, seed) {}
+
+RoundTrace LinearModelController::run_round(const RoundSpec& spec) {
+  BOFL_REQUIRE(spec.num_jobs > 0, "round needs at least one job");
+  RoundTrace trace;
+  trace.index = spec.index;
+  trace.deadline = spec.deadline;
+  trace.phase = Phase::kExploitation;
+
+  const device::DvfsSpace& space = model_.space();
+  const device::DvfsConfig x_max = space.max_config();
+
+  // First round: calibrate T(x_max) with one job at full speed.
+  std::int64_t remaining = spec.num_jobs;
+  if (!t_max_config_) {
+    const device::Measurement m =
+        observer_.run_jobs(profile_, x_max, 1, clock_);
+    trace.runs.push_back({x_max, 1, m.true_duration, m.true_energy, true});
+    trace.explored_flat_ids.push_back(space.to_flat(x_max));
+    t_max_config_ = m.measured_latency;
+    remaining -= 1;
+    if (remaining == 0) {
+      return trace;
+    }
+  }
+
+  // Linear model: T(f_cpu) = T(x_max) * f_cpu_max / f_cpu.  Pick the lowest
+  // CPU step predicted to fit the remaining deadline budget.
+  const double budget = spec.deadline.value() - trace.elapsed().value();
+  const double f_cpu_max = space.cpu_table().max().value();
+  std::size_t chosen = space.cpu_table().size() - 1;
+  for (std::size_t step = 0; step < space.cpu_table().size(); ++step) {
+    const double predicted =
+        static_cast<double>(remaining) * t_max_config_->value() * f_cpu_max /
+        space.cpu_table().at(step).value();
+    if (predicted <= budget) {
+      chosen = step;
+      break;
+    }
+  }
+  device::DvfsConfig config = x_max;
+  config.cpu = chosen;
+
+  // Run job by job; the guardian switches to x_max if the prediction is
+  // falling behind.
+  std::int64_t jobs_at_chosen = 0;
+  Seconds time_at_chosen{0.0};
+  Joules energy_at_chosen{0.0};
+  while (remaining > 0) {
+    const double time_left = spec.deadline.value() - trace.elapsed().value() -
+                             time_at_chosen.value();
+    const double worst_case_rescue =
+        static_cast<double>(remaining) * t_max_config_->value() * 1.05;
+    if (!(config == x_max) && time_left < worst_case_rescue +
+            model_.latency(profile_, config).value()) {
+      ++guardian_interventions_;
+      break;
+    }
+    const device::Measurement m = observer_.run_jobs(profile_, config, 1, clock_);
+    ++jobs_at_chosen;
+    time_at_chosen += m.true_duration;
+    energy_at_chosen += m.true_energy;
+    --remaining;
+    if (config == x_max) {
+      // Already at the rescue configuration; just finish everything.
+      if (remaining > 0) {
+        const device::Measurement rest =
+            observer_.run_jobs(profile_, config, remaining, clock_);
+        jobs_at_chosen += remaining;
+        time_at_chosen += rest.true_duration;
+        energy_at_chosen += rest.true_energy;
+        remaining = 0;
+      }
+      break;
+    }
+  }
+  if (jobs_at_chosen > 0) {
+    trace.runs.push_back(
+        {config, jobs_at_chosen, time_at_chosen, energy_at_chosen, false});
+  }
+  if (remaining > 0) {
+    const device::Measurement m =
+        observer_.run_jobs(profile_, x_max, remaining, clock_);
+    trace.runs.push_back({x_max, remaining, m.true_duration, m.true_energy,
+                          false});
+  }
+  return trace;
+}
+
+}  // namespace bofl::core

@@ -1,0 +1,46 @@
+// SmartPC-style linear pace controller (ablation; paper §2.1 critique).
+//
+// Models round latency as inversely proportional to CPU frequency only —
+// the assumption BoFL's measurements show to be wrong on multi-axis DVFS
+// devices.  Each round it picks the single lowest CPU step whose *predicted*
+// time W · T(x_max) · (f_max / f_cpu) fits the deadline, keeping GPU and
+// memory at maximum.  On GPU-bound models the prediction is badly off: the
+// device barely slows down, so the controller wastes little time — but it
+// also barely saves energy, and on CPU-bound models it can overshoot.
+// A deadline guardian (same as BoFL's) rescues overshoots at x_max.
+#pragma once
+
+#include <optional>
+
+#include "core/pace_controller.hpp"
+#include "device/observer.hpp"
+
+namespace bofl::core {
+
+class LinearModelController final : public PaceController {
+ public:
+  LinearModelController(const device::DeviceModel& model,
+                        device::WorkloadProfile profile,
+                        device::NoiseModel noise, std::uint64_t seed);
+
+  RoundTrace run_round(const RoundSpec& spec) override;
+  [[nodiscard]] std::string_view name() const override {
+    return "LinearModel";
+  }
+
+  /// Rounds in which the linear prediction would have missed the deadline
+  /// and the guardian had to intervene.
+  [[nodiscard]] std::int64_t guardian_interventions() const {
+    return guardian_interventions_;
+  }
+
+ private:
+  const device::DeviceModel& model_;
+  device::WorkloadProfile profile_;
+  device::PerformanceObserver observer_;
+  device::SimClock clock_;
+  std::optional<Seconds> t_max_config_;  ///< measured T(x_max) per job
+  std::int64_t guardian_interventions_ = 0;
+};
+
+}  // namespace bofl::core

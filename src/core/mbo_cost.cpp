@@ -1,0 +1,33 @@
+#include "core/mbo_cost.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace bofl::core {
+
+Seconds MboCostModel::latency(std::size_t num_observations,
+                              std::size_t batch_size) const {
+  return Seconds{base_seconds +
+                 per_observation_seconds *
+                     static_cast<double>(num_observations) +
+                 per_pick_seconds * static_cast<double>(batch_size)};
+}
+
+Joules MboCostModel::energy(std::size_t num_observations,
+                            std::size_t batch_size) const {
+  return Watts{power_watts} * latency(num_observations, batch_size);
+}
+
+MboCostModel mbo_cost_for_device(const std::string& device_name) {
+  if (device_name == "jetson-agx") {
+    return {4.8, 0.015, 0.12, 9.5};
+  }
+  if (device_name == "jetson-tx2") {
+    return {7.2, 0.020, 0.18, 6.8};
+  }
+  BOFL_REQUIRE(false, "unknown device name: " + device_name);
+  return {};
+}
+
+}  // namespace bofl::core

@@ -1,0 +1,32 @@
+// Cost model for the MBO update itself (paper §6.5, Figure 13).
+//
+// On real hardware the Bayesian update takes 6–9 s and 50–70 J per round of
+// the Pareto-construction phase.  The simulation charges that cost through
+// this model: latency grows with the observation count (GP refit is cubic
+// but small-n; the measured curve is near-linear in the paper's range) and
+// with the batch size (one EHVI sweep per greedy pick).
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace bofl::core {
+
+struct MboCostModel {
+  double base_seconds = 4.8;
+  double per_observation_seconds = 0.015;
+  double per_pick_seconds = 0.12;
+  double power_watts = 9.5;
+
+  [[nodiscard]] Seconds latency(std::size_t num_observations,
+                                std::size_t batch_size) const;
+  [[nodiscard]] Joules energy(std::size_t num_observations,
+                              std::size_t batch_size) const;
+};
+
+/// Calibrated per-device cost models (AGX ≈ 6 s / 60 J, TX2 ≈ 8.5 s / 58 J
+/// per update, matching Fig. 13a).
+[[nodiscard]] MboCostModel mbo_cost_for_device(const std::string& device_name);
+
+}  // namespace bofl::core

@@ -1,0 +1,65 @@
+#include "core/oracle_controller.hpp"
+
+#include "common/error.hpp"
+#include "pareto/pareto.hpp"
+
+namespace bofl::core {
+
+std::vector<ilp::ConfigProfile> true_pareto_profiles(
+    const device::DeviceModel& model,
+    const device::WorkloadProfile& profile) {
+  const device::DvfsSpace& space = model.space();
+  std::vector<pareto::Point2> points;
+  points.reserve(space.size());
+  for (std::size_t flat = 0; flat < space.size(); ++flat) {
+    const device::DvfsConfig config = space.from_flat(flat);
+    points.push_back({model.energy(profile, config).value(),
+                      model.latency(profile, config).value()});
+  }
+  const std::vector<std::size_t> front = pareto::non_dominated_indices(points);
+  std::vector<ilp::ConfigProfile> profiles;
+  profiles.reserve(front.size());
+  for (std::size_t flat : front) {
+    profiles.push_back({flat, points[flat].f1, points[flat].f2});
+  }
+  return profiles;
+}
+
+OracleController::OracleController(const device::DeviceModel& model,
+                                   device::WorkloadProfile profile,
+                                   device::NoiseModel noise,
+                                   std::uint64_t seed)
+    : model_(model),
+      profile_(std::move(profile)),
+      observer_(model_, noise, seed),
+      pareto_profiles_(true_pareto_profiles(model_, profile_)) {}
+
+RoundTrace OracleController::run_round(const RoundSpec& spec) {
+  BOFL_REQUIRE(spec.num_jobs > 0, "round needs at least one job");
+  RoundTrace trace;
+  trace.index = spec.index;
+  trace.deadline = spec.deadline;
+  trace.phase = Phase::kExploitation;
+
+  const ilp::Schedule schedule = ilp::solve_round_schedule(
+      pareto_profiles_, spec.num_jobs, spec.deadline.value());
+  if (!schedule.feasible) {
+    // Deadline below T_min: degrade to x_max like a real system would.
+    const device::DvfsConfig x_max = model_.space().max_config();
+    const device::Measurement m =
+        observer_.run_jobs(profile_, x_max, spec.num_jobs, clock_);
+    trace.runs.push_back(
+        {x_max, spec.num_jobs, m.true_duration, m.true_energy, false});
+    return trace;
+  }
+  for (const auto& [profile_index, jobs] : schedule.assignments) {
+    const std::size_t flat = pareto_profiles_[profile_index].config_id;
+    const device::DvfsConfig config = model_.space().from_flat(flat);
+    const device::Measurement m =
+        observer_.run_jobs(profile_, config, jobs, clock_);
+    trace.runs.push_back({config, jobs, m.true_duration, m.true_energy, false});
+  }
+  return trace;
+}
+
+}  // namespace bofl::core

@@ -1,0 +1,24 @@
+// The pace-controller interface: given a round (job count + deadline),
+// decide which DVFS configurations run which jobs.
+#pragma once
+
+#include <string_view>
+
+#include "core/task.hpp"
+#include "core/trace.hpp"
+
+namespace bofl::core {
+
+class PaceController {
+ public:
+  virtual ~PaceController() = default;
+
+  /// Execute one training round: run spec.num_jobs jobs, choosing DVFS
+  /// configurations so the round finishes before spec.deadline.  Rounds
+  /// must be fed in order; controllers carry state across rounds.
+  virtual RoundTrace run_round(const RoundSpec& spec) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace bofl::core

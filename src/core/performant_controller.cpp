@@ -1,0 +1,30 @@
+#include "core/performant_controller.hpp"
+
+#include "common/error.hpp"
+
+namespace bofl::core {
+
+PerformantController::PerformantController(const device::DeviceModel& model,
+                                           device::WorkloadProfile profile,
+                                           device::NoiseModel noise,
+                                           std::uint64_t seed)
+    : model_(model),
+      profile_(std::move(profile)),
+      observer_(model_, noise, seed) {}
+
+RoundTrace PerformantController::run_round(const RoundSpec& spec) {
+  BOFL_REQUIRE(spec.num_jobs > 0, "round needs at least one job");
+  RoundTrace trace;
+  trace.index = spec.index;
+  trace.deadline = spec.deadline;
+  trace.phase = Phase::kExploitation;
+
+  const device::DvfsConfig x_max = model_.space().max_config();
+  const device::Measurement m =
+      observer_.run_jobs(profile_, x_max, spec.num_jobs, clock_);
+  trace.runs.push_back(
+      {x_max, spec.num_jobs, m.true_duration, m.true_energy, false});
+  return trace;
+}
+
+}  // namespace bofl::core

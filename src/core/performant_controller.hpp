@@ -1,0 +1,26 @@
+// The Performant baseline (paper §6.1): every job runs at x_max, the
+// default real-time DVFS policy.  Fast, deadline-safe, energy-hungry.
+#pragma once
+
+#include "core/pace_controller.hpp"
+#include "device/observer.hpp"
+
+namespace bofl::core {
+
+class PerformantController final : public PaceController {
+ public:
+  PerformantController(const device::DeviceModel& model,
+                       device::WorkloadProfile profile,
+                       device::NoiseModel noise, std::uint64_t seed);
+
+  RoundTrace run_round(const RoundSpec& spec) override;
+  [[nodiscard]] std::string_view name() const override { return "Performant"; }
+
+ private:
+  const device::DeviceModel& model_;
+  device::WorkloadProfile profile_;
+  device::PerformanceObserver observer_;
+  device::SimClock clock_;
+};
+
+}  // namespace bofl::core

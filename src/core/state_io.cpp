@@ -1,0 +1,52 @@
+#include "core/state_io.hpp"
+
+#include <cstdlib>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace bofl::core {
+
+void save_state(const BoflController& controller, const std::string& path) {
+  CsvWriter writer(path,
+                   {"config_flat", "jobs", "mean_energy_J", "mean_latency_s"});
+  for (const BoflController::SavedObservation& obs :
+       controller.export_state()) {
+    writer.write_row(std::vector<double>{
+        static_cast<double>(obs.config_flat), obs.jobs, obs.mean_energy,
+        obs.mean_latency});
+  }
+}
+
+std::vector<BoflController::SavedObservation> load_state(
+    const std::string& path) {
+  const CsvReader reader(path);
+  const std::size_t flat_col = reader.column("config_flat");
+  const std::size_t jobs_col = reader.column("jobs");
+  const std::size_t energy_col = reader.column("mean_energy_J");
+  const std::size_t latency_col = reader.column("mean_latency_s");
+
+  const auto parse = [&](const std::string& text) {
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    BOFL_REQUIRE(end != text.c_str() && *end == '\0',
+                 "malformed number in saved state: " + text);
+    return value;
+  };
+
+  std::vector<BoflController::SavedObservation> saved;
+  saved.reserve(reader.rows().size());
+  for (const auto& row : reader.rows()) {
+    BoflController::SavedObservation obs;
+    const double flat = parse(row[flat_col]);
+    BOFL_REQUIRE(flat >= 0.0, "negative config id in saved state");
+    obs.config_flat = static_cast<std::size_t>(flat);
+    obs.jobs = parse(row[jobs_col]);
+    obs.mean_energy = parse(row[energy_col]);
+    obs.mean_latency = parse(row[latency_col]);
+    saved.push_back(obs);
+  }
+  return saved;
+}
+
+}  // namespace bofl::core

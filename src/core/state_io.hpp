@@ -1,0 +1,26 @@
+// Persistence for the controller's learned state.
+//
+// FL tasks run for hundreds to thousands of rounds (§6.2 cites 500–10000);
+// edge devices reboot, apps get killed.  Saving the per-configuration
+// measurement aggregates lets a restarted client skip re-exploration: a
+// resumed BoFL controller with enough saved coverage goes straight to
+// exploitation.  The format is a plain CSV so operators can inspect and
+// edit profiles by hand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/bofl_controller.hpp"
+
+namespace bofl::core {
+
+/// Write `controller.export_state()` to a CSV file at `path`.
+void save_state(const BoflController& controller, const std::string& path);
+
+/// Load saved aggregates from `path` (throws std::invalid_argument on a
+/// missing or malformed file).
+[[nodiscard]] std::vector<BoflController::SavedObservation> load_state(
+    const std::string& path);
+
+}  // namespace bofl::core

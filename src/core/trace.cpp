@@ -1,0 +1,77 @@
+#include "core/trace.hpp"
+
+namespace bofl::core {
+
+Seconds RoundTrace::elapsed() const {
+  Seconds total{0.0};
+  for (const ConfigRun& run : runs) {
+    total += run.true_time;
+  }
+  return total;
+}
+
+Joules RoundTrace::energy() const {
+  Joules total{0.0};
+  for (const ConfigRun& run : runs) {
+    total += run.true_energy;
+  }
+  return total;
+}
+
+std::int64_t RoundTrace::jobs() const {
+  std::int64_t total = 0;
+  for (const ConfigRun& run : runs) {
+    total += run.jobs;
+  }
+  return total;
+}
+
+bool RoundTrace::deadline_met() const {
+  // Tolerance covers floating-point accumulation only, not real slack.
+  return elapsed().value() <= deadline.value() + 1e-9;
+}
+
+Joules TaskResult::total_training_energy() const {
+  Joules total{0.0};
+  for (const RoundTrace& round : rounds) {
+    total += round.energy();
+  }
+  return total;
+}
+
+Joules TaskResult::total_mbo_energy() const {
+  Joules total{0.0};
+  for (const RoundTrace& round : rounds) {
+    total += round.mbo_energy;
+  }
+  return total;
+}
+
+Seconds TaskResult::total_mbo_latency() const {
+  Seconds total{0.0};
+  for (const RoundTrace& round : rounds) {
+    total += round.mbo_latency;
+  }
+  return total;
+}
+
+bool TaskResult::all_deadlines_met() const {
+  for (const RoundTrace& round : rounds) {
+    if (!round.deadline_met()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::int64_t TaskResult::rounds_in_phase(Phase phase) const {
+  std::int64_t count = 0;
+  for (const RoundTrace& round : rounds) {
+    if (round.phase == phase) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace bofl::core

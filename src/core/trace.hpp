@@ -1,0 +1,59 @@
+// Execution traces: what a pace controller actually did in each round.
+// Every benchmark figure is rendered from these records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "device/frequency.hpp"
+
+namespace bofl::core {
+
+/// BoFL's operating phases (§4.1).  Baseline controllers report
+/// kExploitation for every round.
+enum class Phase {
+  kSafeRandomExploration = 1,
+  kParetoConstruction = 2,
+  kExploitation = 3,
+};
+
+/// A contiguous run of jobs under one configuration.
+struct ConfigRun {
+  device::DvfsConfig config;
+  std::int64_t jobs = 0;
+  Seconds true_time{0.0};
+  Joules true_energy{0.0};
+  bool exploratory = false;  ///< measured & recorded as an observation
+};
+
+/// Everything that happened in one training round.
+struct RoundTrace {
+  std::int64_t index = 0;
+  Seconds deadline{0.0};
+  Phase phase = Phase::kExploitation;
+  std::vector<ConfigRun> runs;
+  Seconds mbo_latency{0.0};  ///< MBO update cost (outside the round window)
+  Joules mbo_energy{0.0};
+  /// Flat ids of configurations newly explored in this round (Table 3).
+  std::vector<std::size_t> explored_flat_ids;
+
+  [[nodiscard]] Seconds elapsed() const;
+  [[nodiscard]] Joules energy() const;  ///< training energy (MBO excluded)
+  [[nodiscard]] std::int64_t jobs() const;
+  [[nodiscard]] bool deadline_met() const;
+};
+
+/// A full task execution (|T| rounds).
+struct TaskResult {
+  std::vector<RoundTrace> rounds;
+
+  [[nodiscard]] Joules total_training_energy() const;
+  [[nodiscard]] Joules total_mbo_energy() const;
+  [[nodiscard]] Seconds total_mbo_latency() const;
+  [[nodiscard]] bool all_deadlines_met() const;
+  /// Rounds spent in each phase.
+  [[nodiscard]] std::int64_t rounds_in_phase(Phase phase) const;
+};
+
+}  // namespace bofl::core

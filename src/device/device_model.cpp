@@ -1,0 +1,123 @@
+#include "device/device_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bofl::device {
+
+double UnitPowerModel::voltage(double rel) const {
+  BOFL_REQUIRE(rel >= 0.0 && rel <= 1.0, "relative frequency must be in [0,1]");
+  return v_min + (v_max - v_min) * std::pow(rel, gamma);
+}
+
+DeviceModel::DeviceModel(DeviceSpec spec, DvfsSpace space)
+    : spec_(std::move(spec)), space_(std::move(space)) {
+  BOFL_REQUIRE(spec_.cpu_scale > 0.0 && spec_.mem_scale > 0.0,
+               "throughput scales must be positive");
+  BOFL_REQUIRE(spec_.idle_power_watts >= 0.0,
+               "idle power must be non-negative");
+}
+
+double DeviceModel::gpu_scale_for(WorkloadClass c) const {
+  const auto it = spec_.gpu_class_scale.find(c);
+  BOFL_REQUIRE(it != spec_.gpu_class_scale.end(),
+               "device has no GPU scale for this workload class");
+  return it->second;
+}
+
+DeviceModel::BusyTimes DeviceModel::busy_times(const WorkloadProfile& profile,
+                                               const DvfsConfig& config) const {
+  BusyTimes t;
+  t.cpu = profile.cpu_work /
+          (space_.cpu_freq(config).value() * spec_.cpu_scale);
+  t.gpu = profile.gpu_work / (space_.gpu_freq(config).value() *
+                              gpu_scale_for(profile.workload_class));
+  t.mem = profile.mem_work /
+          (space_.mem_freq(config).value() * spec_.mem_scale);
+  const double serial = t.cpu + t.gpu + t.mem;
+  const double bottleneck = std::max({t.cpu, t.gpu, t.mem});
+  const double alpha = profile.serial_fraction;
+  t.total_latency = alpha * serial + (1.0 - alpha) * bottleneck;
+  return t;
+}
+
+Seconds DeviceModel::latency(const WorkloadProfile& profile,
+                             const DvfsConfig& config) const {
+  return Seconds{busy_times(profile, config).total_latency};
+}
+
+Watts DeviceModel::average_power(const WorkloadProfile& profile,
+                                 const DvfsConfig& config) const {
+  const BusyTimes t = busy_times(profile, config);
+  auto unit_power = [&](const UnitPowerModel& unit, const FrequencyTable& table,
+                        std::size_t step, double busy, double intensity) {
+    const double rel = table.normalized(step);
+    const double volt = unit.voltage(rel);
+    const double utilization = busy / t.total_latency;
+    return unit.kappa * intensity * table.at(step).value() * volt * volt *
+           utilization;
+  };
+  const double p =
+      spec_.idle_power_watts +
+      unit_power(spec_.cpu_power, space_.cpu_table(), config.cpu, t.cpu,
+                 profile.cpu_power_intensity) +
+      unit_power(spec_.gpu_power, space_.gpu_table(), config.gpu, t.gpu, 1.0) +
+      unit_power(spec_.mem_power, space_.mem_table(), config.mem, t.mem, 1.0);
+  return Watts{p};
+}
+
+Joules DeviceModel::energy(const WorkloadProfile& profile,
+                           const DvfsConfig& config) const {
+  return average_power(profile, config) * latency(profile, config);
+}
+
+Seconds DeviceModel::round_t_min(const WorkloadProfile& profile,
+                                 std::int64_t num_jobs) const {
+  BOFL_REQUIRE(num_jobs >= 0, "job count must be non-negative");
+  return latency(profile, space_.max_config()) *
+         static_cast<double>(num_jobs);
+}
+
+DeviceModel jetson_agx() {
+  DeviceSpec spec;
+  spec.name = "jetson-agx";
+  spec.cpu_scale = 1.0;
+  spec.mem_scale = 1.0;
+  // The AGX is the calibration reference: unit GPU throughput per class.
+  spec.gpu_class_scale = {{WorkloadClass::kTransformer, 1.0},
+                          {WorkloadClass::kCnn, 1.0},
+                          {WorkloadClass::kRnn, 1.0}};
+  spec.idle_power_watts = 4.5;
+  spec.cpu_power = {0.60, 1.10, 1.4, 7.28};
+  spec.gpu_power = {0.60, 1.10, 1.4, 7.84};
+  spec.mem_power = {0.60, 1.10, 1.4, 3.02};
+  DvfsSpace space{FrequencyTable::linear(0.4224, 2.2656, 25),
+                  FrequencyTable::linear(0.1147, 1.3770, 14),
+                  FrequencyTable::linear(0.2040, 2.1330, 6)};
+  return {std::move(spec), std::move(space)};
+}
+
+DeviceModel jetson_tx2() {
+  DeviceSpec spec;
+  spec.name = "jetson-tx2";
+  spec.cpu_scale = 0.45;
+  spec.mem_scale = 0.60;
+  // Pascal-generation GPU: strongest penalty on convolutions (no tensor
+  // cores), mildest on the host-bound RNN — reproduces Fig. 5's
+  // model-dependent speedups.
+  spec.gpu_class_scale = {{WorkloadClass::kTransformer, 0.43},
+                          {WorkloadClass::kCnn, 0.31},
+                          {WorkloadClass::kRnn, 0.55}};
+  spec.idle_power_watts = 3.0;
+  spec.cpu_power = {0.70, 1.15, 1.4, 4.13};
+  spec.gpu_power = {0.70, 1.15, 1.4, 3.33};
+  spec.mem_power = {0.70, 1.15, 1.4, 1.38};
+  DvfsSpace space{FrequencyTable::linear(0.3456, 2.0350, 12),
+                  FrequencyTable::linear(0.1147, 1.3005, 13),
+                  FrequencyTable::linear(0.4080, 1.8660, 6)};
+  return {std::move(spec), std::move(space)};
+}
+
+}  // namespace bofl::device

@@ -1,0 +1,114 @@
+// Analytical device model: latency and power of one training job as a
+// function of the DVFS configuration.
+//
+// This is the simulator standing in for the paper's Jetson AGX / TX2
+// testbeds (see DESIGN.md §2 for the substitution argument).  The model is
+// intentionally simple but produces the response-surface *shapes* the paper
+// measures in §2.2:
+//
+// Latency.  Each unit u ∈ {cpu, gpu, mem} contributes busy time
+//     t_u = work_u / (f_u · scale_u),
+// where scale_u is the device's per-clock throughput for that unit (the
+// GPU scale additionally depends on the workload class — newer
+// architectures accelerate CNNs more than RNNs, the paper's "hardware
+// dependence").  A serial fraction α of the work cannot overlap:
+//     T(x) = α · (t_cpu + t_gpu + t_mem) + (1 − α) · max(t_cpu, t_gpu, t_mem).
+// This yields the bottleneck saturation of Fig. 3(a) and the model-
+// dependent CPU-frequency response of Fig. 4(a).
+//
+// Power.  Per-unit dynamic power follows the classic f · V(f)^2 law with a
+// convex voltage/frequency curve V(rel) = v_min + (v_max − v_min) · rel^γ,
+// weighted by the unit's utilization t_u / T; a constant board idle power
+// covers leakage and the rest of the SoC:
+//     P(x) = P_idle + Σ_u κ_u · ι_u · f_u · V_u(f_u)^2 · (t_u / T).
+// Energy per job E(x) = P(x) · T(x) then decomposes into an idle term
+// P_idle · T (favouring fast clocks — race to idle) and dynamic terms
+// κ_u · ι_u · work_u · V_u^2 / scale_u (favouring slow clocks), whose sum
+// is the non-monotonic energy curve of Fig. 3(b)/4(b).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/units.hpp"
+#include "device/frequency.hpp"
+#include "device/workload.hpp"
+
+namespace bofl::device {
+
+/// Voltage/power parameters of one processing unit.
+struct UnitPowerModel {
+  double v_min = 0.6;   ///< rail voltage at the lowest table frequency [V]
+  double v_max = 1.1;   ///< rail voltage at the highest table frequency [V]
+  double gamma = 1.4;   ///< convexity of the V(f) curve
+  double kappa = 1.0;   ///< dynamic-power coefficient [W / (GHz · V^2)]
+
+  /// Rail voltage at relative frequency rel ∈ [0, 1].
+  [[nodiscard]] double voltage(double rel) const;
+};
+
+/// Full hardware description of one simulated device.
+struct DeviceSpec {
+  std::string name;
+  double cpu_scale = 1.0;  ///< per-clock CPU throughput vs the AGX reference
+  double mem_scale = 1.0;  ///< per-clock memory throughput vs reference
+  /// Per-clock GPU throughput by workload class (architecture affinity).
+  std::map<WorkloadClass, double> gpu_class_scale;
+  double idle_power_watts = 6.0;
+  UnitPowerModel cpu_power;
+  UnitPowerModel gpu_power;
+  UnitPowerModel mem_power;
+};
+
+/// Ground-truth performance oracle for one device.  All values are exact
+/// (noise-free); measurement noise is added by the PowerSensor /
+/// PerformanceObserver layer.
+class DeviceModel {
+ public:
+  DeviceModel(DeviceSpec spec, DvfsSpace space);
+
+  [[nodiscard]] const std::string& name() const { return spec_.name; }
+  [[nodiscard]] const DvfsSpace& space() const { return space_; }
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+
+  /// T(x): exact latency of one job (one minibatch) under `config`.
+  [[nodiscard]] Seconds latency(const WorkloadProfile& profile,
+                                const DvfsConfig& config) const;
+
+  /// Average power draw while running `profile` under `config`.
+  [[nodiscard]] Watts average_power(const WorkloadProfile& profile,
+                                    const DvfsConfig& config) const;
+
+  /// E(x) = P(x) · T(x): exact energy of one job under `config`.
+  [[nodiscard]] Joules energy(const WorkloadProfile& profile,
+                              const DvfsConfig& config) const;
+
+  /// T_min of a round of `num_jobs` jobs: latency at x_max times the job
+  /// count (the paper's Table 2 definition).
+  [[nodiscard]] Seconds round_t_min(const WorkloadProfile& profile,
+                                    std::int64_t num_jobs) const;
+
+ private:
+  struct BusyTimes {
+    double cpu = 0.0;
+    double gpu = 0.0;
+    double mem = 0.0;
+    double total_latency = 0.0;
+  };
+  [[nodiscard]] BusyTimes busy_times(const WorkloadProfile& profile,
+                                     const DvfsConfig& config) const;
+  [[nodiscard]] double gpu_scale_for(WorkloadClass c) const;
+
+  DeviceSpec spec_;
+  DvfsSpace space_;
+};
+
+/// The Jetson AGX Xavier testbed (Table 1): CPU 0.42–2.26 GHz × 25 steps,
+/// GPU 0.11–1.38 GHz × 14 steps, MEM 0.20–2.13 GHz × 6 steps; 2100 configs.
+[[nodiscard]] DeviceModel jetson_agx();
+
+/// The Jetson TX2 testbed (Table 1): CPU 0.34–2.03 GHz × 12 steps,
+/// GPU 0.11–1.30 GHz × 13 steps, MEM 0.41–1.87 GHz × 6 steps; 936 configs.
+[[nodiscard]] DeviceModel jetson_tx2();
+
+}  // namespace bofl::device

@@ -1,0 +1,127 @@
+#include "device/frequency.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bofl::device {
+
+FrequencyTable FrequencyTable::linear(double min_ghz, double max_ghz,
+                                      std::size_t steps) {
+  BOFL_REQUIRE(steps >= 1, "a frequency table needs at least one step");
+  BOFL_REQUIRE(min_ghz > 0.0 && max_ghz >= min_ghz,
+               "need 0 < min_ghz <= max_ghz");
+  std::vector<GigaHertz> freqs;
+  freqs.reserve(steps);
+  if (steps == 1) {
+    freqs.emplace_back(max_ghz);
+  } else {
+    const double delta = (max_ghz - min_ghz) / static_cast<double>(steps - 1);
+    for (std::size_t i = 0; i < steps; ++i) {
+      freqs.emplace_back(min_ghz + delta * static_cast<double>(i));
+    }
+  }
+  return FrequencyTable(std::move(freqs));
+}
+
+FrequencyTable::FrequencyTable(std::vector<GigaHertz> frequencies)
+    : frequencies_(std::move(frequencies)) {
+  BOFL_REQUIRE(!frequencies_.empty(), "frequency table cannot be empty");
+  for (std::size_t i = 1; i < frequencies_.size(); ++i) {
+    BOFL_REQUIRE(frequencies_[i - 1] < frequencies_[i],
+                 "frequency table must be strictly increasing");
+  }
+  BOFL_REQUIRE(frequencies_.front().value() > 0.0,
+               "frequencies must be positive");
+}
+
+GigaHertz FrequencyTable::at(std::size_t index) const {
+  BOFL_REQUIRE(index < frequencies_.size(), "frequency step out of range");
+  return frequencies_[index];
+}
+
+std::size_t FrequencyTable::nearest_index(GigaHertz freq) const {
+  std::size_t best = 0;
+  double best_distance = std::abs(frequencies_[0].value() - freq.value());
+  for (std::size_t i = 1; i < frequencies_.size(); ++i) {
+    const double distance = std::abs(frequencies_[i].value() - freq.value());
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double FrequencyTable::normalized(std::size_t index) const {
+  const double lo = min().value();
+  const double hi = max().value();
+  if (hi == lo) {
+    return 1.0;
+  }
+  return (at(index).value() - lo) / (hi - lo);
+}
+
+DvfsSpace::DvfsSpace(FrequencyTable cpu, FrequencyTable gpu,
+                     FrequencyTable mem)
+    : cpu_(std::move(cpu)), gpu_(std::move(gpu)), mem_(std::move(mem)) {}
+
+std::size_t DvfsSpace::size() const {
+  return cpu_.size() * gpu_.size() * mem_.size();
+}
+
+std::size_t DvfsSpace::to_flat(const DvfsConfig& config) const {
+  BOFL_REQUIRE(config.cpu < cpu_.size() && config.gpu < gpu_.size() &&
+                   config.mem < mem_.size(),
+               "DVFS configuration out of range");
+  return (config.cpu * gpu_.size() + config.gpu) * mem_.size() + config.mem;
+}
+
+DvfsConfig DvfsSpace::from_flat(std::size_t flat) const {
+  BOFL_REQUIRE(flat < size(), "flat DVFS index out of range");
+  DvfsConfig config;
+  config.mem = flat % mem_.size();
+  flat /= mem_.size();
+  config.gpu = flat % gpu_.size();
+  config.cpu = flat / gpu_.size();
+  return config;
+}
+
+GigaHertz DvfsSpace::cpu_freq(const DvfsConfig& c) const {
+  return cpu_.at(c.cpu);
+}
+GigaHertz DvfsSpace::gpu_freq(const DvfsConfig& c) const {
+  return gpu_.at(c.gpu);
+}
+GigaHertz DvfsSpace::mem_freq(const DvfsConfig& c) const {
+  return mem_.at(c.mem);
+}
+
+DvfsConfig DvfsSpace::max_config() const {
+  return {cpu_.size() - 1, gpu_.size() - 1, mem_.size() - 1};
+}
+
+linalg::Vector DvfsSpace::normalized(const DvfsConfig& config) const {
+  return {cpu_.normalized(config.cpu), gpu_.normalized(config.gpu),
+          mem_.normalized(config.mem)};
+}
+
+std::vector<linalg::Vector> DvfsSpace::all_normalized() const {
+  std::vector<linalg::Vector> points;
+  points.reserve(size());
+  for (std::size_t flat = 0; flat < size(); ++flat) {
+    points.push_back(normalized(from_flat(flat)));
+  }
+  return points;
+}
+
+std::string DvfsSpace::describe(const DvfsConfig& config) const {
+  std::ostringstream os;
+  os.precision(3);
+  os << "cpu=" << cpu_freq(config) << " gpu=" << gpu_freq(config)
+     << " mem=" << mem_freq(config);
+  return os.str();
+}
+
+}  // namespace bofl::device

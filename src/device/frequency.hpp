@@ -1,0 +1,92 @@
+// Discrete DVFS frequency tables and the 3-axis configuration lattice.
+//
+// Mirrors the paper's Table 1: each processing unit (CPU, GPU, memory
+// controller) exposes a fixed table of operational frequencies; a DVFS
+// configuration x ∈ X = F_CPU × F_GPU × F_MC picks one step per axis.
+// Jetson AGX has 25 × 14 × 6 = 2100 configurations, TX2 has 936.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bofl::device {
+
+/// A sorted table of discrete operational frequencies for one unit.
+class FrequencyTable {
+ public:
+  /// `steps` evenly spaced frequencies spanning [min_ghz, max_ghz].
+  static FrequencyTable linear(double min_ghz, double max_ghz,
+                               std::size_t steps);
+
+  /// Explicit table; must be non-empty and strictly increasing.
+  explicit FrequencyTable(std::vector<GigaHertz> frequencies);
+
+  [[nodiscard]] std::size_t size() const { return frequencies_.size(); }
+  [[nodiscard]] GigaHertz at(std::size_t index) const;
+  [[nodiscard]] GigaHertz min() const { return frequencies_.front(); }
+  [[nodiscard]] GigaHertz max() const { return frequencies_.back(); }
+
+  /// Index of the table entry nearest to `freq` (ties resolve downward).
+  [[nodiscard]] std::size_t nearest_index(GigaHertz freq) const;
+
+  /// Normalize a step to [0, 1] by frequency value (not by index), which
+  /// is the smoother coordinate for the GP surrogate.
+  [[nodiscard]] double normalized(std::size_t index) const;
+
+ private:
+  std::vector<GigaHertz> frequencies_;
+};
+
+/// One point of the DVFS lattice, as indices into the three tables.
+struct DvfsConfig {
+  std::size_t cpu = 0;
+  std::size_t gpu = 0;
+  std::size_t mem = 0;
+
+  friend bool operator==(const DvfsConfig&, const DvfsConfig&) = default;
+};
+
+/// The full 3-axis configuration space X of one device.
+class DvfsSpace {
+ public:
+  DvfsSpace(FrequencyTable cpu, FrequencyTable gpu, FrequencyTable mem);
+
+  [[nodiscard]] const FrequencyTable& cpu_table() const { return cpu_; }
+  [[nodiscard]] const FrequencyTable& gpu_table() const { return gpu_; }
+  [[nodiscard]] const FrequencyTable& mem_table() const { return mem_; }
+
+  /// Total number of configurations |X|.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Flat index <-> lattice coordinates (row-major: cpu, gpu, mem).
+  [[nodiscard]] std::size_t to_flat(const DvfsConfig& config) const;
+  [[nodiscard]] DvfsConfig from_flat(std::size_t flat) const;
+
+  [[nodiscard]] GigaHertz cpu_freq(const DvfsConfig& c) const;
+  [[nodiscard]] GigaHertz gpu_freq(const DvfsConfig& c) const;
+  [[nodiscard]] GigaHertz mem_freq(const DvfsConfig& c) const;
+
+  /// x_max — all three units at their highest step (the paper's guardian
+  /// and Performant configuration).
+  [[nodiscard]] DvfsConfig max_config() const;
+
+  /// Unit-cube coordinates of a configuration for the GP surrogate.
+  [[nodiscard]] linalg::Vector normalized(const DvfsConfig& config) const;
+
+  /// Every configuration's unit-cube coordinates, indexed by flat index.
+  [[nodiscard]] std::vector<linalg::Vector> all_normalized() const;
+
+  /// Human-readable "cpu=2.26GHz gpu=1.38GHz mem=2.13GHz".
+  [[nodiscard]] std::string describe(const DvfsConfig& config) const;
+
+ private:
+  FrequencyTable cpu_;
+  FrequencyTable gpu_;
+  FrequencyTable mem_;
+};
+
+}  // namespace bofl::device

@@ -1,0 +1,136 @@
+#include "device/observer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bofl::device {
+
+void SimClock::advance(Seconds delta) {
+  BOFL_REQUIRE(delta.value() >= 0.0, "time cannot move backwards");
+  now_ += delta;
+}
+
+double NoiseModel::effective_cv(double base_cv, double duration) const {
+  BOFL_REQUIRE(duration > 0.0, "measurement duration must be positive");
+  const double amplification = std::min(
+      std::sqrt(reference_duration / duration), max_amplification);
+  return base_cv * std::max(amplification, 1.0);
+}
+
+ThermalState::ThermalState(const ThermalParams& params)
+    : params_(params), temperature_c_(params.ambient_c) {
+  BOFL_REQUIRE(params.time_constant_s > 0.0,
+               "thermal time constant must be positive");
+  BOFL_REQUIRE(params.throttle_cap > 0.0 && params.throttle_cap <= 1.0,
+               "throttle cap must be in (0, 1]");
+  BOFL_REQUIRE(params.thermal_resistance_c_per_w >= 0.0,
+               "thermal resistance must be non-negative");
+}
+
+void ThermalState::advance(Watts power, Seconds duration) {
+  BOFL_REQUIRE(duration.value() >= 0.0, "duration must be non-negative");
+  // First-order RC: T' = T_inf + (T - T_inf) * exp(-dt / tau).
+  const double steady =
+      params_.ambient_c + params_.thermal_resistance_c_per_w * power.value();
+  const double decay = std::exp(-duration.value() / params_.time_constant_s);
+  temperature_c_ = steady + (temperature_c_ - steady) * decay;
+}
+
+bool ThermalState::throttled() const {
+  return temperature_c_ >= params_.throttle_temp_c;
+}
+
+DvfsConfig ThermalState::effective_config(const DvfsSpace& space,
+                                          const DvfsConfig& requested) const {
+  if (!throttled()) {
+    return requested;
+  }
+  const auto cap = [&](std::size_t index, std::size_t table_size) {
+    const auto limit = static_cast<std::size_t>(
+        params_.throttle_cap * static_cast<double>(table_size - 1));
+    return std::min(index, limit);
+  };
+  return {cap(requested.cpu, space.cpu_table().size()),
+          cap(requested.gpu, space.gpu_table().size()),
+          cap(requested.mem, space.mem_table().size())};
+}
+
+PowerSensor::PowerSensor(NoiseModel noise, Rng rng)
+    : noise_(noise), rng_(rng) {}
+
+Joules PowerSensor::read_energy(Joules true_energy, Seconds duration) {
+  const double cv = noise_.effective_cv(noise_.energy_cv, duration.value());
+  return Joules{true_energy.value() * rng_.lognormal_mean1(cv)};
+}
+
+PerformanceObserver::PerformanceObserver(const DeviceModel& model,
+                                         NoiseModel noise, std::uint64_t seed)
+    : model_(model), noise_(noise), rng_(seed), sensor_(noise, rng_.split()) {
+  BOFL_REQUIRE(noise.spike_probability >= 0.0 && noise.spike_probability < 1.0,
+               "spike probability must be in [0, 1)");
+  BOFL_REQUIRE(noise.spike_magnitude >= 1.0,
+               "a latency spike cannot speed a job up");
+  if (noise_.thermal) {
+    thermal_.emplace(*noise_.thermal);
+  }
+}
+
+void PerformanceObserver::enable_thermal(const ThermalParams& params) {
+  thermal_.emplace(params);
+}
+
+Measurement PerformanceObserver::run_jobs(const WorkloadProfile& profile,
+                                          const DvfsConfig& config,
+                                          std::int64_t count,
+                                          SimClock& clock) {
+  BOFL_REQUIRE(count > 0, "must run at least one job");
+  Measurement m;
+  m.jobs = count;
+
+  const bool job_level =
+      noise_.spike_probability > 0.0 || thermal_.has_value();
+  if (!job_level) {
+    // Fast path: every job is identical.
+    const Seconds per_job_latency = model_.latency(profile, config);
+    const Joules per_job_energy = model_.energy(profile, config);
+    const auto jobs = static_cast<double>(count);
+    m.true_duration = per_job_latency * jobs;
+    m.true_energy = per_job_energy * jobs;
+  } else {
+    // Disturbed path: spikes and/or thermal throttling vary per job.
+    for (std::int64_t j = 0; j < count; ++j) {
+      DvfsConfig effective = config;
+      if (thermal_) {
+        effective = thermal_->effective_config(model_.space(), config);
+      }
+      double latency = model_.latency(profile, effective).value();
+      double energy = model_.energy(profile, effective).value();
+      if (noise_.spike_probability > 0.0 &&
+          rng_.bernoulli(noise_.spike_probability)) {
+        // The device stays busy for the whole spike.
+        latency *= noise_.spike_magnitude;
+        energy *= noise_.spike_magnitude;
+      }
+      m.true_duration += Seconds{latency};
+      m.true_energy += Joules{energy};
+      if (thermal_) {
+        thermal_->advance(Joules{energy} / Seconds{latency},
+                          Seconds{latency});
+      }
+    }
+  }
+  clock.advance(m.true_duration);
+
+  const auto jobs = static_cast<double>(count);
+  const double latency_cv =
+      noise_.effective_cv(noise_.latency_cv, m.true_duration.value());
+  m.measured_latency = Seconds{m.true_duration.value() / jobs *
+                               rng_.lognormal_mean1(latency_cv)};
+  m.measured_energy =
+      sensor_.read_energy(m.true_energy, m.true_duration) / jobs;
+  return m;
+}
+
+}  // namespace bofl::device

@@ -1,0 +1,86 @@
+#include "fl/client.hpp"
+
+#include "common/error.hpp"
+
+namespace bofl::fl {
+
+Client::Client(std::size_t id, nn::Dataset shard, ModelFactory factory,
+               double learning_rate, std::int64_t minibatch_size,
+               std::unique_ptr<core::PaceController> controller)
+    : id_(id),
+      shard_(std::move(shard)),
+      model_(factory()),
+      optimizer_(learning_rate),
+      minibatch_size_(minibatch_size),
+      controller_(std::move(controller)) {
+  BOFL_REQUIRE(minibatch_size_ > 0, "minibatch size must be positive");
+  BOFL_REQUIRE(shard_.size() >= static_cast<std::size_t>(minibatch_size_),
+               "shard smaller than one minibatch");
+  BOFL_REQUIRE(controller_ != nullptr, "client needs a pace controller");
+}
+
+std::int64_t Client::num_minibatches() const {
+  return static_cast<std::int64_t>(shard_.size()) / minibatch_size_;
+}
+
+LocalUpdate Client::train_round(const std::vector<float>& global,
+                                std::int64_t epochs,
+                                const core::RoundSpec& round) {
+  BOFL_REQUIRE(epochs > 0, "need at least one epoch");
+  model_.set_flat_parameters(global);
+
+  // Learning: real minibatch SGD on the shard.
+  nn::SoftmaxCrossEntropy loss;
+  double loss_sum = 0.0;
+  std::int64_t steps = 0;
+  const std::int64_t batches = num_minibatches();
+  for (std::int64_t epoch = 0; epoch < epochs; ++epoch) {
+    for (std::int64_t b = 0; b < batches; ++b) {
+      const nn::Dataset batch =
+          shard_.slice(static_cast<std::size_t>(b * minibatch_size_),
+                       static_cast<std::size_t>(minibatch_size_));
+      model_.zero_gradients();
+      const nn::Tensor logits = model_.forward(batch.features);
+      loss_sum += loss.forward(logits, batch.labels);
+      model_.backward(loss.backward());
+      optimizer_.step(model_);
+      ++steps;
+    }
+  }
+
+  // Pacing: the same job count, accounted by the controller against the
+  // round deadline.
+  core::RoundSpec pace_round = round;
+  pace_round.num_jobs = steps;
+  LocalUpdate update;
+  update.client_id = id_;
+  update.pace_trace = controller_->run_round(pace_round);
+  update.parameters = model_.get_flat_parameters();
+  update.num_examples = steps * minibatch_size_;
+  update.mean_loss = loss_sum / static_cast<double>(steps);
+  return update;
+}
+
+Evaluation evaluate(nn::Sequential& model, const nn::Dataset& data,
+                    std::int64_t minibatch_size) {
+  BOFL_REQUIRE(minibatch_size > 0, "minibatch size must be positive");
+  nn::SoftmaxCrossEntropy loss;
+  double loss_sum = 0.0;
+  double accuracy_sum = 0.0;
+  std::int64_t batches = 0;
+  const auto n = static_cast<std::int64_t>(data.size());
+  for (std::int64_t begin = 0; begin + minibatch_size <= n;
+       begin += minibatch_size) {
+    const nn::Dataset batch = data.slice(static_cast<std::size_t>(begin),
+                                         static_cast<std::size_t>(minibatch_size));
+    const nn::Tensor logits = model.forward(batch.features);
+    loss_sum += loss.forward(logits, batch.labels);
+    accuracy_sum += nn::accuracy(loss.predictions(), batch.labels);
+    ++batches;
+  }
+  BOFL_REQUIRE(batches > 0, "evaluation set smaller than one minibatch");
+  return {loss_sum / static_cast<double>(batches),
+          accuracy_sum / static_cast<double>(batches)};
+}
+
+}  // namespace bofl::fl

@@ -1,0 +1,62 @@
+#include "fl/network.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bofl::fl {
+
+NetworkModel::NetworkModel(double mean_mbps, double cv, std::uint64_t seed)
+    : mean_mbps_(mean_mbps), cv_(cv), rng_(seed) {
+  BOFL_REQUIRE(mean_mbps > 0.0, "mean bandwidth must be positive");
+  BOFL_REQUIRE(cv >= 0.0, "bandwidth CV must be non-negative");
+}
+
+Seconds NetworkModel::transfer_time(double payload_bits) {
+  BOFL_REQUIRE(payload_bits > 0.0, "payload must be positive");
+  last_throughput_mbps_ = mean_mbps_ * rng_.lognormal_mean1(cv_);
+  return Seconds{payload_bits / (last_throughput_mbps_ * 1e6)};
+}
+
+BandwidthEstimator::BandwidthEstimator(double initial_mbps, double smoothing)
+    : estimate_mbps_(initial_mbps), smoothing_(smoothing) {
+  BOFL_REQUIRE(initial_mbps > 0.0, "initial bandwidth must be positive");
+  BOFL_REQUIRE(smoothing > 0.0 && smoothing <= 1.0,
+               "EWMA smoothing must be in (0, 1]");
+}
+
+void BandwidthEstimator::record_transfer(double payload_bits,
+                                         Seconds duration) {
+  BOFL_REQUIRE(payload_bits > 0.0 && duration.value() > 0.0,
+               "transfers need positive size and duration");
+  const double observed_mbps = payload_bits / (duration.value() * 1e6);
+  estimate_mbps_ =
+      (1.0 - smoothing_) * estimate_mbps_ + smoothing_ * observed_mbps;
+  ++samples_;
+}
+
+ReportingDeadlineAdapter::ReportingDeadlineAdapter(
+    double model_bits, BandwidthEstimator estimator, double safety_factor)
+    : model_bits_(model_bits),
+      estimator_(estimator),
+      safety_factor_(safety_factor) {
+  BOFL_REQUIRE(model_bits > 0.0, "model size must be positive");
+  BOFL_REQUIRE(safety_factor >= 1.0, "safety factor must be >= 1");
+}
+
+Seconds ReportingDeadlineAdapter::predicted_upload() const {
+  return Seconds{model_bits_ / (estimator_.estimate_mbps() * 1e6)};
+}
+
+Seconds ReportingDeadlineAdapter::training_deadline(
+    Seconds reporting_deadline) const {
+  const double training = reporting_deadline.value() -
+                          safety_factor_ * predicted_upload().value();
+  return Seconds{std::max(training, 0.0)};
+}
+
+void ReportingDeadlineAdapter::record_upload(Seconds duration) {
+  estimator_.record_transfer(model_bits_, duration);
+}
+
+}  // namespace bofl::fl

@@ -1,0 +1,102 @@
+// Network substrate: simulated client uplink and the reporting-deadline
+// adapter (paper §3.1, footnote 3).
+//
+// The FL literature uses two deadline styles: (1) a *training* deadline by
+// which gradients must be computed — what BoFL consumes — and (2) a
+// *reporting* deadline by which the server must have received the update,
+// which additionally covers the model upload.  The paper notes BoFL "can
+// be easily extended to work well with a network bandwidth measurement
+// module that can infer its training deadlines from the reporting
+// deadlines"; this module is that extension:
+//
+//   * NetworkModel — a simulated wireless uplink with a mean bandwidth and
+//     lognormal per-transfer variation (think 4G LTE: the paper's §6.5
+//     example assumes ~5 Mbps for a 51.2 Mb ResNet50 upload).
+//   * BandwidthEstimator — an EWMA over observed transfer rates, the
+//     "bandwidth measurement module".
+//   * ReportingDeadlineAdapter — converts a reporting deadline into a safe
+//     training deadline by subtracting the predicted upload time with a
+//     configurable safety factor, and feeds completed transfers back into
+//     the estimator.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace bofl::fl {
+
+/// A simulated uplink: draws per-transfer throughput around a mean.
+class NetworkModel {
+ public:
+  /// `mean_mbps` is the long-run average uplink throughput in megabits per
+  /// second; `cv` the per-transfer coefficient of variation.
+  NetworkModel(double mean_mbps, double cv, std::uint64_t seed);
+
+  /// Time to upload `payload_bits` on a fresh throughput draw.
+  [[nodiscard]] Seconds transfer_time(double payload_bits);
+
+  /// The throughput used by the most recent transfer [Mbps].
+  [[nodiscard]] double last_throughput_mbps() const {
+    return last_throughput_mbps_;
+  }
+
+  [[nodiscard]] double mean_mbps() const { return mean_mbps_; }
+
+ private:
+  double mean_mbps_;
+  double cv_;
+  Rng rng_;
+  double last_throughput_mbps_ = 0.0;
+};
+
+/// EWMA throughput estimator fed by observed (bits, seconds) transfers.
+class BandwidthEstimator {
+ public:
+  /// `initial_mbps` seeds the estimate before any observation;
+  /// `smoothing` in (0, 1] is the EWMA weight of a new sample.
+  BandwidthEstimator(double initial_mbps, double smoothing = 0.3);
+
+  void record_transfer(double payload_bits, Seconds duration);
+
+  [[nodiscard]] double estimate_mbps() const { return estimate_mbps_; }
+  [[nodiscard]] std::size_t num_samples() const { return samples_; }
+
+ private:
+  double estimate_mbps_;
+  double smoothing_;
+  std::size_t samples_ = 0;
+};
+
+/// Derives training deadlines from reporting deadlines.
+class ReportingDeadlineAdapter {
+ public:
+  /// `model_bits` is the update payload (e.g. ResNet50 ~ 51.2e6 bits);
+  /// `safety_factor` inflates the predicted upload time (>= 1) to absorb
+  /// bandwidth dips.
+  ReportingDeadlineAdapter(double model_bits, BandwidthEstimator estimator,
+                           double safety_factor = 1.25);
+
+  /// Training deadline = reporting deadline - safety * predicted upload.
+  /// Never returns a negative duration (clamped at zero: an impossible
+  /// round the controller will treat as guardian-infeasible).
+  [[nodiscard]] Seconds training_deadline(Seconds reporting_deadline) const;
+
+  /// Predicted upload time at the current bandwidth estimate.
+  [[nodiscard]] Seconds predicted_upload() const;
+
+  /// Feed back a completed upload so the estimate tracks the link.
+  void record_upload(Seconds duration);
+
+  [[nodiscard]] const BandwidthEstimator& estimator() const {
+    return estimator_;
+  }
+
+ private:
+  double model_bits_;
+  BandwidthEstimator estimator_;
+  double safety_factor_;
+};
+
+}  // namespace bofl::fl

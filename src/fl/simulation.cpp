@@ -1,0 +1,261 @@
+#include "fl/simulation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/bofl_controller.hpp"
+#include "core/linear_controller.hpp"
+#include "core/oracle_controller.hpp"
+#include "core/performant_controller.hpp"
+
+namespace bofl::fl {
+
+const char* to_string(DeadlinePolicyKind kind) {
+  switch (kind) {
+    case DeadlinePolicyKind::kUniformSlack:
+      return "uniform-slack";
+    case DeadlinePolicyKind::kStaticTimeout:
+      return "static-timeout";
+    case DeadlinePolicyKind::kAdaptiveSlack:
+      return "adaptive-slack";
+  }
+  return "unknown";
+}
+
+const char* to_string(ControllerKind kind) {
+  switch (kind) {
+    case ControllerKind::kBofl:
+      return "BoFL";
+    case ControllerKind::kPerformant:
+      return "Performant";
+    case ControllerKind::kOracle:
+      return "Oracle";
+    case ControllerKind::kLinear:
+      return "LinearModel";
+  }
+  return "unknown";
+}
+
+Joules FlSimulationResult::total_energy() const {
+  Joules total{0.0};
+  for (const FlRoundStats& r : rounds) {
+    total += r.energy;
+  }
+  return total;
+}
+
+double FlSimulationResult::final_accuracy() const {
+  return rounds.empty() ? 0.0 : rounds.back().global_accuracy;
+}
+
+std::size_t FlSimulationResult::total_dropped_updates() const {
+  std::size_t dropped = 0;
+  for (const FlRoundStats& r : rounds) {
+    dropped += r.participants - r.accepted;
+  }
+  return dropped;
+}
+
+FederatedSimulation::FederatedSimulation(const device::DeviceModel& model,
+                                         FlSimulationConfig config)
+    : FederatedSimulation(std::vector<const device::DeviceModel*>{&model},
+                          std::move(config)) {}
+
+FederatedSimulation::FederatedSimulation(
+    std::vector<const device::DeviceModel*> devices, FlSimulationConfig config)
+    : devices_(std::move(devices)), config_(std::move(config)) {
+  BOFL_REQUIRE(!devices_.empty(), "need at least one device model");
+  for (const device::DeviceModel* model : devices_) {
+    BOFL_REQUIRE(model != nullptr, "device models must be non-null");
+  }
+  BOFL_REQUIRE(config_.clients_per_round >= 1 &&
+                   config_.clients_per_round <= config_.num_clients,
+               "participants per round must be in [1, num_clients]");
+  BOFL_REQUIRE(config_.rounds >= 1, "need at least one round");
+}
+
+std::unique_ptr<core::PaceController> FederatedSimulation::make_controller(
+    const device::DeviceModel& model, std::uint64_t seed,
+    Seconds round_t_min) const {
+  const device::NoiseModel noise;
+  switch (config_.controller) {
+    case ControllerKind::kBofl: {
+      core::BoflOptions options = config_.bofl_options;
+      options.mbo_cost = core::mbo_cost_for_device(model.name());
+      if (config_.auto_scale_tau) {
+        // Keep the reference measurement duration meaningfully smaller than
+        // a round so small fleet shards can still explore.
+        options.tau = Seconds{std::min(options.tau.value(),
+                                       round_t_min.value() / 8.0)};
+      }
+      return std::make_unique<core::BoflController>(model, config_.profile,
+                                                    noise, options, seed);
+    }
+    case ControllerKind::kPerformant:
+      return std::make_unique<core::PerformantController>(
+          model, config_.profile, noise, seed);
+    case ControllerKind::kOracle:
+      return std::make_unique<core::OracleController>(model, config_.profile,
+                                                      noise, seed);
+    case ControllerKind::kLinear:
+      return std::make_unique<core::LinearModelController>(
+          model, config_.profile, noise, seed);
+  }
+  BOFL_ASSERT(false, "unreachable controller kind");
+}
+
+FlSimulationResult FederatedSimulation::run() {
+  BOFL_REQUIRE(config_.dropout_probability >= 0.0 &&
+                   config_.dropout_probability < 1.0,
+               "dropout probability must be in [0, 1)");
+  Rng rng(config_.seed);
+  Rng dropout_rng(config_.seed ^ 0xD0D0ULL);
+
+  // Build the client pool: per-client non-IID shards, shared architecture.
+  const auto factory = [&]() {
+    Rng model_rng(config_.seed ^ 0xA11CE5ULL);  // identical init everywhere
+    if (config_.model == FleetModel::kLstm) {
+      return nn::make_lstm_classifier(config_.feature_dim, config_.hidden,
+                                      config_.classes, model_rng);
+    }
+    return nn::make_mlp_classifier(config_.feature_dim, config_.hidden,
+                                   config_.depth, config_.classes, model_rng);
+  };
+  const auto make_shard = [&](std::uint64_t seed, double skew) {
+    if (config_.model == FleetModel::kLstm) {
+      return nn::make_sequences(config_.shard_examples, config_.sequence_length,
+                                config_.feature_dim, config_.classes, seed);
+    }
+    return nn::make_classification(config_.shard_examples, config_.feature_dim,
+                                   config_.classes, seed, /*noise=*/0.8, skew);
+  };
+
+  const std::int64_t minibatches_per_client =
+      static_cast<std::int64_t>(config_.shard_examples) /
+      config_.minibatch_size;
+  const std::int64_t jobs_per_round =
+      minibatches_per_client * config_.epochs;
+
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<Seconds> client_t_min;
+  clients.reserve(config_.num_clients);
+  client_t_min.reserve(config_.num_clients);
+  for (std::size_t c = 0; c < config_.num_clients; ++c) {
+    const device::DeviceModel& model = *devices_[c % devices_.size()];
+    const Seconds t_min_c =
+        model.round_t_min(config_.profile, jobs_per_round);
+    client_t_min.push_back(t_min_c);
+    clients.push_back(std::make_unique<Client>(
+        c, make_shard(config_.seed * 7919 + c, config_.shard_skew), factory,
+        config_.learning_rate, config_.minibatch_size,
+        make_controller(model, config_.seed * 104729 + c, t_min_c)));
+  }
+  // Deadline floor when every client could be selected (used by the static
+  // timeout policy, which cannot react per cohort).
+  Seconds t_min{0.0};
+  for (const Seconds t : client_t_min) {
+    t_min = std::max(t_min, t);
+  }
+
+  // Held-out IID test set for global evaluation.
+  const nn::Dataset test =
+      make_shard(config_.seed ^ 0x7E57ULL, /*skew=*/0.0);
+  nn::Sequential eval_model = factory();
+
+  FedAvgServer server(eval_model.get_flat_parameters());
+
+  // Server deadline policy (fl/deadline_policy.hpp).
+  std::unique_ptr<DeadlinePolicy> policy;
+  switch (config_.deadline_policy) {
+    case DeadlinePolicyKind::kUniformSlack:
+      policy = std::make_unique<UniformSlackPolicy>(
+          config_.deadline_ratio, config_.seed ^ 0xDEAD11ULL);
+      break;
+    case DeadlinePolicyKind::kStaticTimeout:
+      policy = std::make_unique<StaticTimeoutPolicy>(
+          t_min * config_.static_timeout_slack);
+      break;
+    case DeadlinePolicyKind::kAdaptiveSlack:
+      policy = std::make_unique<AdaptiveSlackPolicy>(config_.adaptive_slack);
+      break;
+  }
+
+  // Reporting-deadline plumbing: per-client uplink + bandwidth estimator.
+  const double model_bits =
+      static_cast<double>(eval_model.num_parameters()) * 32.0;
+  const double nominal_upload_seconds =
+      config_.reporting_deadline_mode
+          ? model_bits / (config_.uplink_mbps * 1e6)
+          : 0.0;
+  std::vector<NetworkModel> uplinks;
+  std::vector<ReportingDeadlineAdapter> adapters;
+  if (config_.reporting_deadline_mode) {
+    for (std::size_t c = 0; c < config_.num_clients; ++c) {
+      uplinks.emplace_back(config_.uplink_mbps, config_.uplink_cv,
+                           config_.seed * 31 + c);
+      adapters.emplace_back(
+          model_bits, BandwidthEstimator(config_.uplink_mbps),
+          config_.upload_safety_factor);
+    }
+  }
+
+  FlSimulationResult result;
+  result.rounds.reserve(static_cast<std::size_t>(config_.rounds));
+  for (std::int64_t round = 0; round < config_.rounds; ++round) {
+    const std::vector<std::size_t> participants = server.select_participants(
+        config_.num_clients, config_.clients_per_round, rng);
+    // The deadline must be feasible for the slowest selected participant;
+    // in reporting mode it must also cover the upload.
+    Seconds cohort_t_min{0.0};
+    for (std::size_t id : participants) {
+      cohort_t_min = std::max(cohort_t_min, client_t_min[id]);
+    }
+    const Seconds cohort_floor =
+        cohort_t_min +
+        Seconds{config_.upload_safety_factor * nominal_upload_seconds};
+    const Seconds server_deadline = policy->assign(round, cohort_floor);
+
+    std::vector<LocalUpdate> updates;
+    updates.reserve(participants.size());
+    FlRoundStats stats;
+    stats.round = round;
+    stats.participants = participants.size();
+    stats.deadline = server_deadline;
+    bool all_met = true;
+    for (std::size_t id : participants) {
+      if (dropout_rng.bernoulli(config_.dropout_probability)) {
+        continue;  // the device vanished before training started
+      }
+      core::RoundSpec spec{round, jobs_per_round, server_deadline};
+      if (config_.reporting_deadline_mode) {
+        // The client infers its training deadline from the reporting one.
+        spec.deadline = adapters[id].training_deadline(server_deadline);
+      }
+      LocalUpdate update = clients[id]->train_round(server.parameters(),
+                                                    config_.epochs, spec);
+      if (config_.reporting_deadline_mode) {
+        update.upload_duration = uplinks[id].transfer_time(model_bits);
+        adapters[id].record_upload(update.upload_duration);
+        update.reported_in_time =
+            update.pace_trace.elapsed() + update.upload_duration <=
+            server_deadline;
+      }
+      all_met = all_met && update.pace_trace.deadline_met() &&
+                update.reported_in_time;
+      stats.energy += update.pace_trace.energy() + update.pace_trace.mbo_energy;
+      updates.push_back(std::move(update));
+    }
+    policy->record_outcome(all_met);
+    stats.accepted = server.aggregate(updates);
+
+    eval_model.set_flat_parameters(server.parameters());
+    const Evaluation eval =
+        evaluate(eval_model, test, config_.minibatch_size);
+    stats.global_loss = eval.loss;
+    stats.global_accuracy = eval.accuracy;
+    result.rounds.push_back(stats);
+  }
+  return result;
+}
+
+}  // namespace bofl::fl

@@ -1,0 +1,75 @@
+#include "gp/gaussian_process.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bofl::gp {
+
+double Prediction::stddev() const { return std::sqrt(std::max(variance, 0.0)); }
+
+GaussianProcess::GaussianProcess(Kernel kernel, double noise_variance)
+    : kernel_(std::move(kernel)), noise_variance_(noise_variance) {
+  BOFL_REQUIRE(noise_variance >= 0.0, "noise variance must be non-negative");
+}
+
+void GaussianProcess::condition(std::vector<linalg::Vector> inputs,
+                                std::vector<double> targets) {
+  BOFL_REQUIRE(inputs.size() == targets.size(),
+               "inputs and targets must have equal length");
+  for (const auto& x : inputs) {
+    BOFL_REQUIRE(x.size() == kernel_.input_dimension(),
+                 "input dimension mismatch");
+  }
+  inputs_ = std::move(inputs);
+  targets_ = std::move(targets);
+  refit();
+}
+
+void GaussianProcess::add_observation(linalg::Vector input, double target) {
+  BOFL_REQUIRE(input.size() == kernel_.input_dimension(),
+               "input dimension mismatch");
+  inputs_.push_back(std::move(input));
+  targets_.push_back(target);
+  refit();
+}
+
+void GaussianProcess::refit() {
+  if (inputs_.empty()) {
+    chol_.reset();
+    alpha_.clear();
+    return;
+  }
+  linalg::Matrix k = kernel_.gram(inputs_);
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    k(i, i) += noise_variance_;
+  }
+  auto factor = linalg::cholesky_with_jitter(k);
+  chol_ = std::move(factor.l);
+  alpha_ = linalg::solve_cholesky(*chol_, targets_);
+}
+
+Prediction GaussianProcess::predict(const linalg::Vector& x) const {
+  BOFL_REQUIRE(x.size() == kernel_.input_dimension(),
+               "input dimension mismatch");
+  if (inputs_.empty()) {
+    return {0.0, kernel_.signal_variance()};
+  }
+  const linalg::Vector k_star = kernel_.cross(x, inputs_);
+  const double mean = linalg::dot(k_star, alpha_);
+  // variance = k(x,x) - k*^T (K + s^2 I)^{-1} k* computed via v = L^{-1} k*.
+  const linalg::Vector v = linalg::solve_lower(*chol_, k_star);
+  const double variance = kernel_.signal_variance() - linalg::dot(v, v);
+  return {mean, std::max(variance, 0.0)};
+}
+
+double GaussianProcess::log_marginal_likelihood() const {
+  BOFL_REQUIRE(!inputs_.empty(), "log marginal likelihood needs data");
+  const auto n = static_cast<double>(inputs_.size());
+  const double data_fit = -0.5 * linalg::dot(targets_, alpha_);
+  const double complexity = -0.5 * linalg::log_det_from_cholesky(*chol_);
+  const double constant = -0.5 * n * std::log(2.0 * M_PI);
+  return data_fit + complexity + constant;
+}
+
+}  // namespace bofl::gp

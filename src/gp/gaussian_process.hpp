@@ -1,0 +1,71 @@
+// Gaussian-process regression with exact (Cholesky-based) inference.
+//
+// Zero prior mean (the caller standardizes outputs; see bo::MboEngine),
+// homoscedastic Gaussian observation noise.  Conditioning is O(n^3) in the
+// number of observations, which is ample for BoFL's tens of observations.
+//
+// `condition` refits the posterior for a new data set without touching the
+// hyperparameters; this is exactly what the Kriging-believer batch strategy
+// needs when it appends fantasy observations.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gp/kernel.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bofl::gp {
+
+/// Posterior predictive distribution at one point.
+struct Prediction {
+  double mean = 0.0;
+  double variance = 0.0;  ///< latent-function variance (no observation noise)
+
+  [[nodiscard]] double stddev() const;
+};
+
+class GaussianProcess {
+ public:
+  /// `noise_variance` is the observation-noise variance added to the kernel
+  /// diagonal; must be non-negative (jitter keeps zero-noise GPs stable).
+  GaussianProcess(Kernel kernel, double noise_variance);
+
+  /// Condition the posterior on (inputs, targets).  Replaces any previous
+  /// data.  Requires inputs.size() == targets.size() and matching dimension.
+  void condition(std::vector<linalg::Vector> inputs,
+                 std::vector<double> targets);
+
+  /// Append one observation and re-condition (used for fantasy updates).
+  void add_observation(linalg::Vector input, double target);
+
+  [[nodiscard]] std::size_t num_observations() const { return inputs_.size(); }
+  [[nodiscard]] const Kernel& kernel() const { return kernel_; }
+  [[nodiscard]] double noise_variance() const { return noise_variance_; }
+  [[nodiscard]] const std::vector<linalg::Vector>& inputs() const {
+    return inputs_;
+  }
+  [[nodiscard]] const std::vector<double>& targets() const { return targets_; }
+
+  /// Posterior predictive at `x`.  With no observations this is the prior:
+  /// mean 0, variance = signal variance.
+  [[nodiscard]] Prediction predict(const linalg::Vector& x) const;
+
+  /// Log marginal likelihood of the conditioned data under the current
+  /// hyperparameters.  Requires at least one observation.
+  [[nodiscard]] double log_marginal_likelihood() const;
+
+ private:
+  void refit();
+
+  Kernel kernel_;
+  double noise_variance_;
+  std::vector<linalg::Vector> inputs_;
+  std::vector<double> targets_;
+  // Posterior cache: K + sigma^2 I = L L^T, alpha = (K + sigma^2 I)^{-1} y.
+  std::optional<linalg::Matrix> chol_;
+  linalg::Vector alpha_;
+};
+
+}  // namespace bofl::gp

@@ -1,0 +1,103 @@
+#include "gp/hyperopt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/optim.hpp"
+
+namespace bofl::gp {
+
+namespace {
+
+/// Parameter vector layout: [log ls_0 .. log ls_{d-1}, log sv, (log nv)].
+struct ParamCodec {
+  std::size_t dim;
+  bool with_noise;
+  const HyperoptOptions& opts;
+
+  [[nodiscard]] std::size_t size() const { return dim + 1 + (with_noise ? 1 : 0); }
+
+  [[nodiscard]] Kernel decode_kernel(KernelFamily family,
+                                     const std::vector<double>& p) const {
+    std::vector<double> lengthscales(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      lengthscales[i] = std::clamp(std::exp(p[i]), opts.min_lengthscale,
+                                   opts.max_lengthscale);
+    }
+    const double sv = std::clamp(std::exp(p[dim]), opts.min_signal_variance,
+                                 opts.max_signal_variance);
+    return {family, sv, std::move(lengthscales)};
+  }
+
+  [[nodiscard]] double decode_noise(const std::vector<double>& p,
+                                    double fallback) const {
+    if (!with_noise) {
+      return fallback;
+    }
+    return std::clamp(std::exp(p[dim + 1]), opts.min_noise_variance,
+                      opts.max_noise_variance);
+  }
+};
+
+}  // namespace
+
+HyperoptResult fit_hyperparameters(KernelFamily family,
+                                   const std::vector<linalg::Vector>& inputs,
+                                   const std::vector<double>& targets,
+                                   Rng& rng, const HyperoptOptions& options) {
+  BOFL_REQUIRE(!inputs.empty(), "hyperparameter fitting needs data");
+  BOFL_REQUIRE(inputs.size() == targets.size(),
+               "inputs and targets must have equal length");
+  const std::size_t dim = inputs.front().size();
+  const ParamCodec codec{dim, options.optimize_noise, options};
+  const double default_noise = 1e-4;
+
+  auto negative_lml = [&](const std::vector<double>& p) -> double {
+    GaussianProcess model(codec.decode_kernel(family, p),
+                          codec.decode_noise(p, default_noise));
+    model.condition(inputs, targets);
+    return -model.log_marginal_likelihood();
+  };
+
+  NelderMeadOptions nm;
+  nm.max_iterations = options.max_iterations_per_start;
+
+  double best_value = std::numeric_limits<double>::infinity();
+  std::vector<double> best_params;
+  for (std::size_t restart = 0; restart < options.num_restarts; ++restart) {
+    std::vector<double> start(codec.size());
+    if (restart == 0) {
+      // Canonical start: moderate lengthscales, unit signal, small noise.
+      for (std::size_t i = 0; i < dim; ++i) {
+        start[i] = std::log(0.4);
+      }
+      start[dim] = 0.0;
+      if (options.optimize_noise) {
+        start[dim + 1] = std::log(1e-3);
+      }
+    } else {
+      for (std::size_t i = 0; i < dim; ++i) {
+        start[i] = rng.uniform(std::log(options.min_lengthscale),
+                               std::log(options.max_lengthscale));
+      }
+      start[dim] = rng.uniform(-1.5, 1.5);
+      if (options.optimize_noise) {
+        start[dim + 1] = rng.uniform(std::log(1e-6), std::log(1e-1));
+      }
+    }
+    const NelderMeadResult run = nelder_mead(negative_lml, start, nm);
+    if (run.f < best_value) {
+      best_value = run.f;
+      best_params = run.x;
+    }
+  }
+  BOFL_ASSERT(!best_params.empty(), "hyperopt produced no candidate");
+
+  HyperoptResult result{codec.decode_kernel(family, best_params),
+                        codec.decode_noise(best_params, default_noise),
+                        -best_value};
+  return result;
+}
+
+}  // namespace bofl::gp

@@ -1,0 +1,43 @@
+// Kernel-hyperparameter fitting by maximizing the log marginal likelihood.
+//
+// Parameters are optimized in log space (lengthscales, signal variance,
+// noise variance are all positive) with multi-start Nelder–Mead.  Bounds
+// keep the optimizer out of degenerate corners (lengthscale 10^6, noise
+// swallowing the signal), which matters with the ~10 observations BoFL has
+// after phase 1.
+#pragma once
+
+#include "common/rng.hpp"
+#include "gp/gaussian_process.hpp"
+
+namespace bofl::gp {
+
+struct HyperoptOptions {
+  std::size_t num_restarts = 4;
+  std::size_t max_iterations_per_start = 200;
+  // log-space box bounds (applied by clamping inside the objective).
+  double min_lengthscale = 0.02;
+  double max_lengthscale = 10.0;
+  double min_signal_variance = 1e-4;
+  double max_signal_variance = 1e2;
+  double min_noise_variance = 1e-8;
+  double max_noise_variance = 1.0;
+  bool optimize_noise = true;
+};
+
+struct HyperoptResult {
+  Kernel kernel;
+  double noise_variance = 0.0;
+  double log_marginal_likelihood = 0.0;
+};
+
+/// Fit hyperparameters for `family` kernels on (inputs, targets) and return
+/// the best kernel found.  Inputs are expected normalized to [0,1]^d and
+/// targets standardized (mean 0, unit variance) — the bounds above assume
+/// that scaling.
+[[nodiscard]] HyperoptResult fit_hyperparameters(
+    KernelFamily family, const std::vector<linalg::Vector>& inputs,
+    const std::vector<double>& targets, Rng& rng,
+    const HyperoptOptions& options = {});
+
+}  // namespace bofl::gp

@@ -1,0 +1,84 @@
+#include "gp/kernel.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bofl::gp {
+
+const char* to_string(KernelFamily family) {
+  switch (family) {
+    case KernelFamily::kMatern52:
+      return "matern52";
+    case KernelFamily::kMatern32:
+      return "matern32";
+    case KernelFamily::kRbf:
+      return "rbf";
+  }
+  return "unknown";
+}
+
+Kernel::Kernel(KernelFamily family, double signal_variance,
+               std::vector<double> lengthscales)
+    : family_(family),
+      signal_variance_(signal_variance),
+      lengthscales_(std::move(lengthscales)) {
+  BOFL_REQUIRE(signal_variance_ > 0.0, "signal variance must be positive");
+  BOFL_REQUIRE(!lengthscales_.empty(), "need at least one lengthscale");
+  for (double ls : lengthscales_) {
+    BOFL_REQUIRE(ls > 0.0, "lengthscales must be positive");
+  }
+}
+
+double Kernel::correlation(double r) const {
+  switch (family_) {
+    case KernelFamily::kMatern52: {
+      const double s = std::sqrt(5.0) * r;
+      return (1.0 + s + s * s / 3.0) * std::exp(-s);
+    }
+    case KernelFamily::kMatern32: {
+      const double s = std::sqrt(3.0) * r;
+      return (1.0 + s) * std::exp(-s);
+    }
+    case KernelFamily::kRbf:
+      return std::exp(-0.5 * r * r);
+  }
+  BOFL_ASSERT(false, "unreachable kernel family");
+}
+
+double Kernel::operator()(const linalg::Vector& a,
+                          const linalg::Vector& b) const {
+  BOFL_REQUIRE(a.size() == lengthscales_.size() && b.size() == a.size(),
+               "kernel input dimension mismatch");
+  double r2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = (a[i] - b[i]) / lengthscales_[i];
+    r2 += d * d;
+  }
+  return signal_variance_ * correlation(std::sqrt(r2));
+}
+
+linalg::Matrix Kernel::gram(const std::vector<linalg::Vector>& points) const {
+  const std::size_t n = points.size();
+  linalg::Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) = signal_variance_;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = (*this)(points[i], points[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+linalg::Vector Kernel::cross(const linalg::Vector& x,
+                             const std::vector<linalg::Vector>& points) const {
+  linalg::Vector k(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    k[i] = (*this)(x, points[i]);
+  }
+  return k;
+}
+
+}  // namespace bofl::gp

@@ -1,0 +1,59 @@
+// Covariance kernels for Gaussian-process regression.
+//
+// The paper (§4.3) models the latency and energy objectives as independent
+// GPs with zero prior mean and a Matérn-5/2 kernel.  We implement the
+// Matérn-5/2 plus Matérn-3/2 and squared-exponential (RBF) variants with
+// ARD (one lengthscale per input dimension) for ablations.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace bofl::gp {
+
+enum class KernelFamily {
+  kMatern52,   ///< the paper's choice
+  kMatern32,
+  kRbf,
+};
+
+[[nodiscard]] const char* to_string(KernelFamily family);
+
+/// A stationary ARD kernel k(x, x') = signal_variance * c(r) where r is the
+/// lengthscale-weighted Euclidean distance.
+class Kernel {
+ public:
+  Kernel(KernelFamily family, double signal_variance,
+         std::vector<double> lengthscales);
+
+  [[nodiscard]] KernelFamily family() const { return family_; }
+  [[nodiscard]] double signal_variance() const { return signal_variance_; }
+  [[nodiscard]] const std::vector<double>& lengthscales() const {
+    return lengthscales_;
+  }
+  [[nodiscard]] std::size_t input_dimension() const {
+    return lengthscales_.size();
+  }
+
+  /// Covariance between two points.
+  [[nodiscard]] double operator()(const linalg::Vector& a,
+                                  const linalg::Vector& b) const;
+
+  /// Full covariance matrix of a point set (symmetric).
+  [[nodiscard]] linalg::Matrix gram(
+      const std::vector<linalg::Vector>& points) const;
+
+  /// Cross-covariance vector k(x, X) against a point set.
+  [[nodiscard]] linalg::Vector cross(
+      const linalg::Vector& x, const std::vector<linalg::Vector>& points) const;
+
+ private:
+  [[nodiscard]] double correlation(double r) const;
+
+  KernelFamily family_;
+  double signal_variance_;
+  std::vector<double> lengthscales_;
+};
+
+}  // namespace bofl::gp

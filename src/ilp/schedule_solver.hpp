@@ -1,0 +1,52 @@
+// The per-round exploitation problem (paper Eqn. 1, single round):
+//
+//   minimize   sum_k  n_k * E_k
+//   s.t.       sum_k  n_k        = W          (all jobs executed)
+//              sum_k  n_k * T_k <= deadline   (round deadline met)
+//              n_k >= 0, integer
+//
+// over the (approximated) Pareto set of measured configurations
+// {(E_k, T_k)}.  Solved by branch-and-bound ILP; an exhaustive reference
+// solver cross-checks optimality in the tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ilp/branch_and_bound.hpp"
+
+namespace bofl::ilp {
+
+/// One measured configuration eligible for scheduling.
+struct ConfigProfile {
+  std::size_t config_id = 0;      ///< caller-defined identity (DVFS index)
+  double energy_per_job = 0.0;    ///< E_k  [J]
+  double latency_per_job = 0.0;   ///< T_k  [s]
+};
+
+/// Job assignment for one round.
+struct Schedule {
+  bool feasible = false;
+  /// (index into the profiles vector passed in, jobs assigned); only
+  /// entries with a positive job count are listed.
+  std::vector<std::pair<std::size_t, std::int64_t>> assignments;
+  double total_energy = 0.0;
+  double total_latency = 0.0;
+};
+
+/// Solve the round problem over `profiles`.  Dominated profiles are pruned
+/// before the ILP (a dominated configuration can never appear in an optimal
+/// schedule; §3.2).  Returns feasible == false when even the fastest
+/// profile cannot meet the deadline.
+[[nodiscard]] Schedule solve_round_schedule(
+    const std::vector<ConfigProfile>& profiles, std::int64_t num_jobs,
+    double deadline_seconds, const IlpOptions& options = {});
+
+/// Exhaustive reference solver (exponential; tests only).  Enumerates all
+/// compositions of num_jobs over the profiles.  Requires the search space
+/// C(num_jobs + k - 1, k - 1) to stay under ~2e6 nodes.
+[[nodiscard]] Schedule solve_round_schedule_exhaustive(
+    const std::vector<ConfigProfile>& profiles, std::int64_t num_jobs,
+    double deadline_seconds);
+
+}  // namespace bofl::ilp

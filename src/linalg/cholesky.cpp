@@ -1,0 +1,94 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bofl::linalg {
+
+std::optional<Matrix> cholesky(const Matrix& a) {
+  BOFL_REQUIRE(a.rows() == a.cols(), "cholesky needs a square matrix");
+  const std::size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) {
+      diag -= l(j, k) * l(j, k);
+    }
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return std::nullopt;
+    }
+    l(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= l(i, k) * l(j, k);
+      }
+      l(i, j) = sum / l(j, j);
+    }
+  }
+  return l;
+}
+
+JitteredCholesky cholesky_with_jitter(const Matrix& a, double initial_jitter,
+                                      double max_jitter) {
+  BOFL_REQUIRE(initial_jitter > 0.0 && initial_jitter <= max_jitter,
+               "need 0 < initial_jitter <= max_jitter");
+  if (auto l = cholesky(a)) {
+    return {std::move(*l), 0.0};
+  }
+  for (double jitter = initial_jitter; jitter <= max_jitter; jitter *= 10.0) {
+    Matrix jittered = a;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      jittered(i, i) += jitter;
+    }
+    if (auto l = cholesky(jittered)) {
+      return {std::move(*l), jitter};
+    }
+  }
+  BOFL_ASSERT(false, "matrix not positive definite even with maximal jitter");
+}
+
+Vector solve_lower(const Matrix& l, const Vector& b) {
+  BOFL_REQUIRE(l.rows() == l.cols() && l.rows() == b.size(),
+               "solve_lower shape mismatch");
+  const std::size_t n = b.size();
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t j = 0; j < i; ++j) {
+      sum -= l(i, j) * x[j];
+    }
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+Vector solve_lower_transpose(const Matrix& l, const Vector& b) {
+  BOFL_REQUIRE(l.rows() == l.cols() && l.rows() == b.size(),
+               "solve_lower_transpose shape mismatch");
+  const std::size_t n = b.size();
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) {
+      sum -= l(j, ii) * x[j];
+    }
+    x[ii] = sum / l(ii, ii);
+  }
+  return x;
+}
+
+Vector solve_cholesky(const Matrix& l, const Vector& b) {
+  return solve_lower_transpose(l, solve_lower(l, b));
+}
+
+double log_det_from_cholesky(const Matrix& l) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < l.rows(); ++i) {
+    sum += std::log(l(i, i));
+  }
+  return 2.0 * sum;
+}
+
+}  // namespace bofl::linalg

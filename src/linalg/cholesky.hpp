@@ -1,0 +1,43 @@
+// Cholesky factorization and triangular solves.
+//
+// The GP layer conditions on observations through K = L L^T.  Kernel
+// matrices can be numerically semi-definite when observations nearly
+// coincide, so `cholesky_with_jitter` retries with geometrically increasing
+// diagonal jitter — the standard GP-library recipe.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace bofl::linalg {
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+/// Returns std::nullopt if the matrix is not (numerically) positive definite.
+[[nodiscard]] std::optional<Matrix> cholesky(const Matrix& a);
+
+struct JitteredCholesky {
+  Matrix l;            ///< lower-triangular factor of (a + jitter * I)
+  double jitter = 0.0; ///< the jitter that was actually applied
+};
+
+/// Cholesky with escalating diagonal jitter: tries jitter values
+/// 0, j0, 10*j0, ... up to `max_jitter`.  Throws InternalError if even the
+/// largest jitter fails (which indicates a structurally broken matrix).
+[[nodiscard]] JitteredCholesky cholesky_with_jitter(const Matrix& a,
+                                                    double initial_jitter = 1e-10,
+                                                    double max_jitter = 1e-2);
+
+/// Solve L x = b with L lower triangular (forward substitution).
+[[nodiscard]] Vector solve_lower(const Matrix& l, const Vector& b);
+
+/// Solve L^T x = b with L lower triangular (backward substitution).
+[[nodiscard]] Vector solve_lower_transpose(const Matrix& l, const Vector& b);
+
+/// Solve (L L^T) x = b given the Cholesky factor L.
+[[nodiscard]] Vector solve_cholesky(const Matrix& l, const Vector& b);
+
+/// log det(L L^T) = 2 * sum_i log L_ii, given the Cholesky factor L.
+[[nodiscard]] double log_det_from_cholesky(const Matrix& l);
+
+}  // namespace bofl::linalg

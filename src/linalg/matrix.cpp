@@ -1,0 +1,130 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bofl::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    BOFL_REQUIRE(row.size() == cols_, "all matrix rows must have equal length");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = 1.0;
+  }
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  BOFL_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+               "matrix addition requires equal shapes");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += other.data_[i];
+  }
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  BOFL_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+               "matrix subtraction requires equal shapes");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] -= other.data_[i];
+  }
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) {
+    v *= s;
+  }
+  return *this;
+}
+
+Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+Matrix operator*(Matrix a, double s) { return a *= s; }
+Matrix operator*(double s, Matrix a) { return a *= s; }
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  BOFL_REQUIRE(a.cols() == b.rows(), "matrix product shape mismatch");
+  Matrix c(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) {
+        continue;
+      }
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Vector operator*(const Matrix& a, const Vector& x) {
+  BOFL_REQUIRE(a.cols() == x.size(), "matrix-vector shape mismatch");
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      sum += a(i, j) * x[j];
+    }
+    y[i] = sum;
+  }
+  return y;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  BOFL_REQUIRE(a.size() == b.size(), "dot product requires equal sizes");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+double squared_distance(const Vector& a, const Vector& b) {
+  BOFL_REQUIRE(a.size() == b.size(), "distance requires equal sizes");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+Vector axpy(const Vector& a, double s, const Vector& b) {
+  BOFL_REQUIRE(a.size() == b.size(), "axpy requires equal sizes");
+  Vector y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    y[i] = a[i] + s * b[i];
+  }
+  return y;
+}
+
+}  // namespace bofl::linalg

@@ -1,0 +1,70 @@
+// Minimal dense linear algebra for the GP and LP layers.
+//
+// BoFL's matrices are small (GP kernel matrices of at most a few hundred
+// observations; simplex tableaus with a handful of constraints), so a plain
+// row-major dense representation with straightforward O(n^3) kernels is the
+// right tool — no expression templates, no external dependency.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace bofl::linalg {
+
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Construct from nested initializer lists (rows of equal length).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+  [[nodiscard]] Matrix transposed() const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+[[nodiscard]] Matrix operator+(Matrix a, const Matrix& b);
+[[nodiscard]] Matrix operator-(Matrix a, const Matrix& b);
+[[nodiscard]] Matrix operator*(Matrix a, double s);
+[[nodiscard]] Matrix operator*(double s, Matrix a);
+[[nodiscard]] Matrix operator*(const Matrix& a, const Matrix& b);
+[[nodiscard]] Vector operator*(const Matrix& a, const Vector& x);
+
+/// Dot product; requires equal sizes.
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(const Vector& a);
+
+/// Squared Euclidean distance between two equally sized vectors.
+[[nodiscard]] double squared_distance(const Vector& a, const Vector& b);
+
+/// a + s * b, element-wise; requires equal sizes.
+[[nodiscard]] Vector axpy(const Vector& a, double s, const Vector& b);
+
+}  // namespace bofl::linalg

@@ -1,0 +1,175 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace bofl::nn {
+
+namespace {
+
+/// Flat index into an NCHW rank-4 tensor.
+std::size_t idx4(const Tensor& t, std::size_t b, std::size_t c, std::size_t y,
+                 std::size_t x) {
+  return ((b * t.dim(1) + c) * t.dim(2) + y) * t.dim(3) + x;
+}
+
+}  // namespace
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel_size, Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel_size),
+      weight_(Tensor::randn(
+          {out_channels, in_channels * kernel_size * kernel_size}, rng,
+          static_cast<float>(std::sqrt(
+              2.0 / static_cast<double>(in_channels * kernel_size *
+                                        kernel_size))))),
+      bias_(Tensor::zeros({out_channels})),
+      grad_weight_(Tensor::zeros(
+          {out_channels, in_channels * kernel_size * kernel_size})),
+      grad_bias_(Tensor::zeros({out_channels})) {
+  BOFL_REQUIRE(kernel_size >= 1, "kernel size must be positive");
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  BOFL_REQUIRE(input.rank() == 4 && input.dim(1) == in_channels_,
+               "Conv2d expects (batch, channels, height, width)");
+  BOFL_REQUIRE(input.dim(2) >= kernel_ && input.dim(3) >= kernel_,
+               "input smaller than the kernel");
+  cached_input_ = input;
+  const std::size_t batch = input.dim(0);
+  const std::size_t out_h = input.dim(2) - kernel_ + 1;
+  const std::size_t out_w = input.dim(3) - kernel_ + 1;
+  Tensor out({batch, out_channels_, out_h, out_w});
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t f = 0; f < out_channels_; ++f) {
+      for (std::size_t y = 0; y < out_h; ++y) {
+        for (std::size_t x = 0; x < out_w; ++x) {
+          float sum = bias_[f];
+          for (std::size_t c = 0; c < in_channels_; ++c) {
+            for (std::size_t i = 0; i < kernel_; ++i) {
+              for (std::size_t j = 0; j < kernel_; ++j) {
+                sum += input[idx4(input, b, c, y + i, x + j)] *
+                       weight_.at(f, (c * kernel_ + i) * kernel_ + j);
+              }
+            }
+          }
+          out[idx4(out, b, f, y, x)] = sum;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  BOFL_REQUIRE(grad_output.rank() == 4 &&
+                   grad_output.dim(0) == cached_input_.dim(0) &&
+                   grad_output.dim(1) == out_channels_,
+               "Conv2d backward shape mismatch");
+  const Tensor& input = cached_input_;
+  const std::size_t batch = input.dim(0);
+  const std::size_t out_h = grad_output.dim(2);
+  const std::size_t out_w = grad_output.dim(3);
+  Tensor grad_input(input.shape());
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t f = 0; f < out_channels_; ++f) {
+      for (std::size_t y = 0; y < out_h; ++y) {
+        for (std::size_t x = 0; x < out_w; ++x) {
+          const float g = grad_output[idx4(grad_output, b, f, y, x)];
+          if (g == 0.0f) {
+            continue;
+          }
+          grad_bias_[f] += g;
+          for (std::size_t c = 0; c < in_channels_; ++c) {
+            for (std::size_t i = 0; i < kernel_; ++i) {
+              for (std::size_t j = 0; j < kernel_; ++j) {
+                const std::size_t w_index = (c * kernel_ + i) * kernel_ + j;
+                grad_weight_.at(f, w_index) +=
+                    g * input[idx4(input, b, c, y + i, x + j)];
+                grad_input[idx4(input, b, c, y + i, x + j)] +=
+                    g * weight_.at(f, w_index);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Tensor*> Conv2d::parameters() { return {&weight_, &bias_}; }
+std::vector<Tensor*> Conv2d::gradients() {
+  return {&grad_weight_, &grad_bias_};
+}
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+  BOFL_REQUIRE(input.rank() == 4, "MaxPool2d expects NCHW input");
+  BOFL_REQUIRE(input.dim(2) % 2 == 0 && input.dim(3) % 2 == 0,
+               "MaxPool2d needs even height and width");
+  cached_input_ = input;
+  const std::size_t batch = input.dim(0);
+  const std::size_t channels = input.dim(1);
+  const std::size_t out_h = input.dim(2) / 2;
+  const std::size_t out_w = input.dim(3) / 2;
+  Tensor out({batch, channels, out_h, out_w});
+  argmax_.assign(out.size(), 0);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      for (std::size_t y = 0; y < out_h; ++y) {
+        for (std::size_t x = 0; x < out_w; ++x) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_index = 0;
+          for (std::size_t i = 0; i < 2; ++i) {
+            for (std::size_t j = 0; j < 2; ++j) {
+              const std::size_t flat =
+                  idx4(input, b, c, 2 * y + i, 2 * x + j);
+              if (input[flat] > best) {
+                best = input[flat];
+                best_index = flat;
+              }
+            }
+          }
+          const std::size_t out_flat = idx4(out, b, c, y, x);
+          out[out_flat] = best;
+          argmax_[out_flat] = best_index;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  BOFL_REQUIRE(grad_output.size() == argmax_.size(),
+               "MaxPool2d backward shape mismatch");
+  Tensor grad_input(cached_input_.shape());
+  for (std::size_t o = 0; o < grad_output.size(); ++o) {
+    grad_input[argmax_[o]] += grad_output[o];
+  }
+  return grad_input;
+}
+
+Tensor Flatten::forward(const Tensor& input) {
+  BOFL_REQUIRE(input.rank() >= 2, "Flatten expects a batched tensor");
+  cached_shape_ = input.shape();
+  Tensor out({input.dim(0), input.size() / input.dim(0)});
+  std::copy(input.data(), input.data() + input.size(), out.data());
+  return out;
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  BOFL_REQUIRE(!cached_shape_.empty(), "Flatten backward without forward");
+  Tensor grad(cached_shape_);
+  BOFL_REQUIRE(grad_output.size() == grad.size(),
+               "Flatten backward shape mismatch");
+  std::copy(grad_output.data(), grad_output.data() + grad_output.size(),
+            grad.data());
+  return grad;
+}
+
+}  // namespace bofl::nn

@@ -1,0 +1,58 @@
+// Convolutional layers for the image-classification FL tasks.
+//
+// A small but genuine CNN stack — valid 2-D convolution with stride 1,
+// 2x2 max pooling, and a flatten adapter — so the "ResNet50 proxy" in the
+// model zoo actually convolves.  Tensors are NCHW rank-4.
+#pragma once
+
+#include "nn/layers.hpp"
+
+namespace bofl::nn {
+
+/// Valid 2-D convolution, stride 1: (B, C, H, W) -> (B, F, H-k+1, W-k+1).
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel_size, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> parameters() override;
+  std::vector<Tensor*> gradients() override;
+
+  [[nodiscard]] std::size_t kernel_size() const { return kernel_; }
+
+ private:
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t kernel_;
+  Tensor weight_;       ///< (F, C, k, k) stored as rank-2 (F, C*k*k)
+  Tensor bias_;         ///< (F)
+  Tensor grad_weight_;
+  Tensor grad_bias_;
+  Tensor cached_input_;
+};
+
+/// 2x2 max pooling, stride 2: (B, C, H, W) -> (B, C, H/2, W/2).
+/// H and W must be even.
+class MaxPool2d final : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor cached_input_;
+  std::vector<std::size_t> argmax_;  ///< winner's flat index per output cell
+};
+
+/// Collapse all trailing dimensions: (B, ...) -> (B, prod(...)).
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  std::vector<std::size_t> cached_shape_;
+};
+
+}  // namespace bofl::nn

@@ -1,0 +1,137 @@
+#include "nn/data.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bofl::nn {
+
+Dataset Dataset::slice(std::size_t begin, std::size_t count) const {
+  BOFL_REQUIRE(begin + count <= size(), "dataset slice out of range");
+  Dataset out;
+  out.labels.assign(labels.begin() + static_cast<std::ptrdiff_t>(begin),
+                    labels.begin() + static_cast<std::ptrdiff_t>(begin + count));
+  std::vector<std::size_t> shape = features.shape();
+  shape[0] = count;
+  out.features = Tensor(shape);
+  const std::size_t row = features.size() / features.dim(0);
+  std::copy(features.data() + begin * row,
+            features.data() + (begin + count) * row, out.features.data());
+  return out;
+}
+
+Dataset make_classification(std::size_t n, std::size_t dim,
+                            std::size_t classes, std::uint64_t seed,
+                            double noise, double class_skew) {
+  BOFL_REQUIRE(n > 0 && dim > 0 && classes >= 2, "degenerate dataset shape");
+  BOFL_REQUIRE(noise >= 0.0 && class_skew >= 0.0, "negative noise parameters");
+  Rng rng(seed);
+  // Prototypes are shared across shards (fixed seed) so that federated
+  // clients learn the same underlying concept.
+  Rng proto_rng(0xB0F1DA7AULL + classes * 131 + dim);
+  std::vector<std::vector<float>> prototypes(classes,
+                                             std::vector<float>(dim));
+  for (auto& proto : prototypes) {
+    for (float& v : proto) {
+      v = static_cast<float>(proto_rng.normal(0.0, 1.0));
+    }
+  }
+  // Class marginal: skew 0 = uniform; larger skew concentrates mass on a
+  // shard-specific preferred class (non-IID federated shards).
+  std::vector<double> weights(classes, 1.0);
+  if (class_skew > 0.0) {
+    weights[rng.uniform_index(classes)] += class_skew * static_cast<double>(classes);
+  }
+  double total_weight = 0.0;
+  for (double w : weights) {
+    total_weight += w;
+  }
+
+  Dataset ds;
+  ds.features = Tensor({n, dim});
+  ds.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double pick = rng.uniform() * total_weight;
+    std::size_t label = 0;
+    while (label + 1 < classes && pick > weights[label]) {
+      pick -= weights[label];
+      ++label;
+    }
+    ds.labels[i] = static_cast<std::int64_t>(label);
+    for (std::size_t d = 0; d < dim; ++d) {
+      ds.features.at(i, d) =
+          prototypes[label][d] +
+          static_cast<float>(rng.normal(0.0, noise));
+    }
+  }
+  return ds;
+}
+
+Dataset make_sequences(std::size_t n, std::size_t time, std::size_t dim,
+                       std::size_t classes, std::uint64_t seed, double noise) {
+  BOFL_REQUIRE(n > 0 && time > 0 && dim > 0 && classes >= 2,
+               "degenerate dataset shape");
+  Rng rng(seed);
+  Rng proto_rng(0x5E9B0F1ULL + classes * 257 + dim * 17 + time);
+  Dataset ds;
+  ds.features = Tensor({n, time, dim});
+  ds.labels.resize(n);
+  // Class drift directions shared across shards.
+  std::vector<std::vector<float>> drifts(classes, std::vector<float>(dim));
+  for (auto& drift : drifts) {
+    for (float& v : drift) {
+      v = static_cast<float>(proto_rng.normal(0.0, 0.35));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t label = rng.uniform_index(classes);
+    ds.labels[i] = static_cast<std::int64_t>(label);
+    std::vector<float> state(dim, 0.0f);
+    for (std::size_t t = 0; t < time; ++t) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        state[d] += drifts[label][d] +
+                    static_cast<float>(rng.normal(0.0, noise));
+        ds.features.at(i, t, d) = state[d];
+      }
+    }
+  }
+  return ds;
+}
+
+Dataset make_images(std::size_t n, std::size_t channels, std::size_t height,
+                    std::size_t width, std::size_t classes,
+                    std::uint64_t seed, double noise) {
+  BOFL_REQUIRE(n > 0 && channels > 0 && classes >= 2,
+               "degenerate dataset shape");
+  BOFL_REQUIRE(height >= 4 && width >= 4, "images must be at least 4x4");
+  Rng rng(seed);
+  // Class-specific blob centers shared across shards.
+  Rng proto_rng(0x1AB5EEDULL + classes * 41 + height * 7 + width);
+  std::vector<std::pair<std::size_t, std::size_t>> centers;
+  for (std::size_t k = 0; k < classes; ++k) {
+    centers.emplace_back(1 + proto_rng.uniform_index(height - 2),
+                         1 + proto_rng.uniform_index(width - 2));
+  }
+  Dataset ds;
+  ds.features = Tensor({n, channels, height, width});
+  ds.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t label = rng.uniform_index(classes);
+    ds.labels[i] = static_cast<std::int64_t>(label);
+    const auto [cy, cx] = centers[label];
+    for (std::size_t c = 0; c < channels; ++c) {
+      for (std::size_t y = 0; y < height; ++y) {
+        for (std::size_t x = 0; x < width; ++x) {
+          const bool in_blob = y + 1 >= cy && y <= cy + 1 &&
+                               x + 1 >= cx && x <= cx + 1;
+          const double value = (in_blob ? 1.0 : 0.0) + rng.normal(0.0, noise);
+          ds.features[((i * channels + c) * height + y) * width + x] =
+              static_cast<float>(value);
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace bofl::nn

@@ -1,0 +1,90 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bofl::nn {
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    const std::vector<std::int64_t>& labels) {
+  BOFL_REQUIRE(logits.rank() == 2, "loss expects (batch, classes) logits");
+  BOFL_REQUIRE(labels.size() == logits.dim(0),
+               "one label per batch row required");
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  probabilities_ = Tensor({batch, classes});
+  labels_ = labels;
+  double total_loss = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    BOFL_REQUIRE(labels[b] >= 0 &&
+                     static_cast<std::size_t>(labels[b]) < classes,
+                 "label out of range");
+    float max_logit = logits.at(b, 0);
+    for (std::size_t c = 1; c < classes; ++c) {
+      max_logit = std::max(max_logit, logits.at(b, c));
+    }
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      denom += std::exp(static_cast<double>(logits.at(b, c) - max_logit));
+    }
+    for (std::size_t c = 0; c < classes; ++c) {
+      probabilities_.at(b, c) = static_cast<float>(
+          std::exp(static_cast<double>(logits.at(b, c) - max_logit)) / denom);
+    }
+    const double p_true =
+        std::max(static_cast<double>(
+                     probabilities_.at(b, static_cast<std::size_t>(labels[b]))),
+                 1e-12);
+    total_loss += -std::log(p_true);
+  }
+  return total_loss / static_cast<double>(batch);
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  BOFL_REQUIRE(probabilities_.size() > 0, "loss backward without forward");
+  const std::size_t batch = probabilities_.dim(0);
+  const std::size_t classes = probabilities_.dim(1);
+  Tensor grad = probabilities_;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    grad.at(b, static_cast<std::size_t>(labels_[b])) -= 1.0f;
+    for (std::size_t c = 0; c < classes; ++c) {
+      grad.at(b, c) *= inv_batch;
+    }
+  }
+  return grad;
+}
+
+std::vector<std::int64_t> SoftmaxCrossEntropy::predictions() const {
+  BOFL_REQUIRE(probabilities_.size() > 0, "predictions without forward");
+  const std::size_t batch = probabilities_.dim(0);
+  const std::size_t classes = probabilities_.dim(1);
+  std::vector<std::int64_t> preds(batch, 0);
+  for (std::size_t b = 0; b < batch; ++b) {
+    float best = probabilities_.at(b, 0);
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (probabilities_.at(b, c) > best) {
+        best = probabilities_.at(b, c);
+        preds[b] = static_cast<std::int64_t>(c);
+      }
+    }
+  }
+  return preds;
+}
+
+double accuracy(const std::vector<std::int64_t>& predictions,
+                const std::vector<std::int64_t>& labels) {
+  BOFL_REQUIRE(predictions.size() == labels.size() && !labels.empty(),
+               "accuracy needs equal non-empty vectors");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == labels[i]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace bofl::nn

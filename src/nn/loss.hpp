@@ -1,0 +1,34 @@
+// Softmax cross-entropy loss with integrated gradient.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace bofl::nn {
+
+/// Numerically stable softmax + cross-entropy over class logits.
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: (batch, classes); labels: one class id per row.
+  /// Returns the mean loss over the batch.
+  double forward(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+  /// dLoss/dLogits of the most recent forward call, already averaged over
+  /// the batch.
+  [[nodiscard]] Tensor backward() const;
+
+  /// Row-wise argmax of the cached probabilities (predictions).
+  [[nodiscard]] std::vector<std::int64_t> predictions() const;
+
+ private:
+  Tensor probabilities_;
+  std::vector<std::int64_t> labels_;
+};
+
+/// Classification accuracy of `predictions` against `labels`.
+[[nodiscard]] double accuracy(const std::vector<std::int64_t>& predictions,
+                              const std::vector<std::int64_t>& labels);
+
+}  // namespace bofl::nn

@@ -1,0 +1,161 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bofl::nn {
+
+namespace {
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+}  // namespace
+
+LstmCell::LstmCell(std::size_t input_features, std::size_t hidden_size,
+                   Rng& rng)
+    : input_(input_features),
+      hidden_(hidden_size),
+      weight_(Tensor::randn(
+          {input_features + hidden_size, 4 * hidden_size}, rng,
+          static_cast<float>(
+              std::sqrt(1.0 / static_cast<double>(input_features +
+                                                  hidden_size))))),
+      bias_(Tensor::zeros({4 * hidden_size})),
+      grad_weight_(Tensor::zeros({input_features + hidden_size,
+                                  4 * hidden_size})),
+      grad_bias_(Tensor::zeros({4 * hidden_size})) {
+  // Forget-gate bias starts positive: the standard trick for stable early
+  // training of LSTMs.
+  for (std::size_t h = 0; h < hidden_; ++h) {
+    bias_[hidden_ + h] = 1.0f;
+  }
+}
+
+Tensor LstmCell::forward(const Tensor& input) {
+  BOFL_REQUIRE(input.rank() == 3 && input.dim(2) == input_,
+               "LSTM forward expects (batch, time, features)");
+  batch_ = input.dim(0);
+  time_ = input.dim(1);
+  steps_.clear();
+  steps_.reserve(time_);
+
+  Tensor h({batch_, hidden_});
+  Tensor c({batch_, hidden_});
+  for (std::size_t t = 0; t < time_; ++t) {
+    StepCache step;
+    // z = [x_t, h_{t-1}]
+    step.z = Tensor({batch_, input_ + hidden_});
+    for (std::size_t b = 0; b < batch_; ++b) {
+      for (std::size_t j = 0; j < input_; ++j) {
+        step.z.at(b, j) = input.at(b, t, j);
+      }
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        step.z.at(b, input_ + j) = h.at(b, j);
+      }
+    }
+    Tensor gates = matmul(step.z, weight_);
+    for (std::size_t b = 0; b < batch_; ++b) {
+      for (std::size_t j = 0; j < 4 * hidden_; ++j) {
+        gates.at(b, j) += bias_[j];
+      }
+    }
+    step.i = Tensor({batch_, hidden_});
+    step.f = Tensor({batch_, hidden_});
+    step.g = Tensor({batch_, hidden_});
+    step.o = Tensor({batch_, hidden_});
+    step.c = Tensor({batch_, hidden_});
+    step.tanh_c = Tensor({batch_, hidden_});
+    for (std::size_t b = 0; b < batch_; ++b) {
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        const float ai = gates.at(b, j);
+        const float af = gates.at(b, hidden_ + j);
+        const float ag = gates.at(b, 2 * hidden_ + j);
+        const float ao = gates.at(b, 3 * hidden_ + j);
+        const float iv = sigmoid(ai);
+        const float fv = sigmoid(af);
+        const float gv = std::tanh(ag);
+        const float ov = sigmoid(ao);
+        const float cv = fv * c.at(b, j) + iv * gv;
+        step.i.at(b, j) = iv;
+        step.f.at(b, j) = fv;
+        step.g.at(b, j) = gv;
+        step.o.at(b, j) = ov;
+        step.c.at(b, j) = cv;
+        const float tc = std::tanh(cv);
+        step.tanh_c.at(b, j) = tc;
+        h.at(b, j) = ov * tc;
+      }
+    }
+    c = step.c;
+    steps_.push_back(std::move(step));
+  }
+  return h;
+}
+
+Tensor LstmCell::backward(const Tensor& grad_output) {
+  BOFL_REQUIRE(grad_output.rank() == 2 && grad_output.dim(0) == batch_ &&
+                   grad_output.dim(1) == hidden_,
+               "LSTM backward expects (batch, hidden)");
+  BOFL_REQUIRE(!steps_.empty(), "LSTM backward without forward");
+
+  Tensor grad_input({batch_, time_, input_});
+  Tensor dh = grad_output;
+  Tensor dc({batch_, hidden_});
+  for (std::size_t tt = time_; tt-- > 0;) {
+    const StepCache& step = steps_[tt];
+    // c_{t-1} is the previous step's cell state (zeros at t = 0).
+    const Tensor* c_prev = tt > 0 ? &steps_[tt - 1].c : nullptr;
+
+    Tensor da({batch_, 4 * hidden_});
+    Tensor dc_prev({batch_, hidden_});
+    for (std::size_t b = 0; b < batch_; ++b) {
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        const float iv = step.i.at(b, j);
+        const float fv = step.f.at(b, j);
+        const float gv = step.g.at(b, j);
+        const float ov = step.o.at(b, j);
+        const float tc = step.tanh_c.at(b, j);
+        const float dhv = dh.at(b, j);
+        const float dcv = dc.at(b, j) + dhv * ov * (1.0f - tc * tc);
+        const float cp = c_prev ? c_prev->at(b, j) : 0.0f;
+
+        const float do_ = dhv * tc;
+        const float di = dcv * gv;
+        const float dg = dcv * iv;
+        const float df = dcv * cp;
+
+        da.at(b, j) = di * iv * (1.0f - iv);
+        da.at(b, hidden_ + j) = df * fv * (1.0f - fv);
+        da.at(b, 2 * hidden_ + j) = dg * (1.0f - gv * gv);
+        da.at(b, 3 * hidden_ + j) = do_ * ov * (1.0f - ov);
+        dc_prev.at(b, j) = dcv * fv;
+      }
+    }
+
+    grad_weight_.add_scaled(matmul_transposed_a(step.z, da), 1.0f);
+    for (std::size_t b = 0; b < batch_; ++b) {
+      for (std::size_t j = 0; j < 4 * hidden_; ++j) {
+        grad_bias_[j] += da.at(b, j);
+      }
+    }
+    const Tensor dz = matmul_transposed_b(da, weight_);
+    Tensor dh_prev({batch_, hidden_});
+    for (std::size_t b = 0; b < batch_; ++b) {
+      for (std::size_t j = 0; j < input_; ++j) {
+        grad_input.at(b, tt, j) = dz.at(b, j);
+      }
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        dh_prev.at(b, j) = dz.at(b, input_ + j);
+      }
+    }
+    dh = std::move(dh_prev);
+    dc = std::move(dc_prev);
+  }
+  return grad_input;
+}
+
+std::vector<Tensor*> LstmCell::parameters() { return {&weight_, &bias_}; }
+std::vector<Tensor*> LstmCell::gradients() {
+  return {&grad_weight_, &grad_bias_};
+}
+
+}  // namespace bofl::nn

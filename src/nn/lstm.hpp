@@ -1,0 +1,46 @@
+// Single-layer LSTM over a fixed-length sequence, with full backpropagation
+// through time.  Used by the IMDB-LSTM-style FL task: the layer consumes a
+// rank-3 input (batch, time, features) and emits the final hidden state
+// (batch, hidden), which a Dense head turns into class logits.
+#pragma once
+
+#include "nn/layers.hpp"
+
+namespace bofl::nn {
+
+class LstmCell final : public Layer {
+ public:
+  LstmCell(std::size_t input_features, std::size_t hidden_size, Rng& rng);
+
+  /// input: (batch, time, input_features) -> output: (batch, hidden).
+  Tensor forward(const Tensor& input) override;
+
+  /// grad_output: (batch, hidden) w.r.t. the final hidden state.
+  /// Returns (batch, time, input_features).
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::vector<Tensor*> parameters() override;
+  std::vector<Tensor*> gradients() override;
+
+  [[nodiscard]] std::size_t hidden_size() const { return hidden_; }
+
+ private:
+  struct StepCache {
+    Tensor z;       ///< (batch, in + hidden) concatenated input
+    Tensor i, f, g, o;
+    Tensor c;       ///< cell state after this step
+    Tensor tanh_c;  ///< tanh(c)
+  };
+
+  std::size_t input_;
+  std::size_t hidden_;
+  Tensor weight_;       ///< (in + hidden, 4 * hidden): gate order i, f, g, o
+  Tensor bias_;         ///< (4 * hidden)
+  Tensor grad_weight_;
+  Tensor grad_bias_;
+  std::vector<StepCache> steps_;
+  std::size_t batch_ = 0;
+  std::size_t time_ = 0;
+};
+
+}  // namespace bofl::nn

@@ -1,0 +1,68 @@
+// Sequential model container and the model zoo used by the FL tasks.
+//
+// The zoo's "proxy" models are intentionally small stand-ins for ViT /
+// ResNet50 / LSTM: the pace controller never inspects the network, it only
+// needs the FL substrate to run real SGD (see DESIGN.md §2).  The LSTM
+// proxy genuinely recurs over a sequence.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/conv.hpp"
+#include "nn/layers.hpp"
+#include "nn/lstm.hpp"
+
+namespace bofl::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  void add(std::unique_ptr<Layer> layer);
+
+  [[nodiscard]] Tensor forward(const Tensor& input);
+  /// Backpropagate through all layers; returns dLoss/dInput.
+  Tensor backward(const Tensor& grad_output);
+
+  void zero_gradients();
+
+  [[nodiscard]] std::vector<Tensor*> parameters();
+  [[nodiscard]] std::vector<Tensor*> gradients();
+
+  /// Total number of scalar parameters.
+  [[nodiscard]] std::size_t num_parameters();
+
+  /// Flatten all parameters into one vector (FedAvg wire format).
+  [[nodiscard]] std::vector<float> get_flat_parameters();
+  /// Load parameters from the flat wire format; sizes must match.
+  void set_flat_parameters(const std::vector<float>& flat);
+
+  [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// MLP classifier: input -> hidden (ReLU) x depth -> classes.
+[[nodiscard]] Sequential make_mlp_classifier(std::size_t input_features,
+                                             std::size_t hidden,
+                                             std::size_t depth,
+                                             std::size_t classes, Rng& rng);
+
+/// Sequence classifier: LSTM over (batch, time, features) -> Dense logits.
+[[nodiscard]] Sequential make_lstm_classifier(std::size_t input_features,
+                                              std::size_t hidden,
+                                              std::size_t classes, Rng& rng);
+
+/// Small CNN: Conv(kxk) -> ReLU -> MaxPool(2x2) -> Flatten -> Dense.
+/// Input (batch, channels, height, width); (height-k+1) and (width-k+1)
+/// must be even for the pool.
+[[nodiscard]] Sequential make_cnn_classifier(std::size_t channels,
+                                             std::size_t height,
+                                             std::size_t width,
+                                             std::size_t filters,
+                                             std::size_t kernel,
+                                             std::size_t classes, Rng& rng);
+
+}  // namespace bofl::nn

@@ -1,0 +1,37 @@
+#include "pareto/hypervolume.hpp"
+
+#include <algorithm>
+
+namespace bofl::pareto {
+
+double hypervolume_2d(const std::vector<Point2>& points, const Point2& ref) {
+  // Reduce to the Pareto front clipped to the region dominated by ref.
+  std::vector<Point2> relevant;
+  relevant.reserve(points.size());
+  for (const Point2& p : points) {
+    if (p.f1 < ref.f1 && p.f2 < ref.f2) {
+      relevant.push_back(p);
+    }
+  }
+  const std::vector<Point2> front = pareto_front(std::move(relevant));
+  // Sweep left to right: each front point contributes a rectangle from its
+  // f1 to the next point's f1 (or ref.f1), with height ref.f2 - f2.
+  double area = 0.0;
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    const double right = (i + 1 < front.size()) ? front[i + 1].f1 : ref.f1;
+    area += (right - front[i].f1) * (ref.f2 - front[i].f2);
+  }
+  return area;
+}
+
+double hypervolume_improvement(const std::vector<Point2>& front,
+                               const std::vector<Point2>& candidates,
+                               const Point2& ref) {
+  std::vector<Point2> merged = front;
+  merged.insert(merged.end(), candidates.begin(), candidates.end());
+  const double combined = hypervolume_2d(merged, ref);
+  const double base = hypervolume_2d(front, ref);
+  return std::max(combined - base, 0.0);
+}
+
+}  // namespace bofl::pareto

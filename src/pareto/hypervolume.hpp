@@ -1,0 +1,26 @@
+// Exact 2-D hypervolume indicator and hypervolume improvement (Eqns. 4–5).
+//
+// For minimization, HV(P', r) is the area of the region dominated by the
+// approximated front P' and bounded above by the reference point r.  The
+// paper uses HV to judge the quality of the constructed front and the HVI
+// of each MBO round as the stopping signal.
+#pragma once
+
+#include "pareto/pareto.hpp"
+
+namespace bofl::pareto {
+
+/// Hypervolume (area) dominated by `points` and bounded by `ref`
+/// (minimization: only the part of each point's dominated region with
+/// coordinates <= ref counts).  Points at or beyond the reference point
+/// contribute zero.  Exact, O(n log n).
+[[nodiscard]] double hypervolume_2d(const std::vector<Point2>& points,
+                                    const Point2& ref);
+
+/// Hypervolume improvement of adding `candidates` to `front` (Eqn. 5):
+/// HV(front ∪ candidates, ref) − HV(front, ref).  Always >= 0.
+[[nodiscard]] double hypervolume_improvement(
+    const std::vector<Point2>& front, const std::vector<Point2>& candidates,
+    const Point2& ref);
+
+}  // namespace bofl::pareto

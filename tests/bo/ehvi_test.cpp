@@ -1,0 +1,112 @@
+#include "bo/ehvi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "pareto/hypervolume.hpp"
+
+namespace bofl::bo {
+namespace {
+
+std::vector<std::pair<double, double>> normal_samples(std::size_t n,
+                                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<double, double>> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    samples.emplace_back(rng.normal(), rng.normal());
+  }
+  return samples;
+}
+
+TEST(Ehvi, DegeneratesToHviWhenDeterministic) {
+  const std::vector<pareto::Point2> front{{2.0, 2.0}};
+  const pareto::Point2 ref{4.0, 4.0};
+  const GaussianPair deterministic{1.0, 0.0, 3.0, 0.0};
+  EXPECT_NEAR(ehvi_2d(deterministic, front, ref),
+              pareto::hypervolume_improvement(front, {{1.0, 3.0}}, ref),
+              1e-12);
+}
+
+TEST(Ehvi, EmptyFrontEqualsProductOfExpectedSides) {
+  // With no front, EHVI = E[(r1-Y1)^+] * E[(r2-Y2)^+].
+  const pareto::Point2 ref{1.0, 2.0};
+  const GaussianPair belief{0.0, 1.0, 0.0, 1.0};
+  const double mc =
+      ehvi_2d_monte_carlo(belief, {}, ref, normal_samples(400000, 7));
+  EXPECT_NEAR(ehvi_2d(belief, {}, ref), mc, 0.01);
+}
+
+TEST(Ehvi, AlwaysNonNegative) {
+  const std::vector<pareto::Point2> front{{1.0, 3.0}, {2.0, 1.0}};
+  const pareto::Point2 ref{4.0, 4.0};
+  // A candidate that is almost surely far outside the box.
+  const GaussianPair hopeless{50.0, 0.1, 50.0, 0.1};
+  EXPECT_GE(ehvi_2d(hopeless, front, ref), 0.0);
+  EXPECT_NEAR(ehvi_2d(hopeless, front, ref), 0.0, 1e-9);
+}
+
+TEST(Ehvi, BetterMeanGivesHigherValue) {
+  const std::vector<pareto::Point2> front{{1.0, 3.0}, {2.0, 1.0}};
+  const pareto::Point2 ref{4.0, 4.0};
+  const GaussianPair good{0.5, 0.3, 0.5, 0.3};
+  const GaussianPair mediocre{1.8, 0.3, 2.5, 0.3};
+  EXPECT_GT(ehvi_2d(good, front, ref), ehvi_2d(mediocre, front, ref));
+}
+
+TEST(Ehvi, UncertaintyHelpsDominatedMean) {
+  // A candidate whose mean is dominated still has positive EHVI if its
+  // uncertainty reaches into the improving region.
+  const std::vector<pareto::Point2> front{{1.0, 1.0}};
+  const pareto::Point2 ref{4.0, 4.0};
+  const GaussianPair certain{2.0, 1e-6, 2.0, 1e-6};
+  const GaussianPair uncertain{2.0, 1.0, 2.0, 1.0};
+  EXPECT_NEAR(ehvi_2d(certain, front, ref), 0.0, 1e-9);
+  EXPECT_GT(ehvi_2d(uncertain, front, ref), 0.01);
+}
+
+TEST(Ehvi, IgnoresFrontPointsOutsideReferenceBox) {
+  const pareto::Point2 ref{4.0, 4.0};
+  const std::vector<pareto::Point2> inside{{1.0, 1.0}};
+  const std::vector<pareto::Point2> with_outside{
+      {1.0, 1.0}, {5.0, 0.5}, {0.5, 9.0}};
+  const GaussianPair belief{1.5, 0.5, 1.5, 0.5};
+  // Outside points still dominate area outside the box only... they are
+  // clipped, so the EHVI must not change.
+  EXPECT_NEAR(ehvi_2d(belief, inside, ref),
+              ehvi_2d(belief, with_outside, ref), 1e-12);
+}
+
+TEST(Ehvi, RejectsNegativeSigma) {
+  EXPECT_THROW(
+      (void)ehvi_2d({0.0, -1.0, 0.0, 1.0}, {}, {1.0, 1.0}),
+      std::invalid_argument);
+}
+
+// The heavyweight property: exact EHVI matches Monte-Carlo estimates over
+// randomized fronts, beliefs and reference points.
+class EhviMonteCarlo : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EhviMonteCarlo, MatchesSimulation) {
+  Rng rng(GetParam() * 1337 + 5);
+  const pareto::Point2 ref{rng.uniform(3.0, 6.0), rng.uniform(3.0, 6.0)};
+  std::vector<pareto::Point2> front;
+  const std::size_t n = 1 + rng.uniform_index(8);
+  for (std::size_t i = 0; i < n; ++i) {
+    front.push_back({rng.uniform(0.0, ref.f1), rng.uniform(0.0, ref.f2)});
+  }
+  const GaussianPair belief{rng.uniform(0.0, ref.f1), rng.uniform(0.05, 1.0),
+                            rng.uniform(0.0, ref.f2), rng.uniform(0.05, 1.0)};
+  const double exact = ehvi_2d(belief, front, ref);
+  const double mc = ehvi_2d_monte_carlo(belief, front, ref,
+                                        normal_samples(200000, GetParam()));
+  const double scale = std::max(1.0, exact);
+  EXPECT_NEAR(exact, mc, 0.02 * scale)
+      << "seed=" << GetParam() << " exact=" << exact << " mc=" << mc;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EhviMonteCarlo,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace bofl::bo

@@ -1,0 +1,71 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace bofl {
+namespace {
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/bofl_csv_test.csv";
+};
+
+TEST_F(CsvTest, HeaderAndRows) {
+  {
+    CsvWriter writer(path_, {"round", "energy", "label"});
+    writer.write_row(std::vector<std::string>{"1", "42.5", "bofl"});
+    writer.write_row(std::vector<double>{2.0, 43.25, 0.0});
+    EXPECT_EQ(writer.rows_written(), 2u);
+    EXPECT_EQ(writer.num_columns(), 3u);
+  }
+  EXPECT_EQ(read_all(path_),
+            "round,energy,label\n1,42.5,bofl\n2,43.25,0\n");
+}
+
+TEST_F(CsvTest, RejectsWidthMismatch) {
+  CsvWriter writer(path_, {"a", "b"});
+  EXPECT_THROW(writer.write_row(std::vector<std::string>{"1"}),
+               std::invalid_argument);
+  EXPECT_THROW(writer.write_row(std::vector<double>{1.0, 2.0, 3.0}),
+               std::invalid_argument);
+}
+
+TEST_F(CsvTest, RejectsEmptyHeader) {
+  EXPECT_THROW(CsvWriter(path_, {}), std::invalid_argument);
+}
+
+TEST_F(CsvTest, RejectsUnopenablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv", {"a"}),
+               std::invalid_argument);
+}
+
+TEST(CsvEscape, Rfc4180Quoting) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(CsvWriter::escape("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(CsvWriter::escape("multi\nline"), "\"multi\nline\"");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+TEST_F(CsvTest, QuotedCellsRoundTripInFile) {
+  {
+    CsvWriter writer(path_, {"text"});
+    writer.write_row(std::vector<std::string>{"a,b \"c\""});
+  }
+  EXPECT_EQ(read_all(path_), "text\n\"a,b \"\"c\"\"\"\n");
+}
+
+}  // namespace
+}  // namespace bofl

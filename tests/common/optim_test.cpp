@@ -1,0 +1,100 @@
+#include "common/optim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bofl {
+namespace {
+
+TEST(NelderMead, MinimizesQuadratic) {
+  const auto f = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0) + 2.0 * (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  const NelderMeadResult result = nelder_mead(f, {0.0, 0.0});
+  EXPECT_NEAR(result.x[0], 3.0, 1e-4);
+  EXPECT_NEAR(result.x[1], -1.0, 1e-4);
+  EXPECT_NEAR(result.f, 0.0, 1e-7);
+}
+
+TEST(NelderMead, MinimizesRosenbrock) {
+  const auto rosenbrock = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions options;
+  options.max_iterations = 2000;
+  const NelderMeadResult result = nelder_mead(rosenbrock, {-1.2, 1.0}, options);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, OneDimensional) {
+  const auto f = [](const std::vector<double>& x) {
+    return std::cos(x[0]) + 0.01 * x[0] * x[0];
+  };
+  const NelderMeadResult result = nelder_mead(f, {2.5});
+  EXPECT_NEAR(result.x[0], M_PI, 0.1);  // local minimum near pi
+}
+
+TEST(NelderMead, HandlesNanAsInfinity) {
+  // A function returning NaN outside its domain must not break ordering.
+  const auto f = [](const std::vector<double>& x) {
+    if (x[0] < 0.0) {
+      return std::nan("");
+    }
+    return (x[0] - 2.0) * (x[0] - 2.0);
+  };
+  const NelderMeadResult result = nelder_mead(f, {0.5});
+  EXPECT_NEAR(result.x[0], 2.0, 1e-3);
+}
+
+TEST(NelderMead, ConvergesFlagOnEasyProblem) {
+  const auto f = [](const std::vector<double>& x) { return x[0] * x[0]; };
+  const NelderMeadResult result = nelder_mead(f, {1.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.evaluations, 0u);
+}
+
+TEST(NelderMead, RespectsIterationBudget) {
+  const auto rosenbrock = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions options;
+  options.max_iterations = 5;
+  const NelderMeadResult result = nelder_mead(rosenbrock, {-1.2, 1.0}, options);
+  EXPECT_LE(result.iterations, 5u);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(NelderMead, RejectsEmptyStart) {
+  const auto f = [](const std::vector<double>&) { return 0.0; };
+  EXPECT_THROW((void)nelder_mead(f, {}), std::invalid_argument);
+}
+
+// Parameterized sweep: quadratic bowls with different centers all converge.
+class NelderMeadBowl : public ::testing::TestWithParam<double> {};
+
+TEST_P(NelderMeadBowl, FindsCenter) {
+  const double center = GetParam();
+  const auto f = [center](const std::vector<double>& x) {
+    double s = 0.0;
+    for (double v : x) {
+      s += (v - center) * (v - center);
+    }
+    return s;
+  };
+  const NelderMeadResult result = nelder_mead(f, {0.0, 0.0, 0.0});
+  for (double v : result.x) {
+    EXPECT_NEAR(v, center, 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Centers, NelderMeadBowl,
+                         ::testing::Values(-10.0, -1.0, 0.0, 0.5, 7.0, 42.0));
+
+}  // namespace
+}  // namespace bofl

@@ -1,0 +1,128 @@
+#include "common/quasirandom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace bofl {
+namespace {
+
+TEST(Halton, RadicalInverseBase2) {
+  EXPECT_DOUBLE_EQ(HaltonSequence::radical_inverse(1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(HaltonSequence::radical_inverse(2, 2), 0.25);
+  EXPECT_DOUBLE_EQ(HaltonSequence::radical_inverse(3, 2), 0.75);
+  EXPECT_DOUBLE_EQ(HaltonSequence::radical_inverse(4, 2), 0.125);
+}
+
+TEST(Halton, RadicalInverseBase3) {
+  EXPECT_NEAR(HaltonSequence::radical_inverse(1, 3), 1.0 / 3.0, 1e-15);
+  EXPECT_NEAR(HaltonSequence::radical_inverse(2, 3), 2.0 / 3.0, 1e-15);
+  EXPECT_NEAR(HaltonSequence::radical_inverse(3, 3), 1.0 / 9.0, 1e-15);
+}
+
+TEST(Halton, PointsInUnitCube) {
+  HaltonSequence seq(3);
+  for (const auto& p : seq.take(500)) {
+    ASSERT_EQ(p.size(), 3u);
+    for (double x : p) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LT(x, 1.0);
+    }
+  }
+}
+
+TEST(Halton, RejectsUnsupportedDimension) {
+  EXPECT_THROW(HaltonSequence(0), std::invalid_argument);
+  EXPECT_THROW(HaltonSequence(9), std::invalid_argument);
+}
+
+/// Quasi-random sequences should be noticeably more even than chance: every
+/// cell of a coarse grid must receive points.
+TEST(Halton, CoversCoarseGrid) {
+  HaltonSequence seq(2);
+  constexpr int kGrid = 4;
+  std::set<int> cells;
+  for (const auto& p : seq.take(128)) {
+    const int cx = std::min(static_cast<int>(p[0] * kGrid), kGrid - 1);
+    const int cy = std::min(static_cast<int>(p[1] * kGrid), kGrid - 1);
+    cells.insert(cx * kGrid + cy);
+  }
+  EXPECT_EQ(cells.size(), static_cast<std::size_t>(kGrid * kGrid));
+}
+
+TEST(Sobol, PointsInUnitCube) {
+  SobolSequence seq(3);
+  for (const auto& p : seq.take(1000)) {
+    ASSERT_EQ(p.size(), 3u);
+    for (double x : p) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LT(x, 1.0);
+    }
+  }
+}
+
+TEST(Sobol, FirstDimensionIsVanDerCorput) {
+  SobolSequence seq(1);
+  const auto points = seq.take(5);
+  EXPECT_DOUBLE_EQ(points[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(points[1][0], 0.5);
+  EXPECT_DOUBLE_EQ(points[2][0], 0.75);
+  EXPECT_DOUBLE_EQ(points[3][0], 0.25);
+  EXPECT_DOUBLE_EQ(points[4][0], 0.375);
+}
+
+TEST(Sobol, PointsAreDistinct) {
+  SobolSequence seq(3);
+  std::set<std::vector<double>> seen;
+  for (const auto& p : seq.take(512)) {
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate Sobol point";
+  }
+}
+
+TEST(Sobol, CoversCoarseGridFast) {
+  SobolSequence seq(2);
+  constexpr int kGrid = 4;
+  std::set<int> cells;
+  for (const auto& p : seq.take(64)) {
+    const int cx = std::min(static_cast<int>(p[0] * kGrid), kGrid - 1);
+    const int cy = std::min(static_cast<int>(p[1] * kGrid), kGrid - 1);
+    cells.insert(cx * kGrid + cy);
+  }
+  EXPECT_EQ(cells.size(), static_cast<std::size_t>(kGrid * kGrid));
+}
+
+TEST(Sobol, BalancedFirstCoordinate) {
+  SobolSequence seq(3);
+  int low = 0;
+  const auto points = seq.take(256);
+  for (const auto& p : points) {
+    low += p[0] < 0.5 ? 1 : 0;
+  }
+  EXPECT_EQ(low, 128);  // exact balance is a defining Sobol property
+}
+
+TEST(Sobol, RejectsUnsupportedDimension) {
+  EXPECT_THROW(SobolSequence(0), std::invalid_argument);
+  EXPECT_THROW(SobolSequence(9), std::invalid_argument);
+}
+
+TEST(GridProjection, MapsUnitPointToIndices) {
+  const auto idx = to_grid_indices({0.0, 0.5, 0.999}, {4, 4, 4});
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 2u);
+  EXPECT_EQ(idx[2], 3u);
+}
+
+TEST(GridProjection, ClampsOutOfRange) {
+  const auto idx = to_grid_indices({1.0, -0.2}, {5, 5});
+  EXPECT_EQ(idx[0], 4u);
+  EXPECT_EQ(idx[1], 0u);
+}
+
+TEST(GridProjection, RejectsDimensionMismatch) {
+  EXPECT_THROW((void)to_grid_indices({0.5}, {4, 4}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bofl

@@ -1,0 +1,58 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bofl {
+namespace {
+
+TEST(Units, ArithmeticOnLikeQuantities) {
+  const Seconds a{2.0};
+  const Seconds b{3.0};
+  EXPECT_DOUBLE_EQ((a + b).value(), 5.0);
+  EXPECT_DOUBLE_EQ((b - a).value(), 1.0);
+  EXPECT_DOUBLE_EQ((a * 4.0).value(), 8.0);
+  EXPECT_DOUBLE_EQ((4.0 * a).value(), 8.0);
+  EXPECT_DOUBLE_EQ((b / 3.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(b / a, 1.5);  // ratio is dimensionless
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Seconds{1.0}, Seconds{2.0});
+  EXPECT_EQ(Joules{5.0}, Joules{5.0});
+  EXPECT_GE(Watts{3.0}, Watts{3.0});
+}
+
+TEST(Units, CompoundAssignment) {
+  Joules e{1.0};
+  e += Joules{2.0};
+  EXPECT_DOUBLE_EQ(e.value(), 3.0);
+  e -= Joules{0.5};
+  EXPECT_DOUBLE_EQ(e.value(), 2.5);
+}
+
+TEST(Units, PowerTimeEnergyRelations) {
+  const Watts p{10.0};
+  const Seconds t{3.0};
+  const Joules e = p * t;
+  EXPECT_DOUBLE_EQ(e.value(), 30.0);
+  EXPECT_DOUBLE_EQ((t * p).value(), 30.0);
+  EXPECT_DOUBLE_EQ((e / t).value(), 10.0);  // back to watts
+  EXPECT_DOUBLE_EQ((e / p).value(), 3.0);   // back to seconds
+}
+
+TEST(Units, StreamOutputHasSuffix) {
+  std::ostringstream os;
+  os << Seconds{1.5} << " " << Joules{2.0} << " " << Watts{3.0} << " "
+     << GigaHertz{1.38};
+  EXPECT_EQ(os.str(), "1.5s 2J 3W 1.38GHz");
+}
+
+TEST(Units, DefaultConstructedIsZero) {
+  EXPECT_DOUBLE_EQ(Seconds{}.value(), 0.0);
+  EXPECT_DOUBLE_EQ(Joules{}.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace bofl

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "core/harness.hpp"
+#include "core/linear_controller.hpp"
+#include "core/oracle_controller.hpp"
+#include "core/performant_controller.hpp"
+
+namespace bofl::core {
+namespace {
+
+std::vector<RoundSpec> short_rounds(const device::DeviceModel& model,
+                                    const FlTaskSpec& task, double ratio,
+                                    std::int64_t rounds,
+                                    std::uint64_t seed = 3) {
+  FlTaskSpec copy = task;
+  copy.num_rounds = rounds;
+  return make_rounds(copy, model, ratio, seed);
+}
+
+TEST(Performant, AlwaysRunsXmax) {
+  const device::DeviceModel agx = device::jetson_agx();
+  const FlTaskSpec task = cifar10_vit_task(agx.name());
+  PerformantController controller(agx, task.profile, {}, 1);
+  const auto rounds = short_rounds(agx, task, 2.0, 5);
+  const TaskResult result = run_task(controller, rounds);
+  for (const RoundTrace& trace : result.rounds) {
+    ASSERT_EQ(trace.runs.size(), 1u);
+    EXPECT_EQ(trace.runs[0].config, agx.space().max_config());
+    EXPECT_EQ(trace.runs[0].jobs, task.jobs_per_round());
+    EXPECT_TRUE(trace.deadline_met());
+  }
+}
+
+TEST(Performant, EnergyMatchesModel) {
+  const device::DeviceModel agx = device::jetson_agx();
+  const FlTaskSpec task = cifar10_vit_task(agx.name());
+  PerformantController controller(agx, task.profile, {}, 1);
+  const auto rounds = short_rounds(agx, task, 2.0, 3);
+  const TaskResult result = run_task(controller, rounds);
+  const double per_round =
+      agx.energy(task.profile, agx.space().max_config()).value() *
+      static_cast<double>(task.jobs_per_round());
+  for (const RoundTrace& trace : result.rounds) {
+    EXPECT_NEAR(trace.energy().value(), per_round, 1e-6);
+  }
+}
+
+TEST(Oracle, BeatsPerformantAndMeetsDeadlines) {
+  const device::DeviceModel agx = device::jetson_agx();
+  const FlTaskSpec task = imagenet_resnet50_task(agx.name());
+  const auto rounds = short_rounds(agx, task, 2.5, 10);
+  PerformantController performant(agx, task.profile, {}, 1);
+  OracleController oracle(agx, task.profile, {}, 2);
+  const TaskResult rp = run_task(performant, rounds);
+  const TaskResult ro = run_task(oracle, rounds);
+  EXPECT_TRUE(ro.all_deadlines_met());
+  EXPECT_LT(total_energy(ro).value(), total_energy(rp).value());
+  EXPECT_GT(improvement_vs(ro, rp), 0.1);
+}
+
+TEST(Oracle, ParetoProfilesAreMutuallyNonDominated) {
+  const device::DeviceModel tx2 = device::jetson_tx2();
+  const auto profiles =
+      true_pareto_profiles(tx2, device::lstm_profile());
+  ASSERT_GT(profiles.size(), 5u);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    for (std::size_t j = 0; j < profiles.size(); ++j) {
+      if (i == j) {
+        continue;
+      }
+      const bool dominates =
+          profiles[j].energy_per_job <= profiles[i].energy_per_job &&
+          profiles[j].latency_per_job <= profiles[i].latency_per_job &&
+          (profiles[j].energy_per_job < profiles[i].energy_per_job ||
+           profiles[j].latency_per_job < profiles[i].latency_per_job);
+      EXPECT_FALSE(dominates);
+    }
+  }
+}
+
+TEST(Oracle, ExactDeadlineRoundsAreStillFeasible) {
+  // Deadline == T_min forces the all-x_max schedule.
+  const device::DeviceModel agx = device::jetson_agx();
+  const FlTaskSpec task = cifar10_vit_task(agx.name());
+  OracleController oracle(agx, task.profile, {}, 2);
+  const Seconds t_min =
+      agx.round_t_min(task.profile, task.jobs_per_round());
+  const RoundTrace trace =
+      oracle.run_round({0, task.jobs_per_round(), t_min});
+  EXPECT_TRUE(trace.deadline_met());
+  EXPECT_EQ(trace.jobs(), task.jobs_per_round());
+}
+
+TEST(Oracle, ImpossibleDeadlineDegradesToXmax) {
+  const device::DeviceModel agx = device::jetson_agx();
+  const FlTaskSpec task = cifar10_vit_task(agx.name());
+  OracleController oracle(agx, task.profile, {}, 2);
+  const RoundTrace trace =
+      oracle.run_round({0, task.jobs_per_round(), Seconds{1.0}});
+  // All jobs still execute (FL semantics: training always completes; the
+  // update is just late), at maximum speed.
+  ASSERT_EQ(trace.runs.size(), 1u);
+  EXPECT_EQ(trace.runs[0].config, agx.space().max_config());
+  EXPECT_FALSE(trace.deadline_met());
+}
+
+TEST(Oracle, LooserDeadlinesNeverCostMoreEnergy) {
+  const device::DeviceModel agx = device::jetson_agx();
+  const FlTaskSpec task = imdb_lstm_task(agx.name());
+  OracleController oracle(agx, task.profile, {}, 2);
+  const Seconds t_min =
+      agx.round_t_min(task.profile, task.jobs_per_round());
+  double previous = std::numeric_limits<double>::infinity();
+  std::int64_t index = 0;
+  for (double ratio = 1.0; ratio <= 4.01; ratio += 0.5) {
+    const RoundTrace trace = oracle.run_round(
+        {index++, task.jobs_per_round(), t_min * ratio});
+    EXPECT_LE(trace.energy().value(), previous + 1e-6) << "ratio " << ratio;
+    previous = trace.energy().value();
+  }
+}
+
+TEST(LinearModel, MeetsDeadlinesViaGuardian) {
+  const device::DeviceModel agx = device::jetson_agx();
+  // The GPU-bound ViT breaks the linear CPU-only latency assumption.
+  const FlTaskSpec task = cifar10_vit_task(agx.name());
+  LinearModelController controller(agx, task.profile, {}, 5);
+  const auto rounds = short_rounds(agx, task, 2.0, 8);
+  const TaskResult result = run_task(controller, rounds);
+  EXPECT_TRUE(result.all_deadlines_met());
+}
+
+TEST(LinearModel, SavesLessThanOracleOnGpuBoundModel) {
+  // The ablation's point: the 1-D linear model leaves most of the energy
+  // savings on the table for GPU-bound workloads.
+  const device::DeviceModel agx = device::jetson_agx();
+  const FlTaskSpec task = cifar10_vit_task(agx.name());
+  const auto rounds = short_rounds(agx, task, 3.0, 10);
+  LinearModelController linear(agx, task.profile, {}, 5);
+  OracleController oracle(agx, task.profile, {}, 6);
+  PerformantController performant(agx, task.profile, {}, 7);
+  const TaskResult rl = run_task(linear, rounds);
+  const TaskResult ro = run_task(oracle, rounds);
+  const TaskResult rp = run_task(performant, rounds);
+  EXPECT_GT(total_energy(rl).value(), total_energy(ro).value());
+  const double linear_improvement = improvement_vs(rl, rp);
+  const double oracle_improvement = improvement_vs(ro, rp);
+  EXPECT_LT(linear_improvement, 0.6 * oracle_improvement);
+}
+
+TEST(Harness, MetricsAreConsistent) {
+  TaskResult subject;
+  subject.rounds.push_back({});
+  subject.rounds[0].runs.push_back(
+      {{0, 0, 0}, 1, Seconds{1.0}, Joules{80.0}, false});
+  TaskResult baseline;
+  baseline.rounds.push_back({});
+  baseline.rounds[0].runs.push_back(
+      {{0, 0, 0}, 1, Seconds{1.0}, Joules{100.0}, false});
+  EXPECT_DOUBLE_EQ(improvement_vs(subject, baseline), 0.2);
+  EXPECT_DOUBLE_EQ(regret_vs(baseline, subject), 0.25);
+}
+
+}  // namespace
+}  // namespace bofl::core

@@ -1,0 +1,38 @@
+#include "core/mbo_cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bofl::core {
+namespace {
+
+TEST(MboCost, LatencyGrowsWithInputs) {
+  const MboCostModel model{5.0, 0.02, 0.1, 9.0};
+  EXPECT_DOUBLE_EQ(model.latency(0, 0).value(), 5.0);
+  EXPECT_DOUBLE_EQ(model.latency(50, 10).value(), 5.0 + 1.0 + 1.0);
+  EXPECT_LT(model.latency(10, 2).value(), model.latency(100, 2).value());
+}
+
+TEST(MboCost, EnergyIsPowerTimesLatency) {
+  const MboCostModel model{5.0, 0.0, 0.0, 10.0};
+  EXPECT_DOUBLE_EQ(model.energy(0, 0).value(), 50.0);
+}
+
+TEST(MboCost, DeviceDefaultsMatchFigure13) {
+  // Fig. 13a: updates take ~6 s on AGX, ~8.5 s on TX2, 50-70 J each.
+  const MboCostModel agx = mbo_cost_for_device("jetson-agx");
+  const MboCostModel tx2 = mbo_cost_for_device("jetson-tx2");
+  const double agx_latency = agx.latency(40, 8).value();
+  const double tx2_latency = tx2.latency(40, 8).value();
+  EXPECT_GT(tx2_latency, agx_latency);
+  EXPECT_NEAR(agx_latency, 6.4, 1.0);
+  EXPECT_NEAR(tx2_latency, 9.4, 1.5);
+  EXPECT_GT(agx.energy(40, 8).value(), 40.0);
+  EXPECT_LT(agx.energy(40, 8).value(), 80.0);
+}
+
+TEST(MboCost, UnknownDeviceRejected) {
+  EXPECT_THROW((void)mbo_cost_for_device("abacus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bofl::core

@@ -1,0 +1,154 @@
+// Failure-injection robustness of the BoFL controller: latency spikes,
+// thermal throttling, and their interaction with the deadline machinery.
+// Hard real-time guarantees are impossible once the *true* execution times
+// are adversarial; these tests pin down graceful degradation instead —
+// bounded miss rates, bounded overshoots, and intact energy wins.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bofl_controller.hpp"
+#include "core/harness.hpp"
+#include "core/performant_controller.hpp"
+
+namespace bofl::core {
+namespace {
+
+BoflOptions fast_options(const std::string& device_name) {
+  BoflOptions options;
+  options.mbo_cost = mbo_cost_for_device(device_name);
+  options.mbo.hyperopt.num_restarts = 2;
+  options.mbo.hyperopt.max_iterations_per_start = 80;
+  return options;
+}
+
+TEST(Robustness, RareSpikesBarelyDentDeadlinePerformance) {
+  const device::DeviceModel agx = device::jetson_agx();
+  FlTaskSpec task = cifar10_vit_task(agx.name());
+  task.num_rounds = 30;
+  const auto rounds = make_rounds(task, agx, 2.5, 333);
+
+  device::NoiseModel noise;
+  noise.spike_probability = 0.005;  // 1 job in 200
+  noise.spike_magnitude = 3.0;
+  BoflController bofl(agx, task.profile, noise, fast_options(agx.name()), 9);
+  const TaskResult result = run_task(bofl, rounds);
+
+  int misses = 0;
+  double worst_overshoot = 0.0;
+  for (const RoundTrace& trace : result.rounds) {
+    if (!trace.deadline_met()) {
+      ++misses;
+      worst_overshoot =
+          std::max(worst_overshoot,
+                   trace.elapsed().value() - trace.deadline.value());
+    }
+  }
+  // ~1 spiked job per round at 2.5x slack: the closed-loop scheduler must
+  // absorb nearly all of it.
+  EXPECT_LE(misses, 2);
+  EXPECT_LT(worst_overshoot, 1.0);
+}
+
+TEST(Robustness, HeavySpikesDegradeGracefully) {
+  const device::DeviceModel agx = device::jetson_agx();
+  FlTaskSpec task = cifar10_vit_task(agx.name());
+  task.num_rounds = 25;
+  const auto rounds = make_rounds(task, agx, 3.0, 444);
+
+  device::NoiseModel noise;
+  noise.spike_probability = 0.02;
+  noise.spike_magnitude = 4.0;
+  BoflController bofl(agx, task.profile, noise, fast_options(agx.name()), 10);
+  PerformantController performant(agx, task.profile, noise, 11);
+  const TaskResult rb = run_task(bofl, rounds);
+  const TaskResult rp = run_task(performant, rounds);
+
+  // Under a 6 % average slowdown the energy advantage must survive ...
+  EXPECT_LT(total_energy(rb).value(), total_energy(rp).value());
+  // ... and any overshoot stays within the spike mass itself (a few
+  // seconds), never a systematic blowup.
+  for (const RoundTrace& trace : rb.rounds) {
+    EXPECT_LT(trace.elapsed().value() - trace.deadline.value(), 5.0);
+  }
+}
+
+TEST(Robustness, SpikesInflateMeasuredProfilesNotCrash) {
+  const device::DeviceModel agx = device::jetson_agx();
+  FlTaskSpec task = imdb_lstm_task(agx.name());
+  task.num_rounds = 15;
+  const auto rounds = make_rounds(task, agx, 3.0, 555);
+  device::NoiseModel noise;
+  noise.spike_probability = 0.05;
+  noise.spike_magnitude = 5.0;
+  BoflController bofl(agx, task.profile, noise, fast_options(agx.name()), 12);
+  const TaskResult result = run_task(bofl, rounds);
+  for (const RoundTrace& trace : result.rounds) {
+    EXPECT_EQ(trace.jobs(), task.jobs_per_round());
+  }
+  // The aggregates absorb the spikes; profiles stay positive and finite.
+  for (const auto& profile : bofl.observed_profiles()) {
+    EXPECT_GT(profile.latency_per_job, 0.0);
+    EXPECT_TRUE(std::isfinite(profile.energy_per_job));
+  }
+}
+
+TEST(Robustness, ThermalThrottlingIsAbsorbedByClosedLoop) {
+  const device::DeviceModel agx = device::jetson_agx();
+  FlTaskSpec task = cifar10_vit_task(agx.name());
+  task.num_rounds = 25;
+  // Plenty of slack: throttling slows the device by up to ~40 %.
+  const auto rounds = make_rounds(task, agx, 4.0, 666);
+
+  device::NoiseModel noise;
+  device::ThermalParams thermal;
+  thermal.throttle_temp_c = 60.0;
+  thermal.time_constant_s = 120.0;
+  thermal.thermal_resistance_c_per_w = 1.6;
+  noise.thermal = thermal;
+  BoflController bofl(agx, task.profile, noise, fast_options(agx.name()), 13);
+  const TaskResult result = run_task(bofl, rounds);
+
+  // All jobs always run; misses (if any) are confined to the hot tail and
+  // small relative to the round length.
+  int misses = 0;
+  for (const RoundTrace& trace : result.rounds) {
+    EXPECT_EQ(trace.jobs(), task.jobs_per_round());
+    if (!trace.deadline_met()) {
+      ++misses;
+      EXPECT_LT(trace.elapsed() / trace.deadline, 1.10);
+    }
+  }
+  EXPECT_LE(misses, 3);
+}
+
+TEST(Robustness, ThermalThrottlingShiftsMeasuredLatenciesUp) {
+  // The controller's aggregates must track the hot-die reality: after
+  // sustained running, the measured x_max latency exceeds the cool-die
+  // model value, because the hardware silently caps the clocks.
+  const device::DeviceModel agx = device::jetson_agx();
+  FlTaskSpec task = cifar10_vit_task(agx.name());
+  task.num_rounds = 20;
+  const auto rounds = make_rounds(task, agx, 3.0, 777);
+  device::NoiseModel noise;
+  device::ThermalParams thermal;
+  thermal.throttle_temp_c = 50.0;  // aggressive: throttles almost instantly
+  thermal.time_constant_s = 30.0;
+  noise.thermal = thermal;
+  BoflController bofl(agx, task.profile, noise, fast_options(agx.name()), 14);
+  (void)run_task(bofl, rounds);
+  const double cool =
+      agx.latency(task.profile, agx.space().max_config()).value();
+  const std::size_t x_max_flat =
+      agx.space().to_flat(agx.space().max_config());
+  // The aggregate blends early (cool) and late (hot) measurements, so the
+  // shift is modest but must be clearly upward.
+  for (const auto& profile : bofl.observed_profiles()) {
+    if (profile.config_id == x_max_flat) {
+      EXPECT_GT(profile.latency_per_job, cool * 1.05);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bofl::core

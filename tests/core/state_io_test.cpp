@@ -1,0 +1,163 @@
+// Controller state persistence: export/import and the CSV round trip.
+#include "core/state_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/harness.hpp"
+#include "core/oracle_controller.hpp"
+
+namespace bofl::core {
+namespace {
+
+BoflOptions fast_options(const std::string& device_name) {
+  BoflOptions options;
+  options.mbo_cost = mbo_cost_for_device(device_name);
+  options.mbo.hyperopt.num_restarts = 2;
+  options.mbo.hyperopt.max_iterations_per_start = 80;
+  return options;
+}
+
+TEST(StateIo, ExportContainsEveryExploredConfig) {
+  const device::DeviceModel agx = device::jetson_agx();
+  FlTaskSpec task = cifar10_vit_task(agx.name());
+  task.num_rounds = 12;
+  const auto rounds = make_rounds(task, agx, 2.0, 51);
+  BoflController bofl(agx, task.profile, {}, fast_options(agx.name()), 52);
+  (void)run_task(bofl, rounds);
+
+  const auto saved = bofl.export_state();
+  EXPECT_EQ(saved.size(), bofl.observed_profiles().size());
+  for (const auto& obs : saved) {
+    EXPECT_GT(obs.jobs, 0.0);
+    EXPECT_GT(obs.mean_energy, 0.0);
+    EXPECT_GT(obs.mean_latency, 0.0);
+    EXPECT_LT(obs.config_flat, agx.space().size());
+  }
+  // Sorted by config id for stable files.
+  for (std::size_t i = 1; i < saved.size(); ++i) {
+    EXPECT_LT(saved[i - 1].config_flat, saved[i].config_flat);
+  }
+}
+
+TEST(StateIo, CsvRoundTripPreservesValues) {
+  const device::DeviceModel agx = device::jetson_agx();
+  FlTaskSpec task = imdb_lstm_task(agx.name());
+  task.num_rounds = 10;
+  const auto rounds = make_rounds(task, agx, 2.5, 53);
+  BoflController bofl(agx, task.profile, {}, fast_options(agx.name()), 54);
+  (void)run_task(bofl, rounds);
+
+  const std::string path = ::testing::TempDir() + "/bofl_state_test.csv";
+  save_state(bofl, path);
+  const auto loaded = load_state(path);
+  const auto original = bofl.export_state();
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].config_flat, original[i].config_flat);
+    EXPECT_NEAR(loaded[i].jobs, original[i].jobs, 1e-6);
+    EXPECT_NEAR(loaded[i].mean_energy, original[i].mean_energy, 1e-9);
+    EXPECT_NEAR(loaded[i].mean_latency, original[i].mean_latency, 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StateIo, LoadRejectsMissingFile) {
+  EXPECT_THROW((void)load_state("/no/such/state.csv"),
+               std::invalid_argument);
+}
+
+TEST(StateIo, ResumedControllerSkipsExploration) {
+  const device::DeviceModel agx = device::jetson_agx();
+  FlTaskSpec task = cifar10_vit_task(agx.name());
+  task.num_rounds = 25;
+  const auto rounds = make_rounds(task, agx, 2.0, 55);
+
+  // First life: run long enough to converge, then persist.
+  BoflController first(agx, task.profile, {}, fast_options(agx.name()), 56);
+  (void)run_task(first, rounds);
+  ASSERT_EQ(first.phase(), Phase::kExploitation);
+  const auto saved = first.export_state();
+
+  // Second life: resume and verify it never re-explores.
+  BoflController resumed(agx, task.profile, {}, fast_options(agx.name()), 57);
+  resumed.import_state(saved);
+  EXPECT_EQ(resumed.phase(), Phase::kExploitation);
+  const auto more_rounds = make_rounds(task, agx, 2.0, 58);
+  const TaskResult result = run_task(resumed, more_rounds);
+  EXPECT_TRUE(result.all_deadlines_met());
+  EXPECT_EQ(result.rounds_in_phase(Phase::kSafeRandomExploration), 0);
+  EXPECT_EQ(result.rounds_in_phase(Phase::kParetoConstruction), 0);
+  for (const RoundTrace& trace : result.rounds) {
+    EXPECT_TRUE(trace.explored_flat_ids.empty());
+  }
+}
+
+TEST(StateIo, ResumedControllerMatchesWarmEnergy) {
+  // A resumed controller's energy over N rounds should match the original
+  // controller's exploitation-phase energy, not its cold-start energy.
+  const device::DeviceModel agx = device::jetson_agx();
+  FlTaskSpec task = cifar10_vit_task(agx.name());
+  task.num_rounds = 25;
+  const auto rounds = make_rounds(task, agx, 2.5, 59);
+
+  BoflController first(agx, task.profile, {}, fast_options(agx.name()), 60);
+  const TaskResult cold = run_task(first, rounds);
+
+  BoflController resumed(agx, task.profile, {}, fast_options(agx.name()), 61);
+  resumed.import_state(first.export_state());
+  const TaskResult warm = run_task(resumed, rounds);
+
+  EXPECT_LT(total_energy(warm).value(), total_energy(cold).value());
+  OracleController oracle(agx, task.profile, {}, 62);
+  const TaskResult ideal = run_task(oracle, rounds);
+  EXPECT_LT(regret_vs(warm, ideal), 0.05);
+}
+
+TEST(StateIo, PartialStateResumesInParetoPhase) {
+  const device::DeviceModel agx = device::jetson_agx();
+  const FlTaskSpec task = cifar10_vit_task(agx.name());
+  // A minimal save: x_max plus two other points — not enough coverage.
+  const std::size_t x_max_flat =
+      agx.space().to_flat(agx.space().max_config());
+  std::vector<BoflController::SavedObservation> saved{
+      {x_max_flat, 50.0,
+       agx.energy(task.profile, agx.space().max_config()).value(),
+       agx.latency(task.profile, agx.space().max_config()).value()},
+      {100, 10.0, 5.0, 0.5},
+      {200, 10.0, 4.5, 0.6}};
+  BoflController resumed(agx, task.profile, {}, fast_options(agx.name()), 63);
+  resumed.import_state(saved);
+  EXPECT_EQ(resumed.phase(), Phase::kParetoConstruction);
+}
+
+TEST(StateIo, StateWithoutXmaxRestartsExploration) {
+  const device::DeviceModel agx = device::jetson_agx();
+  const FlTaskSpec task = cifar10_vit_task(agx.name());
+  std::vector<BoflController::SavedObservation> saved{
+      {100, 10.0, 5.0, 0.5}};
+  BoflController resumed(agx, task.profile, {}, fast_options(agx.name()), 64);
+  resumed.import_state(saved);
+  EXPECT_EQ(resumed.phase(), Phase::kSafeRandomExploration);
+}
+
+TEST(StateIo, ImportRejectsUsedControllerAndBadData) {
+  const device::DeviceModel agx = device::jetson_agx();
+  FlTaskSpec task = cifar10_vit_task(agx.name());
+  task.num_rounds = 1;
+  const auto rounds = make_rounds(task, agx, 2.0, 65);
+  BoflController used(agx, task.profile, {}, fast_options(agx.name()), 66);
+  (void)used.run_round(rounds[0]);
+  EXPECT_THROW(used.import_state({}), std::invalid_argument);
+
+  BoflController fresh(agx, task.profile, {}, fast_options(agx.name()), 67);
+  EXPECT_THROW(
+      fresh.import_state({{agx.space().size(), 1.0, 1.0, 1.0}}),
+      std::invalid_argument);
+  EXPECT_THROW(fresh.import_state({{0, 0.0, 1.0, 1.0}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bofl::core

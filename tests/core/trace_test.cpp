@@ -1,0 +1,73 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bofl::core {
+namespace {
+
+RoundTrace sample_trace() {
+  RoundTrace trace;
+  trace.index = 3;
+  trace.deadline = Seconds{10.0};
+  trace.phase = Phase::kParetoConstruction;
+  trace.runs.push_back({{0, 0, 0}, 5, Seconds{2.0}, Joules{20.0}, true});
+  trace.runs.push_back({{1, 1, 1}, 10, Seconds{6.0}, Joules{30.0}, false});
+  trace.mbo_latency = Seconds{4.0};
+  trace.mbo_energy = Joules{40.0};
+  return trace;
+}
+
+TEST(RoundTrace, Accounting) {
+  const RoundTrace trace = sample_trace();
+  EXPECT_DOUBLE_EQ(trace.elapsed().value(), 8.0);
+  EXPECT_DOUBLE_EQ(trace.energy().value(), 50.0);
+  EXPECT_EQ(trace.jobs(), 15);
+  EXPECT_TRUE(trace.deadline_met());
+}
+
+TEST(RoundTrace, DeadlineMissDetected) {
+  RoundTrace trace = sample_trace();
+  trace.deadline = Seconds{7.9};
+  EXPECT_FALSE(trace.deadline_met());
+}
+
+TEST(RoundTrace, ExactBoundaryCounts) {
+  RoundTrace trace = sample_trace();
+  trace.deadline = Seconds{8.0};
+  EXPECT_TRUE(trace.deadline_met());
+}
+
+TEST(RoundTrace, EmptyTraceIsZero) {
+  const RoundTrace trace;
+  EXPECT_DOUBLE_EQ(trace.elapsed().value(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.energy().value(), 0.0);
+  EXPECT_EQ(trace.jobs(), 0);
+  EXPECT_TRUE(trace.deadline_met());
+}
+
+TEST(TaskResult, Totals) {
+  TaskResult result;
+  result.rounds.push_back(sample_trace());
+  result.rounds.push_back(sample_trace());
+  result.rounds[1].phase = Phase::kExploitation;
+  result.rounds[1].mbo_energy = Joules{0.0};
+  result.rounds[1].mbo_latency = Seconds{0.0};
+
+  EXPECT_DOUBLE_EQ(result.total_training_energy().value(), 100.0);
+  EXPECT_DOUBLE_EQ(result.total_mbo_energy().value(), 40.0);
+  EXPECT_DOUBLE_EQ(result.total_mbo_latency().value(), 4.0);
+  EXPECT_TRUE(result.all_deadlines_met());
+  EXPECT_EQ(result.rounds_in_phase(Phase::kParetoConstruction), 1);
+  EXPECT_EQ(result.rounds_in_phase(Phase::kExploitation), 1);
+  EXPECT_EQ(result.rounds_in_phase(Phase::kSafeRandomExploration), 0);
+}
+
+TEST(TaskResult, DeadlineViolationPropagates) {
+  TaskResult result;
+  result.rounds.push_back(sample_trace());
+  result.rounds.back().deadline = Seconds{1.0};
+  EXPECT_FALSE(result.all_deadlines_met());
+}
+
+}  // namespace
+}  // namespace bofl::core

@@ -1,0 +1,139 @@
+// Failure injection and thermal throttling in the device substrate.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "device/observer.hpp"
+
+namespace bofl::device {
+namespace {
+
+TEST(Spikes, InflateMeanLatencyByExpectedFactor) {
+  const DeviceModel agx = jetson_agx();
+  const WorkloadProfile vit = vit_profile();
+  const DvfsConfig x_max = agx.space().max_config();
+  const double base = agx.latency(vit, x_max).value();
+
+  NoiseModel noise;
+  noise.latency_cv = 0.0;
+  noise.energy_cv = 0.0;
+  noise.spike_probability = 0.1;
+  noise.spike_magnitude = 4.0;
+  PerformanceObserver observer(agx, noise, 5);
+  SimClock clock;
+  RunningStats per_job;
+  for (int i = 0; i < 300; ++i) {
+    const Measurement m = observer.run_jobs(vit, x_max, 20, clock);
+    per_job.add(m.true_duration.value() / 20.0);
+  }
+  // E[latency] = base * (1 + p (k - 1)) = base * 1.3.
+  EXPECT_NEAR(per_job.mean() / base, 1.3, 0.03);
+}
+
+TEST(Spikes, TrueDurationAlwaysAtLeastNominal) {
+  const DeviceModel agx = jetson_agx();
+  NoiseModel noise;
+  noise.spike_probability = 0.3;
+  PerformanceObserver observer(agx, noise, 6);
+  SimClock clock;
+  const WorkloadProfile vit = vit_profile();
+  const DvfsConfig config{5, 5, 3};
+  const double nominal = agx.latency(vit, config).value();
+  for (int i = 0; i < 50; ++i) {
+    const Measurement m = observer.run_jobs(vit, config, 5, clock);
+    EXPECT_GE(m.true_duration.value(), 5.0 * nominal - 1e-9);
+  }
+}
+
+TEST(Spikes, RejectsInvalidParameters) {
+  const DeviceModel agx = jetson_agx();
+  NoiseModel noise;
+  noise.spike_probability = 1.0;
+  EXPECT_THROW(PerformanceObserver(agx, noise, 1), std::invalid_argument);
+  noise.spike_probability = 0.1;
+  noise.spike_magnitude = 0.5;
+  EXPECT_THROW(PerformanceObserver(agx, noise, 1), std::invalid_argument);
+}
+
+TEST(Thermal, TemperatureApproachesSteadyState) {
+  const ThermalParams params;
+  ThermalState state(params);
+  EXPECT_DOUBLE_EQ(state.temperature_c(), params.ambient_c);
+  // Hold 30 W for many time constants: T -> ambient + R * P = 25 + 42 = 67.
+  for (int i = 0; i < 100; ++i) {
+    state.advance(Watts{30.0}, Seconds{10.0});
+  }
+  EXPECT_NEAR(state.temperature_c(), 67.0, 0.1);
+  EXPECT_FALSE(state.throttled());
+}
+
+TEST(Thermal, CoolsBackTowardsAmbient) {
+  ThermalParams params;
+  ThermalState state(params);
+  for (int i = 0; i < 50; ++i) {
+    state.advance(Watts{40.0}, Seconds{10.0});
+  }
+  const double hot = state.temperature_c();
+  for (int i = 0; i < 50; ++i) {
+    state.advance(Watts{0.0}, Seconds{10.0});
+  }
+  EXPECT_LT(state.temperature_c(), hot);
+  EXPECT_NEAR(state.temperature_c(), params.ambient_c, 0.5);
+}
+
+TEST(Thermal, ThrottleCapsConfiguration) {
+  const DeviceModel agx = jetson_agx();
+  ThermalParams params;
+  params.throttle_temp_c = 30.0;  // trivially exceeded
+  ThermalState state(params);
+  for (int i = 0; i < 20; ++i) {
+    state.advance(Watts{40.0}, Seconds{10.0});
+  }
+  ASSERT_TRUE(state.throttled());
+  const DvfsConfig requested = agx.space().max_config();
+  const DvfsConfig effective = state.effective_config(agx.space(), requested);
+  EXPECT_LT(effective.cpu, requested.cpu);
+  EXPECT_LT(effective.gpu, requested.gpu);
+  EXPECT_LT(effective.mem, requested.mem);
+  // A config already below the cap passes through unchanged.
+  const DvfsConfig low{1, 1, 1};
+  EXPECT_EQ(state.effective_config(agx.space(), low), low);
+}
+
+TEST(Thermal, ObserverSlowsDownWhenHot) {
+  const DeviceModel agx = jetson_agx();
+  const WorkloadProfile vit = vit_profile();
+  const DvfsConfig x_max = agx.space().max_config();
+  const double cool_latency = agx.latency(vit, x_max).value();
+
+  NoiseModel noise;
+  noise.latency_cv = 0.0;
+  noise.energy_cv = 0.0;
+  ThermalParams params;
+  params.throttle_temp_c = 45.0;   // reached quickly at full power
+  params.time_constant_s = 20.0;
+  noise.thermal = params;
+  PerformanceObserver observer(agx, noise, 7);
+  SimClock clock;
+
+  // Run flat out until the die heats past the throttle point.
+  Measurement last;
+  for (int burst = 0; burst < 40; ++burst) {
+    last = observer.run_jobs(vit, x_max, 50, clock);
+  }
+  ASSERT_NE(observer.thermal(), nullptr);
+  EXPECT_TRUE(observer.thermal()->throttled());
+  // Throttled jobs are slower than the cool-die latency.
+  EXPECT_GT(last.true_duration.value() / 50.0, cool_latency * 1.2);
+}
+
+TEST(Thermal, RejectsInvalidParameters) {
+  ThermalParams params;
+  params.time_constant_s = 0.0;
+  EXPECT_THROW(ThermalState{params}, std::invalid_argument);
+  params = {};
+  params.throttle_cap = 0.0;
+  EXPECT_THROW(ThermalState{params}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bofl::device

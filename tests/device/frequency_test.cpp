@@ -1,0 +1,116 @@
+#include "device/frequency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/device_model.hpp"
+
+namespace bofl::device {
+namespace {
+
+TEST(FrequencyTable, LinearConstruction) {
+  const FrequencyTable t = FrequencyTable::linear(1.0, 2.0, 5);
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_DOUBLE_EQ(t.at(0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(2).value(), 1.5);
+  EXPECT_DOUBLE_EQ(t.at(4).value(), 2.0);
+}
+
+TEST(FrequencyTable, SingleStep) {
+  const FrequencyTable t = FrequencyTable::linear(1.0, 1.5, 1);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.at(0).value(), 1.5);
+  EXPECT_DOUBLE_EQ(t.normalized(0), 1.0);
+}
+
+TEST(FrequencyTable, RejectsInvalid) {
+  EXPECT_THROW(FrequencyTable::linear(2.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(FrequencyTable::linear(0.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(FrequencyTable({GigaHertz{2.0}, GigaHertz{1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(FrequencyTable({}), std::invalid_argument);
+}
+
+TEST(FrequencyTable, NearestIndex) {
+  const FrequencyTable t = FrequencyTable::linear(1.0, 2.0, 5);  // step .25
+  EXPECT_EQ(t.nearest_index(GigaHertz{1.0}), 0u);
+  EXPECT_EQ(t.nearest_index(GigaHertz{1.3}), 1u);
+  EXPECT_EQ(t.nearest_index(GigaHertz{1.4}), 2u);
+  EXPECT_EQ(t.nearest_index(GigaHertz{5.0}), 4u);
+  EXPECT_EQ(t.nearest_index(GigaHertz{0.1}), 0u);
+}
+
+TEST(FrequencyTable, NormalizedEndpoints) {
+  const FrequencyTable t = FrequencyTable::linear(0.5, 2.5, 5);
+  EXPECT_DOUBLE_EQ(t.normalized(0), 0.0);
+  EXPECT_DOUBLE_EQ(t.normalized(4), 1.0);
+  EXPECT_DOUBLE_EQ(t.normalized(2), 0.5);
+}
+
+TEST(FrequencyTable, OutOfRangeIndexThrows) {
+  const FrequencyTable t = FrequencyTable::linear(1.0, 2.0, 3);
+  EXPECT_THROW((void)t.at(3), std::invalid_argument);
+}
+
+TEST(DvfsSpace, PaperSpaceSizes) {
+  // Table 1: AGX 25*14*6 = 2100 configurations, TX2 12*13*6 = 936.
+  EXPECT_EQ(jetson_agx().space().size(), 2100u);
+  EXPECT_EQ(jetson_tx2().space().size(), 936u);
+}
+
+TEST(DvfsSpace, FlatRoundTripCoversWholeSpace) {
+  const DeviceModel model = jetson_agx();
+  const DvfsSpace& space = model.space();
+  for (std::size_t flat = 0; flat < space.size(); ++flat) {
+    const DvfsConfig config = space.from_flat(flat);
+    EXPECT_EQ(space.to_flat(config), flat);
+  }
+}
+
+TEST(DvfsSpace, FlatIndexBoundsChecked) {
+  const DeviceModel model = jetson_tx2();
+  const DvfsSpace& space = model.space();
+  EXPECT_THROW((void)space.from_flat(space.size()), std::invalid_argument);
+  EXPECT_THROW((void)space.to_flat({99, 0, 0}), std::invalid_argument);
+}
+
+TEST(DvfsSpace, MaxConfigIsHighestSteps) {
+  const DeviceModel model = jetson_agx();
+  const DvfsSpace& space = model.space();
+  const DvfsConfig x_max = space.max_config();
+  EXPECT_EQ(x_max.cpu, space.cpu_table().size() - 1);
+  EXPECT_EQ(x_max.gpu, space.gpu_table().size() - 1);
+  EXPECT_EQ(x_max.mem, space.mem_table().size() - 1);
+  EXPECT_NEAR(space.cpu_freq(x_max).value(), 2.2656, 1e-9);
+  EXPECT_NEAR(space.gpu_freq(x_max).value(), 1.3770, 1e-9);
+  EXPECT_NEAR(space.mem_freq(x_max).value(), 2.1330, 1e-9);
+}
+
+TEST(DvfsSpace, NormalizedIsUnitCube) {
+  const DeviceModel model = jetson_agx();
+  const DvfsSpace& space = model.space();
+  const auto all = space.all_normalized();
+  ASSERT_EQ(all.size(), space.size());
+  for (const auto& p : all) {
+    ASSERT_EQ(p.size(), 3u);
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+  // Extremes map to the cube corners.
+  EXPECT_EQ(space.normalized({0, 0, 0}), (linalg::Vector{0.0, 0.0, 0.0}));
+  EXPECT_EQ(space.normalized(space.max_config()),
+            (linalg::Vector{1.0, 1.0, 1.0}));
+}
+
+TEST(DvfsSpace, DescribeMentionsAllUnits) {
+  const DeviceModel model = jetson_agx();
+  const DvfsSpace& space = model.space();
+  const std::string text = space.describe(space.max_config());
+  EXPECT_NE(text.find("cpu="), std::string::npos);
+  EXPECT_NE(text.find("gpu="), std::string::npos);
+  EXPECT_NE(text.find("mem="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bofl::device

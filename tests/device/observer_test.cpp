@@ -1,0 +1,140 @@
+#include "device/observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace bofl::device {
+namespace {
+
+TEST(SimClock, StartsAtZeroAndAdvances) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.now().value(), 0.0);
+  clock.advance(Seconds{1.5});
+  clock.advance(Seconds{0.5});
+  EXPECT_DOUBLE_EQ(clock.now().value(), 2.0);
+}
+
+TEST(SimClock, RejectsNegativeAdvance) {
+  SimClock clock;
+  EXPECT_THROW(clock.advance(Seconds{-1.0}), std::invalid_argument);
+}
+
+TEST(NoiseModel, EffectiveCvShrinksWithDuration) {
+  const NoiseModel noise;
+  const double short_cv = noise.effective_cv(0.03, 0.2);
+  const double ref_cv = noise.effective_cv(0.03, 5.0);
+  const double long_cv = noise.effective_cv(0.03, 50.0);
+  EXPECT_GT(short_cv, ref_cv);
+  EXPECT_DOUBLE_EQ(ref_cv, 0.03);
+  // Longer-than-reference measurements do not get better than base CV
+  // (the sensor's floor).
+  EXPECT_DOUBLE_EQ(long_cv, 0.03);
+}
+
+TEST(NoiseModel, AmplificationIsCapped) {
+  const NoiseModel noise;
+  EXPECT_DOUBLE_EQ(noise.effective_cv(0.03, 1e-6),
+                   0.03 * noise.max_amplification);
+}
+
+TEST(PowerSensor, ReadingsAreUnbiased) {
+  const NoiseModel noise;
+  PowerSensor sensor(noise, Rng(77));
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(sensor.read_energy(Joules{10.0}, Seconds{5.0}).value());
+  }
+  EXPECT_NEAR(stats.mean(), 10.0, 0.02);
+  EXPECT_NEAR(stats.stddev() / stats.mean(), noise.energy_cv, 0.003);
+}
+
+TEST(Observer, ClockAdvancesByTrueLatency) {
+  const DeviceModel agx = jetson_agx();
+  PerformanceObserver observer(agx, NoiseModel{}, 1);
+  SimClock clock;
+  const WorkloadProfile vit = vit_profile();
+  const DvfsConfig x_max = agx.space().max_config();
+  const Measurement m = observer.run_jobs(vit, x_max, 10, clock);
+  EXPECT_DOUBLE_EQ(clock.now().value(), m.true_duration.value());
+  EXPECT_NEAR(m.true_duration.value(),
+              10.0 * agx.latency(vit, x_max).value(), 1e-12);
+  EXPECT_NEAR(m.true_energy.value(), 10.0 * agx.energy(vit, x_max).value(),
+              1e-9);
+}
+
+TEST(Observer, MeasurementsAreNoisyButClose) {
+  const DeviceModel agx = jetson_agx();
+  PerformanceObserver observer(agx, NoiseModel{}, 2);
+  SimClock clock;
+  const WorkloadProfile vit = vit_profile();
+  const DvfsConfig x_max = agx.space().max_config();
+  const double true_latency = agx.latency(vit, x_max).value();
+  const double true_energy = agx.energy(vit, x_max).value();
+  RunningStats latency_stats;
+  RunningStats energy_stats;
+  for (int i = 0; i < 3000; ++i) {
+    const Measurement m = observer.run_jobs(vit, x_max, 30, clock);
+    latency_stats.add(m.measured_latency.value());
+    energy_stats.add(m.measured_energy.value());
+  }
+  EXPECT_NEAR(latency_stats.mean(), true_latency, 0.01 * true_latency);
+  EXPECT_NEAR(energy_stats.mean(), true_energy, 0.01 * true_energy);
+  EXPECT_GT(latency_stats.stddev(), 0.0);
+}
+
+TEST(Observer, ShortMeasurementsAreNoisier) {
+  const DeviceModel agx = jetson_agx();
+  const WorkloadProfile vit = vit_profile();
+  const DvfsConfig x_max = agx.space().max_config();
+  RunningStats one_job;
+  RunningStats many_jobs;
+  {
+    PerformanceObserver observer(agx, NoiseModel{}, 3);
+    SimClock clock;
+    for (int i = 0; i < 4000; ++i) {
+      one_job.add(
+          observer.run_jobs(vit, x_max, 1, clock).measured_energy.value());
+    }
+  }
+  {
+    PerformanceObserver observer(agx, NoiseModel{}, 3);
+    SimClock clock;
+    for (int i = 0; i < 4000; ++i) {
+      many_jobs.add(
+          observer.run_jobs(vit, x_max, 50, clock).measured_energy.value());
+    }
+  }
+  EXPECT_GT(one_job.stddev() / one_job.mean(),
+            2.0 * many_jobs.stddev() / many_jobs.mean());
+}
+
+TEST(Observer, DeterministicBySeed) {
+  const DeviceModel agx = jetson_agx();
+  const WorkloadProfile vit = vit_profile();
+  const DvfsConfig config{3, 5, 2};
+  PerformanceObserver a(agx, NoiseModel{}, 42);
+  PerformanceObserver b(agx, NoiseModel{}, 42);
+  SimClock clock_a;
+  SimClock clock_b;
+  for (int i = 0; i < 10; ++i) {
+    const Measurement ma = a.run_jobs(vit, config, 5, clock_a);
+    const Measurement mb = b.run_jobs(vit, config, 5, clock_b);
+    EXPECT_DOUBLE_EQ(ma.measured_latency.value(),
+                     mb.measured_latency.value());
+    EXPECT_DOUBLE_EQ(ma.measured_energy.value(), mb.measured_energy.value());
+  }
+}
+
+TEST(Observer, RejectsNonPositiveJobCount) {
+  const DeviceModel agx = jetson_agx();
+  PerformanceObserver observer(agx, NoiseModel{}, 4);
+  SimClock clock;
+  EXPECT_THROW(
+      (void)observer.run_jobs(vit_profile(), agx.space().max_config(), 0,
+                              clock),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bofl::device

@@ -1,0 +1,123 @@
+#include "device/sysfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "device/device_model.hpp"
+
+namespace bofl::device {
+namespace {
+
+TEST(SysfsTree, WriteReadRoundTrip) {
+  SysfsTree tree;
+  tree.write("/sys/test/value", "123");
+  EXPECT_EQ(tree.read("/sys/test/value"), "123");
+  EXPECT_TRUE(tree.exists("/sys/test/value"));
+  EXPECT_FALSE(tree.exists("/sys/test/other"));
+}
+
+TEST(SysfsTree, MissingFileThrows) {
+  const SysfsTree tree;
+  EXPECT_THROW((void)tree.read("/nope"), std::invalid_argument);
+}
+
+TEST(SysfsTree, OverwriteReplaces) {
+  SysfsTree tree;
+  tree.write("/f", "1");
+  tree.write("/f", "2");
+  EXPECT_EQ(tree.read("/f"), "2");
+}
+
+TEST(SysfsController, BootsPinnedToMax) {
+  const DeviceModel agx = jetson_agx();
+  const SysfsDvfsController controller(agx.space());
+  EXPECT_EQ(controller.current(), agx.space().max_config());
+}
+
+TEST(SysfsController, CreatesJetsonStyleLayout) {
+  const DeviceModel agx = jetson_agx();
+  const SysfsDvfsController controller(agx.space());
+  const SysfsTree& tree = controller.tree();
+  EXPECT_TRUE(tree.exists(SysfsDvfsController::kCpuMinPath));
+  EXPECT_TRUE(tree.exists(SysfsDvfsController::kCpuMaxPath));
+  EXPECT_TRUE(tree.exists(SysfsDvfsController::kGpuCurPath));
+  EXPECT_TRUE(tree.exists(SysfsDvfsController::kMemMaxPath));
+  EXPECT_EQ(tree.paths().size(), 9u);
+}
+
+TEST(SysfsController, KernelUnits) {
+  const DeviceModel agx = jetson_agx();
+  SysfsDvfsController controller(agx.space());
+  controller.apply({0, 0, 0});
+  // CPU in kHz (0.4224 GHz = 422400 kHz), GPU/MEM in Hz.
+  EXPECT_EQ(controller.tree().read(SysfsDvfsController::kCpuCurPath),
+            "422400");
+  EXPECT_EQ(controller.tree().read(SysfsDvfsController::kGpuCurPath),
+            "114700000");
+  EXPECT_EQ(controller.tree().read(SysfsDvfsController::kMemCurPath),
+            "204000000");
+}
+
+TEST(SysfsController, MinEqualsMaxAfterPin) {
+  const DeviceModel agx = jetson_agx();
+  SysfsDvfsController controller(agx.space());
+  controller.apply({3, 4, 2});
+  EXPECT_EQ(controller.tree().read(SysfsDvfsController::kCpuMinPath),
+            controller.tree().read(SysfsDvfsController::kCpuMaxPath));
+  EXPECT_EQ(controller.tree().read(SysfsDvfsController::kGpuMinPath),
+            controller.tree().read(SysfsDvfsController::kGpuMaxPath));
+}
+
+TEST(SysfsController, ApplyCurrentRoundTripWholeSpace) {
+  const DeviceModel tx2 = jetson_tx2();
+  SysfsDvfsController controller(tx2.space());
+  for (std::size_t flat = 0; flat < tx2.space().size(); flat += 7) {
+    const DvfsConfig config = tx2.space().from_flat(flat);
+    controller.apply(config);
+    EXPECT_EQ(controller.current(), config) << "flat=" << flat;
+  }
+}
+
+TEST(SysfsController, RawRequestsSnapToNearestStep) {
+  const DeviceModel agx = jetson_agx();
+  SysfsDvfsController controller(agx.space());
+  // Request frequencies between table steps; the kernel clamps.
+  controller.request_raw(/*cpu_khz=*/500000.0, /*gpu_hz=*/2.0e9,
+                         /*mem_hz=*/1.0e3);
+  const DvfsConfig snapped = controller.current();
+  EXPECT_EQ(snapped.cpu,
+            agx.space().cpu_table().nearest_index(GigaHertz{0.5}));
+  EXPECT_EQ(snapped.gpu, agx.space().gpu_table().size() - 1);  // above max
+  EXPECT_EQ(snapped.mem, 0u);                                  // below min
+}
+
+TEST(SysfsController, RejectsNonPositiveRawRates) {
+  const DeviceModel agx = jetson_agx();
+  SysfsDvfsController controller(agx.space());
+  EXPECT_THROW(controller.request_raw(0.0, 1e9, 1e9), std::invalid_argument);
+}
+
+TEST(SysfsTree, MaterializeAndLoadRoundTrip) {
+  const DeviceModel agx = jetson_agx();
+  SysfsDvfsController controller(agx.space());
+  controller.apply({3, 7, 2});
+
+  const std::string root = ::testing::TempDir() + "/bofl_sysfs_test";
+  controller.tree().materialize(root);
+
+  const SysfsTree loaded = SysfsTree::load_from(root);
+  EXPECT_EQ(loaded.paths(), controller.tree().paths());
+  for (const std::string& path : controller.tree().paths()) {
+    EXPECT_EQ(loaded.read(path), controller.tree().read(path)) << path;
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(SysfsTree, LoadFromMissingDirectoryThrows) {
+  EXPECT_THROW((void)SysfsTree::load_from("/no/such/dir/bofl"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bofl::device

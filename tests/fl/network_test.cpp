@@ -1,0 +1,101 @@
+#include "fl/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace bofl::fl {
+namespace {
+
+TEST(NetworkModel, TransferTimeMatchesMeanBandwidth) {
+  NetworkModel link(5.0, 0.0, 1);  // deterministic 5 Mbps
+  // The paper's §6.5 example: 51.2 Mb over 5 Mbps LTE ~ 10.2 s.
+  const Seconds t = link.transfer_time(51.2e6);
+  EXPECT_NEAR(t.value(), 10.24, 1e-9);
+  EXPECT_DOUBLE_EQ(link.last_throughput_mbps(), 5.0);
+}
+
+TEST(NetworkModel, NoisyThroughputIsUnbiased) {
+  NetworkModel link(8.0, 0.3, 2);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    (void)link.transfer_time(1e6);
+    stats.add(link.last_throughput_mbps());
+  }
+  EXPECT_NEAR(stats.mean(), 8.0, 0.1);
+  EXPECT_NEAR(stats.stddev() / stats.mean(), 0.3, 0.02);
+}
+
+TEST(NetworkModel, RejectsBadArguments) {
+  EXPECT_THROW(NetworkModel(0.0, 0.1, 1), std::invalid_argument);
+  EXPECT_THROW(NetworkModel(5.0, -0.1, 1), std::invalid_argument);
+  NetworkModel link(5.0, 0.1, 1);
+  EXPECT_THROW((void)link.transfer_time(0.0), std::invalid_argument);
+}
+
+TEST(BandwidthEstimator, StartsAtSeedValue) {
+  const BandwidthEstimator est(6.0);
+  EXPECT_DOUBLE_EQ(est.estimate_mbps(), 6.0);
+  EXPECT_EQ(est.num_samples(), 0u);
+}
+
+TEST(BandwidthEstimator, ConvergesToObservedRate) {
+  BandwidthEstimator est(2.0, 0.3);
+  // Repeated 10 Mbps transfers: EWMA must converge to 10.
+  for (int i = 0; i < 50; ++i) {
+    est.record_transfer(10e6, Seconds{1.0});
+  }
+  EXPECT_NEAR(est.estimate_mbps(), 10.0, 0.01);
+  EXPECT_EQ(est.num_samples(), 50u);
+}
+
+TEST(BandwidthEstimator, SmoothingWeightsNewSample) {
+  BandwidthEstimator est(4.0, 0.5);
+  est.record_transfer(8e6, Seconds{1.0});  // observed 8 Mbps
+  EXPECT_DOUBLE_EQ(est.estimate_mbps(), 6.0);
+}
+
+TEST(BandwidthEstimator, RejectsBadArguments) {
+  EXPECT_THROW(BandwidthEstimator(0.0), std::invalid_argument);
+  EXPECT_THROW(BandwidthEstimator(5.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(BandwidthEstimator(5.0, 1.5), std::invalid_argument);
+  BandwidthEstimator est(5.0);
+  EXPECT_THROW(est.record_transfer(1e6, Seconds{0.0}),
+               std::invalid_argument);
+}
+
+TEST(ReportingDeadlineAdapter, SubtractsPredictedUpload) {
+  // 51.2 Mb at 5 Mbps estimate -> 10.24 s upload; safety 1.25 -> 12.8 s.
+  ReportingDeadlineAdapter adapter(51.2e6, BandwidthEstimator(5.0), 1.25);
+  EXPECT_NEAR(adapter.predicted_upload().value(), 10.24, 1e-9);
+  EXPECT_NEAR(adapter.training_deadline(Seconds{60.0}).value(), 47.2, 1e-9);
+}
+
+TEST(ReportingDeadlineAdapter, ClampsAtZero) {
+  ReportingDeadlineAdapter adapter(51.2e6, BandwidthEstimator(5.0), 1.25);
+  EXPECT_DOUBLE_EQ(adapter.training_deadline(Seconds{5.0}).value(), 0.0);
+}
+
+TEST(ReportingDeadlineAdapter, AdaptsToLinkDegradation) {
+  ReportingDeadlineAdapter adapter(10e6, BandwidthEstimator(10.0, 0.5), 1.0);
+  const double before = adapter.training_deadline(Seconds{30.0}).value();
+  // The link halves: uploads of 10 Mb now take 2 s (5 Mbps).
+  for (int i = 0; i < 30; ++i) {
+    adapter.record_upload(Seconds{2.0});
+  }
+  const double after = adapter.training_deadline(Seconds{30.0}).value();
+  EXPECT_LT(after, before);                // tighter training deadline
+  EXPECT_NEAR(adapter.predicted_upload().value(), 2.0, 0.05);
+}
+
+TEST(ReportingDeadlineAdapter, RejectsBadArguments) {
+  EXPECT_THROW(
+      ReportingDeadlineAdapter(0.0, BandwidthEstimator(5.0)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ReportingDeadlineAdapter(1e6, BandwidthEstimator(5.0), 0.9),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bofl::fl

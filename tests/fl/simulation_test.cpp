@@ -1,0 +1,104 @@
+#include "fl/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bofl::fl {
+namespace {
+
+FlSimulationConfig small_config(ControllerKind kind) {
+  FlSimulationConfig config;
+  config.num_clients = 6;
+  config.clients_per_round = 3;
+  config.rounds = 8;
+  config.epochs = 1;
+  config.minibatch_size = 16;
+  config.shard_examples = 128;
+  config.test_examples = 256;
+  config.controller = kind;
+  config.seed = 4242;
+  return config;
+}
+
+TEST(Simulation, AccuracyImprovesUnderFedAvg) {
+  const device::DeviceModel agx = device::jetson_agx();
+  FederatedSimulation sim(agx, small_config(ControllerKind::kPerformant));
+  const FlSimulationResult result = sim.run();
+  ASSERT_EQ(result.rounds.size(), 8u);
+  EXPECT_GT(result.final_accuracy(), result.rounds.front().global_accuracy);
+  EXPECT_LT(result.rounds.back().global_loss,
+            result.rounds.front().global_loss);
+}
+
+TEST(Simulation, EveryRoundAggregatesUpdates) {
+  const device::DeviceModel agx = device::jetson_agx();
+  FederatedSimulation sim(agx, small_config(ControllerKind::kPerformant));
+  const FlSimulationResult result = sim.run();
+  for (const FlRoundStats& round : result.rounds) {
+    EXPECT_EQ(round.participants, 3u);
+    EXPECT_EQ(round.accepted, 3u);  // Performant never misses
+    EXPECT_GT(round.energy.value(), 0.0);
+  }
+  EXPECT_EQ(result.total_dropped_updates(), 0u);
+}
+
+TEST(Simulation, BoflUsesLessEnergyThanPerformant) {
+  const device::DeviceModel agx = device::jetson_agx();
+  // Paper-scale rounds: ~24 s at x_max so the controller can explore with
+  // accurate (>= ~3 s) measurements, like the real Table-2 tasks.
+  FlSimulationConfig bofl_config = small_config(ControllerKind::kBofl);
+  bofl_config.rounds = 30;
+  bofl_config.epochs = 2;
+  bofl_config.minibatch_size = 8;
+  bofl_config.shard_examples = 512;
+  bofl_config.deadline_ratio = 3.0;
+  FlSimulationConfig perf_config = bofl_config;
+  perf_config.controller = ControllerKind::kPerformant;
+  FederatedSimulation bofl_sim(agx, bofl_config);
+  FederatedSimulation perf_sim(agx, perf_config);
+  const FlSimulationResult bofl = bofl_sim.run();
+  const FlSimulationResult perf = perf_sim.run();
+  EXPECT_LT(bofl.total_energy().value(), perf.total_energy().value());
+  EXPECT_EQ(bofl.total_dropped_updates(), 0u);  // deadline guardian works
+}
+
+TEST(Simulation, OracleControllerRuns) {
+  const device::DeviceModel agx = device::jetson_agx();
+  FlSimulationConfig config = small_config(ControllerKind::kOracle);
+  config.rounds = 4;
+  FederatedSimulation sim(agx, config);
+  const FlSimulationResult result = sim.run();
+  EXPECT_EQ(result.rounds.size(), 4u);
+  EXPECT_EQ(result.total_dropped_updates(), 0u);
+}
+
+TEST(Simulation, ControllerKindNames) {
+  EXPECT_STREQ(to_string(ControllerKind::kBofl), "BoFL");
+  EXPECT_STREQ(to_string(ControllerKind::kPerformant), "Performant");
+  EXPECT_STREQ(to_string(ControllerKind::kOracle), "Oracle");
+  EXPECT_STREQ(to_string(ControllerKind::kLinear), "LinearModel");
+}
+
+TEST(Simulation, RejectsBadConfig) {
+  const device::DeviceModel agx = device::jetson_agx();
+  FlSimulationConfig config = small_config(ControllerKind::kPerformant);
+  config.clients_per_round = 99;
+  EXPECT_THROW(FederatedSimulation(agx, config), std::invalid_argument);
+}
+
+TEST(Simulation, DeterministicBySeed) {
+  const device::DeviceModel agx = device::jetson_agx();
+  FlSimulationConfig config = small_config(ControllerKind::kPerformant);
+  config.rounds = 4;
+  FederatedSimulation a(agx, config);
+  FederatedSimulation b(agx, config);
+  const FlSimulationResult ra = a.run();
+  const FlSimulationResult rb = b.run();
+  for (std::size_t i = 0; i < ra.rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.rounds[i].global_loss, rb.rounds[i].global_loss);
+    EXPECT_DOUBLE_EQ(ra.rounds[i].energy.value(),
+                     rb.rounds[i].energy.value());
+  }
+}
+
+}  // namespace
+}  // namespace bofl::fl

@@ -1,0 +1,104 @@
+#include "gp/hyperopt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bofl::gp {
+namespace {
+
+/// Synthetic data: smooth 1-D function with small noise.
+void make_data(std::vector<linalg::Vector>& xs, std::vector<double>& ys,
+               std::size_t n, Rng& rng) {
+  xs.clear();
+  ys.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(n - 1);
+    xs.push_back({x});
+    ys.push_back(std::sin(5.0 * x) + rng.normal(0.0, 0.05));
+  }
+}
+
+TEST(Hyperopt, ImprovesOverDefaultHyperparameters) {
+  Rng rng(21);
+  std::vector<linalg::Vector> xs;
+  std::vector<double> ys;
+  make_data(xs, ys, 25, rng);
+
+  GaussianProcess default_gp(Kernel(KernelFamily::kMatern52, 1.0, {0.05}),
+                             0.5);
+  default_gp.condition(xs, ys);
+
+  Rng opt_rng(22);
+  const HyperoptResult fit =
+      fit_hyperparameters(KernelFamily::kMatern52, xs, ys, opt_rng);
+  EXPECT_GT(fit.log_marginal_likelihood,
+            default_gp.log_marginal_likelihood());
+}
+
+TEST(Hyperopt, RecoversSaneLengthscale) {
+  Rng rng(23);
+  std::vector<linalg::Vector> xs;
+  std::vector<double> ys;
+  make_data(xs, ys, 30, rng);
+  Rng opt_rng(24);
+  const HyperoptResult fit =
+      fit_hyperparameters(KernelFamily::kMatern52, xs, ys, opt_rng);
+  // sin(5x) on [0,1] has a correlation length of roughly 0.1-1.
+  EXPECT_GT(fit.kernel.lengthscales()[0], 0.02);
+  EXPECT_LT(fit.kernel.lengthscales()[0], 3.0);
+  EXPECT_GT(fit.noise_variance, 0.0);
+  EXPECT_LT(fit.noise_variance, 0.5);
+}
+
+TEST(Hyperopt, FittedModelPredictsHeldOutPoints) {
+  Rng rng(25);
+  std::vector<linalg::Vector> xs;
+  std::vector<double> ys;
+  make_data(xs, ys, 30, rng);
+  Rng opt_rng(26);
+  const HyperoptResult fit =
+      fit_hyperparameters(KernelFamily::kMatern52, xs, ys, opt_rng);
+  GaussianProcess gp(fit.kernel, fit.noise_variance);
+  gp.condition(xs, ys);
+  double max_error = 0.0;
+  for (double x = 0.05; x < 1.0; x += 0.1) {
+    max_error = std::max(max_error,
+                         std::abs(gp.predict({x}).mean - std::sin(5.0 * x)));
+  }
+  EXPECT_LT(max_error, 0.25);
+}
+
+TEST(Hyperopt, RespectsBounds) {
+  Rng rng(27);
+  std::vector<linalg::Vector> xs;
+  std::vector<double> ys;
+  make_data(xs, ys, 15, rng);
+  HyperoptOptions options;
+  options.min_lengthscale = 0.2;
+  options.max_lengthscale = 0.4;
+  Rng opt_rng(28);
+  const HyperoptResult fit = fit_hyperparameters(KernelFamily::kMatern52, xs,
+                                                 ys, opt_rng, options);
+  EXPECT_GE(fit.kernel.lengthscales()[0], 0.2);
+  EXPECT_LE(fit.kernel.lengthscales()[0], 0.4);
+}
+
+TEST(Hyperopt, WorksWithTinyDatasets) {
+  const std::vector<linalg::Vector> xs{{0.2}, {0.5}, {0.8}};
+  const std::vector<double> ys{0.1, 0.9, 0.2};
+  Rng opt_rng(29);
+  const HyperoptResult fit =
+      fit_hyperparameters(KernelFamily::kMatern52, xs, ys, opt_rng);
+  EXPECT_TRUE(std::isfinite(fit.log_marginal_likelihood));
+}
+
+TEST(Hyperopt, RejectsEmptyData) {
+  Rng opt_rng(30);
+  EXPECT_THROW((void)fit_hyperparameters(KernelFamily::kMatern52, {}, {},
+                                         opt_rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bofl::gp

@@ -1,0 +1,122 @@
+#include "gp/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace bofl::gp {
+namespace {
+
+TEST(Kernel, ValueAtZeroDistanceIsSignalVariance) {
+  for (const auto family : {KernelFamily::kMatern52, KernelFamily::kMatern32,
+                            KernelFamily::kRbf}) {
+    const Kernel k(family, 2.5, {0.3, 0.7});
+    const linalg::Vector x{0.4, 0.6};
+    EXPECT_DOUBLE_EQ(k(x, x), 2.5) << to_string(family);
+  }
+}
+
+TEST(Kernel, Symmetry) {
+  const Kernel k(KernelFamily::kMatern52, 1.0, {0.5, 0.5, 0.5});
+  const linalg::Vector a{0.1, 0.2, 0.3};
+  const linalg::Vector b{0.9, 0.5, 0.0};
+  EXPECT_DOUBLE_EQ(k(a, b), k(b, a));
+}
+
+TEST(Kernel, DecaysWithDistance) {
+  const Kernel k(KernelFamily::kMatern52, 1.0, {0.5});
+  double prev = k({0.0}, {0.0});
+  for (double d = 0.1; d < 2.0; d += 0.1) {
+    const double v = k({0.0}, {d});
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Kernel, Matern52KnownValue) {
+  // k(r) = sv * (1 + s + s^2/3) exp(-s), s = sqrt(5) r.
+  const Kernel k(KernelFamily::kMatern52, 1.0, {1.0});
+  const double r = 0.7;
+  const double s = std::sqrt(5.0) * r;
+  const double expected = (1.0 + s + s * s / 3.0) * std::exp(-s);
+  EXPECT_NEAR(k({0.0}, {r}), expected, 1e-14);
+}
+
+TEST(Kernel, RbfKnownValue) {
+  const Kernel k(KernelFamily::kRbf, 2.0, {0.5});
+  const double r = 1.0 / 0.5;  // scaled distance
+  EXPECT_NEAR(k({0.0}, {1.0}), 2.0 * std::exp(-0.5 * r * r), 1e-14);
+}
+
+TEST(Kernel, ArdLengthscalesActPerDimension) {
+  const Kernel k(KernelFamily::kRbf, 1.0, {0.1, 10.0});
+  // A move along the long-lengthscale axis barely matters; along the short
+  // axis it matters a lot.
+  const double along_short = k({0.0, 0.0}, {0.1, 0.0});
+  const double along_long = k({0.0, 0.0}, {0.0, 0.1});
+  EXPECT_LT(along_short, 0.75);
+  EXPECT_GT(along_long, 0.99);
+}
+
+TEST(Kernel, FamiliesDiffer) {
+  const linalg::Vector a{0.0};
+  const linalg::Vector b{0.5};
+  const Kernel m52(KernelFamily::kMatern52, 1.0, {1.0});
+  const Kernel m32(KernelFamily::kMatern32, 1.0, {1.0});
+  const Kernel rbf(KernelFamily::kRbf, 1.0, {1.0});
+  EXPECT_NE(m52(a, b), m32(a, b));
+  EXPECT_NE(m52(a, b), rbf(a, b));
+}
+
+TEST(Kernel, RejectsInvalidParameters) {
+  EXPECT_THROW(Kernel(KernelFamily::kRbf, 0.0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Kernel(KernelFamily::kRbf, 1.0, {}), std::invalid_argument);
+  EXPECT_THROW(Kernel(KernelFamily::kRbf, 1.0, {-1.0}),
+               std::invalid_argument);
+}
+
+TEST(Kernel, RejectsDimensionMismatch) {
+  const Kernel k(KernelFamily::kMatern52, 1.0, {1.0, 1.0});
+  EXPECT_THROW((void)k({0.0}, {0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Kernel, CrossCovarianceMatchesPointwise) {
+  const Kernel k(KernelFamily::kMatern52, 1.3, {0.4, 0.6});
+  const std::vector<linalg::Vector> points{{0.1, 0.1}, {0.5, 0.9}, {0.8, 0.2}};
+  const linalg::Vector x{0.3, 0.3};
+  const linalg::Vector cross = k.cross(x, points);
+  ASSERT_EQ(cross.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(cross[i], k(x, points[i]));
+  }
+}
+
+// Positive semi-definiteness: the Gram matrix of random point sets must
+// factor after a tiny jitter, for every kernel family.
+class KernelPsd : public ::testing::TestWithParam<KernelFamily> {};
+
+TEST_P(KernelPsd, GramIsPositiveSemiDefinite) {
+  Rng rng(99);
+  const Kernel k(GetParam(), 1.0, {0.3, 0.3, 0.3});
+  std::vector<linalg::Vector> points;
+  for (int i = 0; i < 25; ++i) {
+    points.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  }
+  linalg::Matrix gram = k.gram(points);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    gram(i, i) += 1e-9;
+  }
+  EXPECT_TRUE(linalg::cholesky(gram).has_value())
+      << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, KernelPsd,
+                         ::testing::Values(KernelFamily::kMatern52,
+                                           KernelFamily::kMatern32,
+                                           KernelFamily::kRbf));
+
+}  // namespace
+}  // namespace bofl::gp

@@ -1,0 +1,152 @@
+#include "ilp/schedule_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace bofl::ilp {
+namespace {
+
+TEST(ScheduleSolver, SingleProfileFeasible) {
+  const std::vector<ConfigProfile> profiles{{0, 2.0, 0.5}};
+  const Schedule s = solve_round_schedule(profiles, 10, 5.0);
+  ASSERT_TRUE(s.feasible);
+  ASSERT_EQ(s.assignments.size(), 1u);
+  EXPECT_EQ(s.assignments[0].second, 10);
+  EXPECT_DOUBLE_EQ(s.total_energy, 20.0);
+  EXPECT_DOUBLE_EQ(s.total_latency, 5.0);
+}
+
+TEST(ScheduleSolver, InfeasibleWhenTooSlow) {
+  const std::vector<ConfigProfile> profiles{{0, 2.0, 1.0}};
+  const Schedule s = solve_round_schedule(profiles, 10, 9.0);
+  EXPECT_FALSE(s.feasible);
+}
+
+TEST(ScheduleSolver, ZeroJobsIsTriviallyFeasible) {
+  const std::vector<ConfigProfile> profiles{{0, 2.0, 1.0}};
+  const Schedule s = solve_round_schedule(profiles, 0, 1.0);
+  EXPECT_TRUE(s.feasible);
+  EXPECT_TRUE(s.assignments.empty());
+  EXPECT_DOUBLE_EQ(s.total_energy, 0.0);
+}
+
+TEST(ScheduleSolver, PicksCheapestWhenDeadlineIsLoose) {
+  const std::vector<ConfigProfile> profiles{
+      {7, 4.0, 0.2}, {8, 3.0, 0.4}, {9, 2.0, 0.8}};
+  const Schedule s = solve_round_schedule(profiles, 10, 100.0);
+  ASSERT_TRUE(s.feasible);
+  ASSERT_EQ(s.assignments.size(), 1u);
+  EXPECT_EQ(profiles[s.assignments[0].first].config_id, 9u);
+  EXPECT_DOUBLE_EQ(s.total_energy, 20.0);
+}
+
+TEST(ScheduleSolver, MixesConfigsAtTightDeadline) {
+  // 100 jobs, fast (0.2s, 4J) vs cheap (0.4s, 3.2J); deadline 26s forces a
+  // 70/30 mix — the LP answer happens to be integral.
+  const std::vector<ConfigProfile> profiles{{0, 4.0, 0.2}, {1, 3.2, 0.4}};
+  const Schedule s = solve_round_schedule(profiles, 100, 26.0);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_NEAR(s.total_energy, 4.0 * 70 + 3.2 * 30, 1e-9);
+  EXPECT_LE(s.total_latency, 26.0 + 1e-9);
+}
+
+TEST(ScheduleSolver, DominatedProfilesNeverUsed) {
+  const std::vector<ConfigProfile> profiles{
+      {0, 4.0, 0.2},
+      {1, 5.0, 0.3},  // dominated by 0
+      {2, 3.0, 0.5}};
+  const Schedule s = solve_round_schedule(profiles, 50, 18.0);
+  ASSERT_TRUE(s.feasible);
+  for (const auto& [index, jobs] : s.assignments) {
+    EXPECT_NE(profiles[index].config_id, 1u);
+  }
+}
+
+TEST(ScheduleSolver, DuplicateProfilesCollapse) {
+  const std::vector<ConfigProfile> profiles{{0, 2.0, 0.5}, {1, 2.0, 0.5}};
+  const Schedule s = solve_round_schedule(profiles, 10, 10.0);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.assignments.size(), 1u);
+}
+
+TEST(ScheduleSolver, RejectsBadInput) {
+  EXPECT_THROW((void)solve_round_schedule({}, 1, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)solve_round_schedule({{0, 1.0, 0.0}}, 1, 1.0),
+               std::invalid_argument);  // zero latency
+  EXPECT_THROW((void)solve_round_schedule({{0, 1.0, 1.0}}, -1, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)solve_round_schedule({{0, 1.0, 1.0}}, 1, -1.0),
+               std::invalid_argument);
+}
+
+TEST(ScheduleSolver, ExactlyAtDeadlineBoundary) {
+  const std::vector<ConfigProfile> profiles{{0, 2.0, 0.5}};
+  const Schedule s = solve_round_schedule(profiles, 10, 5.0);
+  EXPECT_TRUE(s.feasible);
+  const Schedule t = solve_round_schedule(profiles, 10, 4.999);
+  EXPECT_FALSE(t.feasible);
+}
+
+TEST(ScheduleExhaustive, MatchesKnownOptimum) {
+  const std::vector<ConfigProfile> profiles{{0, 4.0, 0.2}, {1, 3.2, 0.4}};
+  const Schedule s = solve_round_schedule_exhaustive(profiles, 20, 5.2);
+  ASSERT_TRUE(s.feasible);
+  // 20 jobs, budget 5.2s: x*0.2 + (20-x)*0.4 <= 5.2 -> x >= 14.
+  EXPECT_NEAR(s.total_energy, 4.0 * 14 + 3.2 * 6, 1e-9);
+}
+
+TEST(ScheduleExhaustive, GuardsSearchSpace) {
+  std::vector<ConfigProfile> many;
+  for (std::size_t i = 0; i < 12; ++i) {
+    many.push_back({i, 1.0 + i, 0.1 + 0.01 * i});
+  }
+  EXPECT_THROW((void)solve_round_schedule_exhaustive(many, 500, 100.0),
+               std::invalid_argument);
+}
+
+// The central property: branch-and-bound matches exhaustive enumeration on
+// random instances.
+class ScheduleCrossValidation
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduleCrossValidation, IlpMatchesExhaustive) {
+  Rng rng(GetParam() * 1009 + 7);
+  const std::size_t k = 2 + rng.uniform_index(3);  // 2-4 profiles
+  std::vector<ConfigProfile> profiles;
+  for (std::size_t i = 0; i < k; ++i) {
+    profiles.push_back({i, rng.uniform(1.0, 8.0), rng.uniform(0.1, 1.0)});
+  }
+  const std::int64_t jobs = rng.uniform_int(5, 30);
+  // Deadline between infeasible and super-loose.
+  double fastest = 1e9;
+  for (const auto& p : profiles) {
+    fastest = std::min(fastest, p.latency_per_job);
+  }
+  const double deadline =
+      rng.uniform(0.8, 2.5) * fastest * static_cast<double>(jobs);
+
+  const Schedule ilp = solve_round_schedule(profiles, jobs, deadline);
+  const Schedule brute = solve_round_schedule_exhaustive(profiles, jobs,
+                                                         deadline);
+  ASSERT_EQ(ilp.feasible, brute.feasible) << "seed=" << GetParam();
+  if (ilp.feasible) {
+    // The production solver runs with a 1e-4 relative optimality gap
+    // (far below measurement noise); match that tolerance here.
+    EXPECT_NEAR(ilp.total_energy, brute.total_energy,
+                1e-4 * brute.total_energy + 1e-9)
+        << "seed=" << GetParam();
+    EXPECT_LE(ilp.total_latency, deadline + 1e-9);
+    std::int64_t assigned = 0;
+    for (const auto& [index, n] : ilp.assignments) {
+      assigned += n;
+    }
+    EXPECT_EQ(assigned, jobs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleCrossValidation,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace bofl::ilp

@@ -1,0 +1,85 @@
+// Determinism and soak: identical seeds must reproduce identical traces
+// bit-for-bit across the whole stack, and a long run must stay stable.
+#include <gtest/gtest.h>
+
+#include "core/bofl_controller.hpp"
+#include "core/harness.hpp"
+
+namespace bofl {
+namespace {
+
+core::TaskResult run_once(std::uint64_t seed) {
+  const device::DeviceModel agx = device::jetson_agx();
+  core::FlTaskSpec task = core::cifar10_vit_task(agx.name());
+  task.num_rounds = 20;
+  const auto rounds = core::make_rounds(task, agx, 2.0, 4040);
+  core::BoflOptions options;
+  options.mbo_cost = core::mbo_cost_for_device(agx.name());
+  options.mbo.hyperopt.num_restarts = 2;
+  options.mbo.hyperopt.max_iterations_per_start = 80;
+  core::BoflController bofl(agx, task.profile, {}, options, seed);
+  return core::run_task(bofl, rounds);
+}
+
+TEST(Determinism, IdenticalSeedsReproduceExactTraces) {
+  const core::TaskResult a = run_once(77);
+  const core::TaskResult b = run_once(77);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    EXPECT_EQ(a.rounds[r].phase, b.rounds[r].phase);
+    EXPECT_DOUBLE_EQ(a.rounds[r].energy().value(),
+                     b.rounds[r].energy().value());
+    EXPECT_DOUBLE_EQ(a.rounds[r].elapsed().value(),
+                     b.rounds[r].elapsed().value());
+    ASSERT_EQ(a.rounds[r].runs.size(), b.rounds[r].runs.size());
+    for (std::size_t c = 0; c < a.rounds[r].runs.size(); ++c) {
+      EXPECT_EQ(a.rounds[r].runs[c].config, b.rounds[r].runs[c].config);
+      EXPECT_EQ(a.rounds[r].runs[c].jobs, b.rounds[r].runs[c].jobs);
+    }
+  }
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  const core::TaskResult a = run_once(77);
+  const core::TaskResult b = run_once(78);
+  // Exploration randomization differs, so at least one round's energy must.
+  bool any_difference = false;
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    any_difference |= a.rounds[r].energy().value() !=
+                      b.rounds[r].energy().value();
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Soak, LongRunStaysHealthy) {
+  const device::DeviceModel agx = device::jetson_agx();
+  core::FlTaskSpec task = core::imagenet_resnet50_task(agx.name());
+  task.num_rounds = 150;
+  const auto rounds = core::make_rounds(task, agx, 2.5, 9090);
+  core::BoflOptions options;
+  options.mbo_cost = core::mbo_cost_for_device(agx.name());
+  options.mbo.hyperopt.num_restarts = 2;
+  options.mbo.hyperopt.max_iterations_per_start = 80;
+  core::BoflController bofl(agx, task.profile, {}, options, 7);
+  const core::TaskResult result = core::run_task(bofl, rounds);
+
+  EXPECT_TRUE(result.all_deadlines_met());
+  EXPECT_EQ(result.rounds.size(), 150u);
+  // After convergence the per-round energy must be stationary: the last 50
+  // rounds' mean within 5 % of the preceding 50's.
+  double mid = 0.0;
+  double late = 0.0;
+  for (std::size_t r = 50; r < 100; ++r) {
+    mid += result.rounds[r].energy().value();
+  }
+  for (std::size_t r = 100; r < 150; ++r) {
+    late += result.rounds[r].energy().value();
+  }
+  EXPECT_NEAR(late / mid, 1.0, 0.05);
+  // The observation set must stop growing once phase 3 begins (no
+  // unbounded memory in the GP).
+  EXPECT_LT(bofl.engine().num_observations(), 200u);
+}
+
+}  // namespace
+}  // namespace bofl

@@ -1,0 +1,150 @@
+#include "linalg/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace bofl::linalg {
+namespace {
+
+Matrix random_spd(std::size_t n, Rng& rng) {
+  // A^T A + n * I is comfortably positive definite.
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      a(r, c) = rng.normal();
+    }
+  }
+  Matrix spd = a.transposed() * a;
+  for (std::size_t i = 0; i < n; ++i) {
+    spd(i, i) += static_cast<double>(n);
+  }
+  return spd;
+}
+
+TEST(Cholesky, KnownFactorization) {
+  const Matrix a{{4.0, 12.0, -16.0}, {12.0, 37.0, -43.0}, {-16.0, -43.0, 98.0}};
+  const auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_DOUBLE_EQ((*l)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ((*l)(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ((*l)(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ((*l)(2, 0), -8.0);
+  EXPECT_DOUBLE_EQ((*l)(2, 1), 5.0);
+  EXPECT_DOUBLE_EQ((*l)(2, 2), 3.0);
+}
+
+TEST(Cholesky, ReconstructsOriginal) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Matrix a = random_spd(6, rng);
+    const auto l = cholesky(a);
+    ASSERT_TRUE(l.has_value());
+    const Matrix rebuilt = (*l) * l->transposed();
+    for (std::size_t r = 0; r < 6; ++r) {
+      for (std::size_t c = 0; c < 6; ++c) {
+        EXPECT_NEAR(rebuilt(r, c), a(r, c), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  const Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3 and -1
+  EXPECT_FALSE(cholesky(a).has_value());
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW((void)cholesky(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(CholeskyJitter, NoJitterWhenHealthy) {
+  Rng rng(7);
+  const Matrix a = random_spd(4, rng);
+  const JitteredCholesky jc = cholesky_with_jitter(a);
+  EXPECT_EQ(jc.jitter, 0.0);
+}
+
+TEST(CholeskyJitter, RepairsSemiDefinite) {
+  // Rank-1 matrix: positive semi-definite, singular.
+  Matrix a(3, 3);
+  const Vector v{1.0, 2.0, 3.0};
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      a(r, c) = v[r] * v[c];
+    }
+  }
+  const JitteredCholesky jc = cholesky_with_jitter(a);
+  EXPECT_GT(jc.jitter, 0.0);
+  // The factor must reproduce a + jitter * I.
+  const Matrix rebuilt = jc.l * jc.l.transposed();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(rebuilt(i, i), a(i, i) + jc.jitter, 1e-8);
+  }
+}
+
+TEST(CholeskyJitter, ThrowsOnStructurallyBroken) {
+  Matrix a{{-5.0, 0.0}, {0.0, -5.0}};
+  EXPECT_THROW((void)cholesky_with_jitter(a, 1e-10, 1e-4), InternalError);
+}
+
+TEST(TriangularSolve, ForwardAndBackward) {
+  const Matrix a{{4.0, 12.0, -16.0}, {12.0, 37.0, -43.0}, {-16.0, -43.0, 98.0}};
+  const auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  const Vector b{1.0, 2.0, 3.0};
+  const Vector x = solve_cholesky(*l, b);
+  const Vector should_be_b = a * x;
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(should_be_b[i], b[i], 1e-9);
+  }
+}
+
+TEST(TriangularSolve, LowerThenTransposeRoundTrip) {
+  const Matrix l{{2.0, 0.0}, {1.0, 3.0}};
+  const Vector b{4.0, 10.0};
+  const Vector y = solve_lower(l, b);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 8.0 / 3.0);
+  const Vector z = solve_lower_transpose(l, b);
+  // L^T z = b -> z1 = (4 - 1*z2)/2 with z2 = 10/3.
+  EXPECT_NEAR(z[1], 10.0 / 3.0, 1e-12);
+  EXPECT_NEAR(z[0], (4.0 - z[1]) / 2.0, 1e-12);
+}
+
+TEST(LogDet, MatchesDirectDeterminant) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};  // det = 8
+  const auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_NEAR(log_det_from_cholesky(*l), std::log(8.0), 1e-12);
+}
+
+// Property sweep: solve_cholesky inverts multiplication for random SPD
+// systems of several sizes.
+class CholeskySolveProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskySolveProperty, SolvesRandomSystems) {
+  const std::size_t n = GetParam();
+  Rng rng(100 + n);
+  const Matrix a = random_spd(n, rng);
+  Vector b(n);
+  for (double& v : b) {
+    v = rng.normal();
+  }
+  const auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  const Vector x = solve_cholesky(*l, b);
+  const Vector back = a * x;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i], b[i], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySolveProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace bofl::linalg

@@ -1,0 +1,195 @@
+#include "nn/conv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/data.hpp"
+#include "nn/gradient_check.hpp"
+#include "nn/loss.hpp"
+#include "nn/model.hpp"
+#include "nn/sgd.hpp"
+
+namespace bofl::nn {
+namespace {
+
+struct LinearLoss {
+  Tensor weights;
+
+  LinearLoss(const std::vector<std::size_t>& shape, Rng& rng)
+      : weights(Tensor::randn(shape, rng, 1.0f)) {}
+
+  [[nodiscard]] double value(const Tensor& out) const {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      sum += static_cast<double>(weights[i]) * out[i];
+    }
+    return sum;
+  }
+};
+
+TEST(Conv2d, OutputShapeIsValidConvolution) {
+  Rng rng(1);
+  Conv2d conv(2, 4, 3, rng);
+  const Tensor x = Tensor::randn({2, 2, 8, 6}, rng, 1.0f);
+  const Tensor y = conv.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 4, 6, 4}));
+}
+
+TEST(Conv2d, IdentityKernelCopiesInput) {
+  Rng rng(2);
+  Conv2d conv(1, 1, 1, rng);  // 1x1 kernel
+  Tensor* w = conv.parameters()[0];
+  (*w)[0] = 1.0f;
+  conv.parameters()[1]->fill(0.0f);
+  Tensor x = Tensor::randn({1, 1, 4, 4}, rng, 1.0f);
+  const Tensor y = conv.forward(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(y[i], x[i]);
+  }
+}
+
+TEST(Conv2d, KnownSumKernel) {
+  Rng rng(3);
+  Conv2d conv(1, 1, 2, rng);
+  conv.parameters()[0]->fill(1.0f);  // all-ones 2x2 kernel
+  conv.parameters()[1]->fill(0.5f);
+  Tensor x({1, 1, 2, 2});
+  x[0] = 1.0f;
+  x[1] = 2.0f;
+  x[2] = 3.0f;
+  x[3] = 4.0f;
+  const Tensor y = conv.forward(x);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_FLOAT_EQ(y[0], 10.5f);
+}
+
+TEST(Conv2d, GradientCheck) {
+  Rng rng(4);
+  Conv2d conv(2, 3, 2, rng);
+  Tensor x = Tensor::randn({2, 2, 4, 4}, rng, 0.8f);
+  LinearLoss loss({2, 3, 3, 3}, rng);
+  const auto forward_loss = [&]() { return loss.value(conv.forward(x)); };
+  conv.zero_gradients();
+  (void)conv.forward(x);
+  const Tensor grad_input = conv.backward(loss.weights);
+  for (std::size_t p = 0; p < conv.parameters().size(); ++p) {
+    EXPECT_LT(testing::max_gradient_error(*conv.parameters()[p],
+                                          *conv.gradients()[p], forward_loss),
+              5e-2)
+        << "parameter " << p;
+  }
+  EXPECT_LT(testing::max_gradient_error(x, grad_input, forward_loss), 5e-2);
+}
+
+TEST(Conv2d, RejectsBadShapes) {
+  Rng rng(5);
+  Conv2d conv(2, 3, 3, rng);
+  EXPECT_THROW((void)conv.forward(Tensor({1, 3, 8, 8})),
+               std::invalid_argument);  // wrong channel count
+  EXPECT_THROW((void)conv.forward(Tensor({1, 2, 2, 2})),
+               std::invalid_argument);  // smaller than kernel
+}
+
+TEST(MaxPool2d, PicksWindowMaxima) {
+  MaxPool2d pool;
+  Tensor x({1, 1, 2, 4});
+  // windows: [1 5 / 2 3] and [0 -1 / 4 2]
+  x[0] = 1.0f;
+  x[1] = 5.0f;
+  x[2] = 0.0f;
+  x[3] = -1.0f;
+  x[4] = 2.0f;
+  x[5] = 3.0f;
+  x[6] = 4.0f;
+  x[7] = 2.0f;
+  const Tensor y = pool.forward(x);
+  ASSERT_EQ(y.shape(), (std::vector<std::size_t>{1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  EXPECT_FLOAT_EQ(y[1], 4.0f);
+}
+
+TEST(MaxPool2d, RoutesGradientToWinner) {
+  MaxPool2d pool;
+  Rng rng(6);
+  Tensor x = Tensor::randn({1, 2, 4, 4}, rng, 1.0f);
+  (void)pool.forward(x);
+  Tensor g({1, 2, 2, 2}, 1.0f);
+  const Tensor gx = pool.backward(g);
+  // Exactly one nonzero per window, each equal to 1.
+  float total = 0.0f;
+  for (std::size_t i = 0; i < gx.size(); ++i) {
+    EXPECT_TRUE(gx[i] == 0.0f || gx[i] == 1.0f);
+    total += gx[i];
+  }
+  EXPECT_FLOAT_EQ(total, 8.0f);
+}
+
+TEST(MaxPool2d, RejectsOddDimensions) {
+  MaxPool2d pool;
+  EXPECT_THROW((void)pool.forward(Tensor({1, 1, 3, 4})),
+               std::invalid_argument);
+}
+
+TEST(Flatten, RoundTripsShapes) {
+  Flatten flatten;
+  Rng rng(7);
+  const Tensor x = Tensor::randn({3, 2, 4, 5}, rng, 1.0f);
+  const Tensor y = flatten.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{3, 40}));
+  const Tensor back = flatten.backward(y);
+  EXPECT_EQ(back.shape(), x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(back[i], y[i]);
+  }
+}
+
+TEST(CnnTraining, LearnsSpatialBlobClasses) {
+  Rng rng(8);
+  Sequential model = make_cnn_classifier(1, 9, 9, 6, 2, 4, rng);
+  const Dataset train = make_images(320, 1, 9, 9, 4, 111, 0.35);
+  const Dataset test = make_images(160, 1, 9, 9, 4, 222, 0.35);
+
+  SgdOptimizer optimizer(0.05, 0.9);
+  SoftmaxCrossEntropy loss;
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    for (std::size_t b = 0; b + 16 <= train.size(); b += 16) {
+      const Dataset mini = train.slice(b, 16);
+      model.zero_gradients();
+      (void)loss.forward(model.forward(mini.features), mini.labels);
+      model.backward(loss.backward());
+      optimizer.step(model);
+    }
+  }
+  double accuracy_sum = 0.0;
+  std::size_t batches = 0;
+  for (std::size_t b = 0; b + 16 <= test.size(); b += 16) {
+    const Dataset mini = test.slice(b, 16);
+    (void)loss.forward(model.forward(mini.features), mini.labels);
+    accuracy_sum += accuracy(loss.predictions(), mini.labels);
+    ++batches;
+  }
+  EXPECT_GT(accuracy_sum / static_cast<double>(batches), 0.8);
+}
+
+TEST(CnnFactory, ValidatesGeometry) {
+  Rng rng(9);
+  // 8x8 with 3x3 kernel -> 6x6 conv output: even, fine.
+  (void)make_cnn_classifier(1, 8, 8, 2, 3, 3, rng);
+  // 9x9 with 3x3 kernel -> 7x7: odd, must be rejected.
+  EXPECT_THROW((void)make_cnn_classifier(1, 9, 9, 2, 3, 3, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_cnn_classifier(1, 2, 2, 2, 3, 3, rng),
+               std::invalid_argument);
+}
+
+TEST(ImageData, ShapesAndDeterminism) {
+  const Dataset a = make_images(10, 2, 6, 6, 3, 77);
+  EXPECT_EQ(a.features.shape(), (std::vector<std::size_t>{10, 2, 6, 6}));
+  EXPECT_EQ(a.labels.size(), 10u);
+  const Dataset b = make_images(10, 2, 6, 6, 3, 77);
+  for (std::size_t i = 0; i < a.features.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.features[i], b.features[i]);
+  }
+}
+
+}  // namespace
+}  // namespace bofl::nn

@@ -1,0 +1,30 @@
+// Shared numerical-gradient checking helper for layer tests.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "nn/tensor.hpp"
+
+namespace bofl::nn::testing {
+
+/// Central-difference gradient of scalar-valued `loss` w.r.t. `target`,
+/// compared against `analytic` element-wise.  Returns the max abs error.
+inline double max_gradient_error(
+    Tensor& target, const Tensor& analytic,
+    const std::function<double()>& loss, float epsilon = 1e-3f) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    const float saved = target[i];
+    target[i] = saved + epsilon;
+    const double up = loss();
+    target[i] = saved - epsilon;
+    const double down = loss();
+    target[i] = saved;
+    const double numeric = (up - down) / (2.0 * epsilon);
+    worst = std::max(worst, std::abs(numeric - analytic[i]));
+  }
+  return worst;
+}
+
+}  // namespace bofl::nn::testing

@@ -1,0 +1,94 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gradient_check.hpp"
+
+namespace bofl::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 4}, 0.0f);
+  const double value = loss.forward(logits, {0, 3});
+  EXPECT_NEAR(value, std::log(4.0), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectPredictionHasLowLoss) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3});
+  logits.at(0, 0) = 10.0f;
+  logits.at(0, 1) = 0.0f;
+  logits.at(0, 2) = 0.0f;
+  EXPECT_LT(loss.forward(logits, {0}), 1e-3);
+  EXPECT_GT(loss.forward(logits, {1}), 5.0);
+}
+
+TEST(SoftmaxCrossEntropy, ShiftInvariance) {
+  SoftmaxCrossEntropy loss;
+  Tensor a({1, 3});
+  a.at(0, 0) = 1.0f;
+  a.at(0, 1) = 2.0f;
+  a.at(0, 2) = 3.0f;
+  Tensor b = a;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] += 100.0f;
+  }
+  EXPECT_NEAR(loss.forward(a, {2}), loss.forward(b, {2}), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropy, GradientCheck) {
+  Rng rng(9);
+  SoftmaxCrossEntropy loss;
+  Tensor logits = Tensor::randn({4, 5}, rng, 1.0f);
+  const std::vector<std::int64_t> labels{0, 2, 4, 1};
+  const auto forward_loss = [&]() { return loss.forward(logits, labels); };
+  (void)forward_loss();
+  const Tensor analytic = loss.backward();
+  const double err =
+      testing::max_gradient_error(logits, analytic, forward_loss);
+  EXPECT_LT(err, 1e-2);
+}
+
+TEST(SoftmaxCrossEntropy, GradientRowsSumToZero) {
+  Rng rng(10);
+  SoftmaxCrossEntropy loss;
+  Tensor logits = Tensor::randn({3, 4}, rng, 1.0f);
+  (void)loss.forward(logits, {1, 2, 0});
+  const Tensor grad = loss.backward();
+  for (std::size_t r = 0; r < 3; ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      row_sum += grad.at(r, c);
+    }
+    EXPECT_NEAR(row_sum, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, PredictionsAreArgmax) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 3});
+  logits.at(0, 1) = 5.0f;
+  logits.at(1, 2) = 3.0f;
+  (void)loss.forward(logits, {0, 0});
+  EXPECT_EQ(loss.predictions(), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabels) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3});
+  EXPECT_THROW((void)loss.forward(logits, {3}), std::invalid_argument);
+  EXPECT_THROW((void)loss.forward(logits, {0, 1}), std::invalid_argument);
+}
+
+TEST(Accuracy, CountsMatches) {
+  EXPECT_DOUBLE_EQ(accuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy({1, 0, 3}, {1, 2, 3}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy({0}, {1}), 0.0);
+  EXPECT_THROW((void)accuracy({}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bofl::nn

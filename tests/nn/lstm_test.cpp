@@ -1,0 +1,110 @@
+#include "nn/lstm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/gradient_check.hpp"
+
+namespace bofl::nn {
+namespace {
+
+struct LinearLoss {
+  Tensor weights;
+
+  LinearLoss(const std::vector<std::size_t>& shape, Rng& rng)
+      : weights(Tensor::randn(shape, rng, 1.0f)) {}
+
+  [[nodiscard]] double value(const Tensor& out) const {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      sum += static_cast<double>(weights[i]) * out[i];
+    }
+    return sum;
+  }
+};
+
+TEST(Lstm, OutputShape) {
+  Rng rng(1);
+  LstmCell lstm(3, 5, rng);
+  const Tensor x = Tensor::randn({2, 4, 3}, rng, 1.0f);
+  const Tensor h = lstm.forward(x);
+  EXPECT_EQ(h.shape(), (std::vector<std::size_t>{2, 5}));
+}
+
+TEST(Lstm, RejectsWrongRank) {
+  Rng rng(2);
+  LstmCell lstm(3, 5, rng);
+  EXPECT_THROW((void)lstm.forward(Tensor({2, 3})), std::invalid_argument);
+  EXPECT_THROW((void)lstm.forward(Tensor({2, 4, 7})), std::invalid_argument);
+}
+
+TEST(Lstm, BackwardBeforeForwardThrows) {
+  Rng rng(3);
+  LstmCell lstm(2, 3, rng);
+  EXPECT_THROW((void)lstm.backward(Tensor({1, 3})), std::invalid_argument);
+}
+
+TEST(Lstm, ForgetGateBiasInitialized) {
+  Rng rng(4);
+  LstmCell lstm(2, 3, rng);
+  const Tensor* bias = lstm.parameters()[1];
+  for (std::size_t h = 0; h < 3; ++h) {
+    EXPECT_FLOAT_EQ((*bias)[3 + h], 1.0f);  // forget block is the 2nd
+  }
+}
+
+TEST(Lstm, GradientCheckWeightsBiasInput) {
+  Rng rng(5);
+  LstmCell lstm(2, 3, rng);
+  Tensor x = Tensor::randn({2, 3, 2}, rng, 0.7f);
+  LinearLoss loss({2, 3}, rng);
+  const auto forward_loss = [&]() { return loss.value(lstm.forward(x)); };
+
+  lstm.zero_gradients();
+  (void)lstm.forward(x);
+  const Tensor grad_input = lstm.backward(loss.weights);
+
+  const double weight_err = testing::max_gradient_error(
+      *lstm.parameters()[0], *lstm.gradients()[0], forward_loss, 2e-3f);
+  EXPECT_LT(weight_err, 6e-2);
+  const double bias_err = testing::max_gradient_error(
+      *lstm.parameters()[1], *lstm.gradients()[1], forward_loss, 2e-3f);
+  EXPECT_LT(bias_err, 6e-2);
+  const double input_err =
+      testing::max_gradient_error(x, grad_input, forward_loss, 2e-3f);
+  EXPECT_LT(input_err, 6e-2);
+}
+
+TEST(Lstm, LongerSequencesChangeOutput) {
+  Rng rng(6);
+  LstmCell lstm(2, 4, rng);
+  Tensor x3 = Tensor::randn({1, 3, 2}, rng, 1.0f);
+  // Extend with one more step: the final hidden state must differ.
+  Tensor x4({1, 4, 2});
+  for (std::size_t t = 0; t < 3; ++t) {
+    for (std::size_t d = 0; d < 2; ++d) {
+      x4.at(0, t, d) = x3.at(0, t, d);
+    }
+  }
+  x4.at(0, 3, 0) = 2.0f;
+  x4.at(0, 3, 1) = -2.0f;
+  const Tensor h3 = lstm.forward(x3);
+  const Tensor h4 = lstm.forward(x4);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < h3.size(); ++i) {
+    diff += std::abs(h3[i] - h4[i]);
+  }
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(Lstm, StateIsBoundedByTanh) {
+  Rng rng(7);
+  LstmCell lstm(2, 4, rng);
+  const Tensor x = Tensor::randn({3, 10, 2}, rng, 5.0f);  // wild inputs
+  const Tensor h = lstm.forward(x);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_LE(std::abs(h[i]), 1.0f + 1e-6f);  // |o * tanh(c)| <= 1
+  }
+}
+
+}  // namespace
+}  // namespace bofl::nn

@@ -1,0 +1,107 @@
+#include "pareto/hypervolume.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace bofl::pareto {
+namespace {
+
+TEST(Hypervolume, SinglePointRectangle) {
+  // Point (1,1), ref (3,4): dominated area = 2 * 3 = 6.
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{1.0, 1.0}}, {3.0, 4.0}), 6.0);
+}
+
+TEST(Hypervolume, EmptyFrontIsZero) {
+  EXPECT_DOUBLE_EQ(hypervolume_2d({}, {1.0, 1.0}), 0.0);
+}
+
+TEST(Hypervolume, PointOutsideReferenceContributesNothing) {
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{5.0, 5.0}}, {3.0, 3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume_2d({{2.0, 5.0}}, {3.0, 3.0}), 0.0);
+}
+
+TEST(Hypervolume, TwoPointStaircase) {
+  // Points (1,3) and (2,1), ref (4,4):
+  // strip [1,2): height 4-3=1 -> 1; strip [2,4): height 4-1=3 -> 6. Total 7.
+  const std::vector<Point2> front{{1.0, 3.0}, {2.0, 1.0}};
+  EXPECT_DOUBLE_EQ(hypervolume_2d(front, {4.0, 4.0}), 7.0);
+}
+
+TEST(Hypervolume, DominatedPointAddsNothing) {
+  const std::vector<Point2> front{{1.0, 1.0}};
+  const std::vector<Point2> with_dominated{{1.0, 1.0}, {2.0, 2.0}};
+  EXPECT_DOUBLE_EQ(hypervolume_2d(front, {4.0, 4.0}),
+                   hypervolume_2d(with_dominated, {4.0, 4.0}));
+}
+
+TEST(Hypervolume, InvariantToInputOrder) {
+  std::vector<Point2> a{{1.0, 3.0}, {2.0, 1.0}, {0.5, 3.5}};
+  std::vector<Point2> b{{2.0, 1.0}, {0.5, 3.5}, {1.0, 3.0}};
+  EXPECT_DOUBLE_EQ(hypervolume_2d(a, {4.0, 4.0}),
+                   hypervolume_2d(b, {4.0, 4.0}));
+}
+
+TEST(HypervolumeImprovement, ZeroForDominatedCandidate) {
+  const std::vector<Point2> front{{1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(hypervolume_improvement(front, {{2.0, 2.0}}, {4.0, 4.0}),
+                   0.0);
+}
+
+TEST(HypervolumeImprovement, ExactForKnownCase) {
+  // Front (2,2), candidate (1,3), ref (4,4): candidate adds strip
+  // [1,2) x [3,4) = 1.
+  const std::vector<Point2> front{{2.0, 2.0}};
+  EXPECT_DOUBLE_EQ(hypervolume_improvement(front, {{1.0, 3.0}}, {4.0, 4.0}),
+                   1.0);
+}
+
+TEST(HypervolumeImprovement, BatchedCandidates) {
+  const std::vector<Point2> front{{2.0, 2.0}};
+  const std::vector<Point2> batch{{1.0, 3.0}, {3.0, 1.0}};
+  // Each adds a 1x1 corner strip.
+  EXPECT_DOUBLE_EQ(hypervolume_improvement(front, batch, {4.0, 4.0}), 2.0);
+}
+
+// Properties on random clouds: HV is monotone under adding points,
+// bounded by the reference box, and HVI is always non-negative.
+class HypervolumeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HypervolumeProperty, MonotoneAndBounded) {
+  Rng rng(GetParam());
+  const Point2 ref{10.0, 10.0};
+  std::vector<Point2> points;
+  double previous = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    points.push_back({rng.uniform(0.0, 12.0), rng.uniform(0.0, 12.0)});
+    const double hv = hypervolume_2d(points, ref);
+    EXPECT_GE(hv, previous - 1e-12);  // monotone non-decreasing
+    EXPECT_LE(hv, 100.0 + 1e-9);      // bounded by the reference box
+    previous = hv;
+  }
+}
+
+TEST_P(HypervolumeProperty, ImprovementIsConsistent) {
+  Rng rng(GetParam() * 7 + 1);
+  const Point2 ref{10.0, 10.0};
+  std::vector<Point2> front;
+  for (int i = 0; i < 10; ++i) {
+    front.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+  }
+  std::vector<Point2> batch;
+  for (int i = 0; i < 5; ++i) {
+    batch.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+  }
+  const double hvi = hypervolume_improvement(front, batch, ref);
+  EXPECT_GE(hvi, 0.0);
+  std::vector<Point2> merged = front;
+  merged.insert(merged.end(), batch.begin(), batch.end());
+  EXPECT_NEAR(hypervolume_2d(merged, ref),
+              hypervolume_2d(front, ref) + hvi, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HypervolumeProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace bofl::pareto

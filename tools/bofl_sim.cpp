@@ -1,0 +1,173 @@
+// bofl_sim — the command-line driver for single-device experiments.
+//
+//   bofl_sim [--device agx|tx2] [--task vit|resnet50|lstm]
+//            [--controller bofl|performant|oracle|linear]
+//            [--ratio 2.0] [--rounds 100] [--seed 1] [--tau 5.0]
+//            [--spike-prob 0] [--spike-mag 3] [--thermal]
+//            [--csv PATH] [--quiet]
+//
+// Runs one pace controller through one FL task on one simulated testbed and
+// prints the per-round trace plus summary metrics; optionally exports the
+// trace as CSV.  Everything a downstream user needs to poke at the system
+// without writing C++.
+#include <cstdio>
+#include <memory>
+
+#include "common/csv.hpp"
+#include "common/flags.hpp"
+#include "core/bofl_controller.hpp"
+#include "core/harness.hpp"
+#include "core/linear_controller.hpp"
+#include "core/oracle_controller.hpp"
+#include "core/performant_controller.hpp"
+#include "core/state_io.hpp"
+
+namespace {
+
+using namespace bofl;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--device agx|tx2] [--task vit|resnet50|lstm]\n"
+      "          [--controller bofl|performant|oracle|linear]\n"
+      "          [--ratio R] [--rounds N] [--seed S] [--tau SECONDS]\n"
+      "          [--spike-prob P] [--spike-mag K] [--thermal]\n"
+      "          [--csv PATH] [--save-state PATH] [--load-state PATH]\n"
+      "          [--quiet]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FlagParser flags(argc, argv);
+  if (flags.has("help")) {
+    return usage(argv[0]);
+  }
+
+  const std::string device_name = flags.get("device", "agx");
+  const device::DeviceModel model =
+      device_name == "tx2" ? device::jetson_tx2() : device::jetson_agx();
+  if (device_name != "agx" && device_name != "tx2") {
+    std::fprintf(stderr, "unknown device: %s\n", device_name.c_str());
+    return usage(argv[0]);
+  }
+
+  const std::string task_name = flags.get("task", "vit");
+  core::FlTaskSpec task = core::cifar10_vit_task(model.name());
+  if (task_name == "resnet50") {
+    task = core::imagenet_resnet50_task(model.name());
+  } else if (task_name == "lstm") {
+    task = core::imdb_lstm_task(model.name());
+  } else if (task_name != "vit") {
+    std::fprintf(stderr, "unknown task: %s\n", task_name.c_str());
+    return usage(argv[0]);
+  }
+  task.num_rounds = flags.get_int("rounds", 100);
+
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const double ratio = flags.get_double("ratio", 2.0);
+  const auto rounds = core::make_rounds(task, model, ratio, seed ^ 0xD1CE);
+
+  device::NoiseModel noise;
+  noise.spike_probability = flags.get_double("spike-prob", 0.0);
+  noise.spike_magnitude = flags.get_double("spike-mag", 3.0);
+  if (flags.get_bool("thermal")) {
+    noise.thermal = device::ThermalParams{};
+  }
+
+  const std::string controller_name = flags.get("controller", "bofl");
+  std::unique_ptr<core::PaceController> controller;
+  if (controller_name == "bofl") {
+    core::BoflOptions options;
+    options.mbo_cost = core::mbo_cost_for_device(model.name());
+    options.tau = Seconds{flags.get_double("tau", 5.0)};
+    auto bofl = std::make_unique<core::BoflController>(
+        model, task.profile, noise, options, seed);
+    const std::string state_path = flags.get("load-state", "");
+    if (!state_path.empty()) {
+      bofl->import_state(core::load_state(state_path));
+      std::printf("resumed from %s (phase %d)\n", state_path.c_str(),
+                  static_cast<int>(bofl->phase()));
+    }
+    controller = std::move(bofl);
+  } else if (controller_name == "performant") {
+    controller = std::make_unique<core::PerformantController>(
+        model, task.profile, noise, seed);
+  } else if (controller_name == "oracle") {
+    controller = std::make_unique<core::OracleController>(model, task.profile,
+                                                          noise, seed);
+  } else if (controller_name == "linear") {
+    controller = std::make_unique<core::LinearModelController>(
+        model, task.profile, noise, seed);
+  } else {
+    std::fprintf(stderr, "unknown controller: %s\n", controller_name.c_str());
+    return usage(argv[0]);
+  }
+
+  std::printf("device=%s task=%s controller=%s ratio=%.2f rounds=%lld "
+              "seed=%llu jobs/round=%lld\n",
+              model.name().c_str(), task.name.c_str(),
+              std::string(controller->name()).c_str(), ratio,
+              static_cast<long long>(task.num_rounds),
+              static_cast<unsigned long long>(seed),
+              static_cast<long long>(task.jobs_per_round()));
+
+  const core::TaskResult result = core::run_task(*controller, rounds);
+
+  const bool quiet = flags.get_bool("quiet");
+  if (!quiet) {
+    std::printf("%6s %6s %10s %10s %10s %6s\n", "round", "phase", "ddl[s]",
+                "used[s]", "energy[J]", "met");
+    for (const core::RoundTrace& trace : result.rounds) {
+      std::printf("%6lld %6d %10.2f %10.2f %10.1f %6s\n",
+                  static_cast<long long>(trace.index + 1),
+                  static_cast<int>(trace.phase), trace.deadline.value(),
+                  trace.elapsed().value(), trace.energy().value(),
+                  trace.deadline_met() ? "yes" : "MISS");
+    }
+  }
+
+  const std::string csv_path = flags.get("csv", "");
+  if (!csv_path.empty()) {
+    CsvWriter csv(csv_path, {"round", "phase", "deadline_s", "elapsed_s",
+                             "energy_J", "mbo_energy_J", "deadline_met"});
+    for (const core::RoundTrace& trace : result.rounds) {
+      csv.write_row(std::vector<double>{
+          static_cast<double>(trace.index + 1),
+          static_cast<double>(static_cast<int>(trace.phase)),
+          trace.deadline.value(), trace.elapsed().value(),
+          trace.energy().value(), trace.mbo_energy.value(),
+          trace.deadline_met() ? 1.0 : 0.0});
+    }
+    std::printf("trace written to %s (%zu rows)\n", csv_path.c_str(),
+                csv.rows_written());
+  }
+
+  std::printf(
+      "\ntotal: training %.0f J + MBO %.0f J over %zu rounds; deadlines %s\n",
+      result.total_training_energy().value(),
+      result.total_mbo_energy().value(), result.rounds.size(),
+      result.all_deadlines_met() ? "all met" : "MISSED");
+  const std::string save_path = flags.get("save-state", "");
+  if (!save_path.empty()) {
+    if (auto* bofl = dynamic_cast<core::BoflController*>(controller.get())) {
+      core::save_state(*bofl, save_path);
+      std::printf("state saved to %s (%zu configurations)\n",
+                  save_path.c_str(), bofl->export_state().size());
+    } else {
+      std::fprintf(stderr,
+                   "--save-state only applies to the bofl controller\n");
+    }
+  }
+  std::printf("phases 1/2/3: %lld/%lld/%lld rounds\n",
+              static_cast<long long>(result.rounds_in_phase(
+                  core::Phase::kSafeRandomExploration)),
+              static_cast<long long>(
+                  result.rounds_in_phase(core::Phase::kParetoConstruction)),
+              static_cast<long long>(
+                  result.rounds_in_phase(core::Phase::kExploitation)));
+  return result.all_deadlines_met() ? 0 : 1;
+}
