@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_deadline_sensitivity.dir/bench_fig12_deadline_sensitivity.cpp.o"
+  "CMakeFiles/bench_fig12_deadline_sensitivity.dir/bench_fig12_deadline_sensitivity.cpp.o.d"
+  "bench_fig12_deadline_sensitivity"
+  "bench_fig12_deadline_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_deadline_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ehvi.dir/bench_micro_ehvi.cpp.o"
+  "CMakeFiles/bench_micro_ehvi.dir/bench_micro_ehvi.cpp.o.d"
+  "bench_micro_ehvi"
+  "bench_micro_ehvi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ehvi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_hypervolume.dir/bench_micro_hypervolume.cpp.o"
+  "CMakeFiles/bench_micro_hypervolume.dir/bench_micro_hypervolume.cpp.o.d"
+  "bench_micro_hypervolume"
+  "bench_micro_hypervolume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_hypervolume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ilp.dir/bench_micro_ilp.cpp.o"
+  "CMakeFiles/bench_micro_ilp.dir/bench_micro_ilp.cpp.o.d"
+  "bench_micro_ilp"
+  "bench_micro_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

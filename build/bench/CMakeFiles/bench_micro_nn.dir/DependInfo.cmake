@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_nn.cpp" "bench/CMakeFiles/bench_micro_nn.dir/bench_micro_nn.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_nn.dir/bench_micro_nn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bofl_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/bofl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/bofl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bofl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bo/CMakeFiles/bofl_bo.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/bofl_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pareto/CMakeFiles/bofl_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/bofl_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/bofl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/bofl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bofl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

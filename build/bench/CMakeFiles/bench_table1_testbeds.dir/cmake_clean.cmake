@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_testbeds.dir/bench_table1_testbeds.cpp.o"
+  "CMakeFiles/bench_table1_testbeds.dir/bench_table1_testbeds.cpp.o.d"
+  "bench_table1_testbeds"
+  "bench_table1_testbeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_testbeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

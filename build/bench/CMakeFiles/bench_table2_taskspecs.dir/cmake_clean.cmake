@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_taskspecs.dir/bench_table2_taskspecs.cpp.o"
+  "CMakeFiles/bench_table2_taskspecs.dir/bench_table2_taskspecs.cpp.o.d"
+  "bench_table2_taskspecs"
+  "bench_table2_taskspecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_taskspecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

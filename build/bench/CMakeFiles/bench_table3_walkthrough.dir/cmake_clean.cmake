@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_walkthrough.dir/bench_table3_walkthrough.cpp.o"
+  "CMakeFiles/bench_table3_walkthrough.dir/bench_table3_walkthrough.cpp.o.d"
+  "bench_table3_walkthrough"
+  "bench_table3_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

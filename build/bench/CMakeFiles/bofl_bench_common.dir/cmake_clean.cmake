@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_bench_common.dir/figure_common.cpp.o"
+  "CMakeFiles/bofl_bench_common.dir/figure_common.cpp.o.d"
+  "libbofl_bench_common.a"
+  "libbofl_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

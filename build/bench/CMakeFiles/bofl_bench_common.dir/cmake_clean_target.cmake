@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbofl_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_cluster.dir/fl_cluster.cpp.o"
+  "CMakeFiles/fl_cluster.dir/fl_cluster.cpp.o.d"
+  "fl_cluster"
+  "fl_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reporting_deadlines.dir/reporting_deadlines.cpp.o"
+  "CMakeFiles/reporting_deadlines.dir/reporting_deadlines.cpp.o.d"
+  "reporting_deadlines"
+  "reporting_deadlines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reporting_deadlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bo/ehvi.cpp" "src/bo/CMakeFiles/bofl_bo.dir/ehvi.cpp.o" "gcc" "src/bo/CMakeFiles/bofl_bo.dir/ehvi.cpp.o.d"
+  "/root/repo/src/bo/mbo_engine.cpp" "src/bo/CMakeFiles/bofl_bo.dir/mbo_engine.cpp.o" "gcc" "src/bo/CMakeFiles/bofl_bo.dir/mbo_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bofl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/bofl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/bofl_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pareto/CMakeFiles/bofl_pareto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

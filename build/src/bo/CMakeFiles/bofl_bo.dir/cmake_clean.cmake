@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_bo.dir/ehvi.cpp.o"
+  "CMakeFiles/bofl_bo.dir/ehvi.cpp.o.d"
+  "CMakeFiles/bofl_bo.dir/mbo_engine.cpp.o"
+  "CMakeFiles/bofl_bo.dir/mbo_engine.cpp.o.d"
+  "libbofl_bo.a"
+  "libbofl_bo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_bo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbofl_bo.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_common.dir/csv.cpp.o"
+  "CMakeFiles/bofl_common.dir/csv.cpp.o.d"
+  "CMakeFiles/bofl_common.dir/flags.cpp.o"
+  "CMakeFiles/bofl_common.dir/flags.cpp.o.d"
+  "CMakeFiles/bofl_common.dir/optim.cpp.o"
+  "CMakeFiles/bofl_common.dir/optim.cpp.o.d"
+  "CMakeFiles/bofl_common.dir/quasirandom.cpp.o"
+  "CMakeFiles/bofl_common.dir/quasirandom.cpp.o.d"
+  "CMakeFiles/bofl_common.dir/rng.cpp.o"
+  "CMakeFiles/bofl_common.dir/rng.cpp.o.d"
+  "CMakeFiles/bofl_common.dir/stats.cpp.o"
+  "CMakeFiles/bofl_common.dir/stats.cpp.o.d"
+  "libbofl_common.a"
+  "libbofl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

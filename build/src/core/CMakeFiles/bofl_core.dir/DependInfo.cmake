@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bofl_controller.cpp" "src/core/CMakeFiles/bofl_core.dir/bofl_controller.cpp.o" "gcc" "src/core/CMakeFiles/bofl_core.dir/bofl_controller.cpp.o.d"
+  "/root/repo/src/core/harness.cpp" "src/core/CMakeFiles/bofl_core.dir/harness.cpp.o" "gcc" "src/core/CMakeFiles/bofl_core.dir/harness.cpp.o.d"
+  "/root/repo/src/core/linear_controller.cpp" "src/core/CMakeFiles/bofl_core.dir/linear_controller.cpp.o" "gcc" "src/core/CMakeFiles/bofl_core.dir/linear_controller.cpp.o.d"
+  "/root/repo/src/core/mbo_cost.cpp" "src/core/CMakeFiles/bofl_core.dir/mbo_cost.cpp.o" "gcc" "src/core/CMakeFiles/bofl_core.dir/mbo_cost.cpp.o.d"
+  "/root/repo/src/core/oracle_controller.cpp" "src/core/CMakeFiles/bofl_core.dir/oracle_controller.cpp.o" "gcc" "src/core/CMakeFiles/bofl_core.dir/oracle_controller.cpp.o.d"
+  "/root/repo/src/core/performant_controller.cpp" "src/core/CMakeFiles/bofl_core.dir/performant_controller.cpp.o" "gcc" "src/core/CMakeFiles/bofl_core.dir/performant_controller.cpp.o.d"
+  "/root/repo/src/core/state_io.cpp" "src/core/CMakeFiles/bofl_core.dir/state_io.cpp.o" "gcc" "src/core/CMakeFiles/bofl_core.dir/state_io.cpp.o.d"
+  "/root/repo/src/core/task.cpp" "src/core/CMakeFiles/bofl_core.dir/task.cpp.o" "gcc" "src/core/CMakeFiles/bofl_core.dir/task.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/bofl_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/bofl_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bofl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/bofl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/bo/CMakeFiles/bofl_bo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/bofl_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pareto/CMakeFiles/bofl_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/bofl_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/bofl_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_core.dir/bofl_controller.cpp.o"
+  "CMakeFiles/bofl_core.dir/bofl_controller.cpp.o.d"
+  "CMakeFiles/bofl_core.dir/harness.cpp.o"
+  "CMakeFiles/bofl_core.dir/harness.cpp.o.d"
+  "CMakeFiles/bofl_core.dir/linear_controller.cpp.o"
+  "CMakeFiles/bofl_core.dir/linear_controller.cpp.o.d"
+  "CMakeFiles/bofl_core.dir/mbo_cost.cpp.o"
+  "CMakeFiles/bofl_core.dir/mbo_cost.cpp.o.d"
+  "CMakeFiles/bofl_core.dir/oracle_controller.cpp.o"
+  "CMakeFiles/bofl_core.dir/oracle_controller.cpp.o.d"
+  "CMakeFiles/bofl_core.dir/performant_controller.cpp.o"
+  "CMakeFiles/bofl_core.dir/performant_controller.cpp.o.d"
+  "CMakeFiles/bofl_core.dir/state_io.cpp.o"
+  "CMakeFiles/bofl_core.dir/state_io.cpp.o.d"
+  "CMakeFiles/bofl_core.dir/task.cpp.o"
+  "CMakeFiles/bofl_core.dir/task.cpp.o.d"
+  "CMakeFiles/bofl_core.dir/trace.cpp.o"
+  "CMakeFiles/bofl_core.dir/trace.cpp.o.d"
+  "libbofl_core.a"
+  "libbofl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/device_model.cpp" "src/device/CMakeFiles/bofl_device.dir/device_model.cpp.o" "gcc" "src/device/CMakeFiles/bofl_device.dir/device_model.cpp.o.d"
+  "/root/repo/src/device/frequency.cpp" "src/device/CMakeFiles/bofl_device.dir/frequency.cpp.o" "gcc" "src/device/CMakeFiles/bofl_device.dir/frequency.cpp.o.d"
+  "/root/repo/src/device/observer.cpp" "src/device/CMakeFiles/bofl_device.dir/observer.cpp.o" "gcc" "src/device/CMakeFiles/bofl_device.dir/observer.cpp.o.d"
+  "/root/repo/src/device/sysfs.cpp" "src/device/CMakeFiles/bofl_device.dir/sysfs.cpp.o" "gcc" "src/device/CMakeFiles/bofl_device.dir/sysfs.cpp.o.d"
+  "/root/repo/src/device/workload.cpp" "src/device/CMakeFiles/bofl_device.dir/workload.cpp.o" "gcc" "src/device/CMakeFiles/bofl_device.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bofl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/bofl_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_device.dir/device_model.cpp.o"
+  "CMakeFiles/bofl_device.dir/device_model.cpp.o.d"
+  "CMakeFiles/bofl_device.dir/frequency.cpp.o"
+  "CMakeFiles/bofl_device.dir/frequency.cpp.o.d"
+  "CMakeFiles/bofl_device.dir/observer.cpp.o"
+  "CMakeFiles/bofl_device.dir/observer.cpp.o.d"
+  "CMakeFiles/bofl_device.dir/sysfs.cpp.o"
+  "CMakeFiles/bofl_device.dir/sysfs.cpp.o.d"
+  "CMakeFiles/bofl_device.dir/workload.cpp.o"
+  "CMakeFiles/bofl_device.dir/workload.cpp.o.d"
+  "libbofl_device.a"
+  "libbofl_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbofl_device.a"
+)

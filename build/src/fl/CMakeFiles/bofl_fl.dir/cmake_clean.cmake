@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_fl.dir/client.cpp.o"
+  "CMakeFiles/bofl_fl.dir/client.cpp.o.d"
+  "CMakeFiles/bofl_fl.dir/deadline_policy.cpp.o"
+  "CMakeFiles/bofl_fl.dir/deadline_policy.cpp.o.d"
+  "CMakeFiles/bofl_fl.dir/network.cpp.o"
+  "CMakeFiles/bofl_fl.dir/network.cpp.o.d"
+  "CMakeFiles/bofl_fl.dir/server.cpp.o"
+  "CMakeFiles/bofl_fl.dir/server.cpp.o.d"
+  "CMakeFiles/bofl_fl.dir/simulation.cpp.o"
+  "CMakeFiles/bofl_fl.dir/simulation.cpp.o.d"
+  "libbofl_fl.a"
+  "libbofl_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_gp.dir/gaussian_process.cpp.o"
+  "CMakeFiles/bofl_gp.dir/gaussian_process.cpp.o.d"
+  "CMakeFiles/bofl_gp.dir/hyperopt.cpp.o"
+  "CMakeFiles/bofl_gp.dir/hyperopt.cpp.o.d"
+  "CMakeFiles/bofl_gp.dir/kernel.cpp.o"
+  "CMakeFiles/bofl_gp.dir/kernel.cpp.o.d"
+  "libbofl_gp.a"
+  "libbofl_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_ilp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/bofl_ilp.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/bofl_ilp.dir/lp.cpp.o"
+  "CMakeFiles/bofl_ilp.dir/lp.cpp.o.d"
+  "CMakeFiles/bofl_ilp.dir/schedule_solver.cpp.o"
+  "CMakeFiles/bofl_ilp.dir/schedule_solver.cpp.o.d"
+  "libbofl_ilp.a"
+  "libbofl_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

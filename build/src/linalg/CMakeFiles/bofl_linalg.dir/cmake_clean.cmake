@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/bofl_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/bofl_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/bofl_linalg.dir/matrix.cpp.o.d"
+  "libbofl_linalg.a"
+  "libbofl_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/bofl_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/bofl_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/data.cpp" "src/nn/CMakeFiles/bofl_nn.dir/data.cpp.o" "gcc" "src/nn/CMakeFiles/bofl_nn.dir/data.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/bofl_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/bofl_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/bofl_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/bofl_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/bofl_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/bofl_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/bofl_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/bofl_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/sgd.cpp" "src/nn/CMakeFiles/bofl_nn.dir/sgd.cpp.o" "gcc" "src/nn/CMakeFiles/bofl_nn.dir/sgd.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/bofl_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/bofl_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bofl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

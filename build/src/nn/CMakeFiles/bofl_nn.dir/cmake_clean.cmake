@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_nn.dir/conv.cpp.o"
+  "CMakeFiles/bofl_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/bofl_nn.dir/data.cpp.o"
+  "CMakeFiles/bofl_nn.dir/data.cpp.o.d"
+  "CMakeFiles/bofl_nn.dir/layers.cpp.o"
+  "CMakeFiles/bofl_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/bofl_nn.dir/loss.cpp.o"
+  "CMakeFiles/bofl_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/bofl_nn.dir/lstm.cpp.o"
+  "CMakeFiles/bofl_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/bofl_nn.dir/model.cpp.o"
+  "CMakeFiles/bofl_nn.dir/model.cpp.o.d"
+  "CMakeFiles/bofl_nn.dir/sgd.cpp.o"
+  "CMakeFiles/bofl_nn.dir/sgd.cpp.o.d"
+  "CMakeFiles/bofl_nn.dir/tensor.cpp.o"
+  "CMakeFiles/bofl_nn.dir/tensor.cpp.o.d"
+  "libbofl_nn.a"
+  "libbofl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pareto/hypervolume.cpp" "src/pareto/CMakeFiles/bofl_pareto.dir/hypervolume.cpp.o" "gcc" "src/pareto/CMakeFiles/bofl_pareto.dir/hypervolume.cpp.o.d"
+  "/root/repo/src/pareto/pareto.cpp" "src/pareto/CMakeFiles/bofl_pareto.dir/pareto.cpp.o" "gcc" "src/pareto/CMakeFiles/bofl_pareto.dir/pareto.cpp.o.d"
+  "/root/repo/src/pareto/quality.cpp" "src/pareto/CMakeFiles/bofl_pareto.dir/quality.cpp.o" "gcc" "src/pareto/CMakeFiles/bofl_pareto.dir/quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bofl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

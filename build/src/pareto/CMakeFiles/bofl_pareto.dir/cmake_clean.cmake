@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_pareto.dir/hypervolume.cpp.o"
+  "CMakeFiles/bofl_pareto.dir/hypervolume.cpp.o.d"
+  "CMakeFiles/bofl_pareto.dir/pareto.cpp.o"
+  "CMakeFiles/bofl_pareto.dir/pareto.cpp.o.d"
+  "CMakeFiles/bofl_pareto.dir/quality.cpp.o"
+  "CMakeFiles/bofl_pareto.dir/quality.cpp.o.d"
+  "libbofl_pareto.a"
+  "libbofl_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

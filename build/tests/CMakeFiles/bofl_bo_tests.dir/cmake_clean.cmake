@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_bo_tests.dir/bo/ehvi_test.cpp.o"
+  "CMakeFiles/bofl_bo_tests.dir/bo/ehvi_test.cpp.o.d"
+  "CMakeFiles/bofl_bo_tests.dir/bo/mbo_engine_test.cpp.o"
+  "CMakeFiles/bofl_bo_tests.dir/bo/mbo_engine_test.cpp.o.d"
+  "bofl_bo_tests"
+  "bofl_bo_tests.pdb"
+  "bofl_bo_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_bo_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

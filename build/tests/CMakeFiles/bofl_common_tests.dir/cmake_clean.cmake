@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_common_tests.dir/common/csv_test.cpp.o"
+  "CMakeFiles/bofl_common_tests.dir/common/csv_test.cpp.o.d"
+  "CMakeFiles/bofl_common_tests.dir/common/flags_test.cpp.o"
+  "CMakeFiles/bofl_common_tests.dir/common/flags_test.cpp.o.d"
+  "CMakeFiles/bofl_common_tests.dir/common/optim_test.cpp.o"
+  "CMakeFiles/bofl_common_tests.dir/common/optim_test.cpp.o.d"
+  "CMakeFiles/bofl_common_tests.dir/common/quasirandom_test.cpp.o"
+  "CMakeFiles/bofl_common_tests.dir/common/quasirandom_test.cpp.o.d"
+  "CMakeFiles/bofl_common_tests.dir/common/rng_test.cpp.o"
+  "CMakeFiles/bofl_common_tests.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/bofl_common_tests.dir/common/stats_test.cpp.o"
+  "CMakeFiles/bofl_common_tests.dir/common/stats_test.cpp.o.d"
+  "CMakeFiles/bofl_common_tests.dir/common/units_test.cpp.o"
+  "CMakeFiles/bofl_common_tests.dir/common/units_test.cpp.o.d"
+  "bofl_common_tests"
+  "bofl_common_tests.pdb"
+  "bofl_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

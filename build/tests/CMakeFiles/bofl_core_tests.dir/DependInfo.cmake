@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/baseline_controllers_test.cpp" "tests/CMakeFiles/bofl_core_tests.dir/core/baseline_controllers_test.cpp.o" "gcc" "tests/CMakeFiles/bofl_core_tests.dir/core/baseline_controllers_test.cpp.o.d"
+  "/root/repo/tests/core/bofl_controller_test.cpp" "tests/CMakeFiles/bofl_core_tests.dir/core/bofl_controller_test.cpp.o" "gcc" "tests/CMakeFiles/bofl_core_tests.dir/core/bofl_controller_test.cpp.o.d"
+  "/root/repo/tests/core/mbo_cost_test.cpp" "tests/CMakeFiles/bofl_core_tests.dir/core/mbo_cost_test.cpp.o" "gcc" "tests/CMakeFiles/bofl_core_tests.dir/core/mbo_cost_test.cpp.o.d"
+  "/root/repo/tests/core/robustness_test.cpp" "tests/CMakeFiles/bofl_core_tests.dir/core/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/bofl_core_tests.dir/core/robustness_test.cpp.o.d"
+  "/root/repo/tests/core/state_io_test.cpp" "tests/CMakeFiles/bofl_core_tests.dir/core/state_io_test.cpp.o" "gcc" "tests/CMakeFiles/bofl_core_tests.dir/core/state_io_test.cpp.o.d"
+  "/root/repo/tests/core/task_test.cpp" "tests/CMakeFiles/bofl_core_tests.dir/core/task_test.cpp.o" "gcc" "tests/CMakeFiles/bofl_core_tests.dir/core/task_test.cpp.o.d"
+  "/root/repo/tests/core/trace_test.cpp" "tests/CMakeFiles/bofl_core_tests.dir/core/trace_test.cpp.o" "gcc" "tests/CMakeFiles/bofl_core_tests.dir/core/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/bofl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/bofl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bofl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bo/CMakeFiles/bofl_bo.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/bofl_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pareto/CMakeFiles/bofl_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/bofl_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/bofl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/bofl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bofl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_core_tests.dir/core/baseline_controllers_test.cpp.o"
+  "CMakeFiles/bofl_core_tests.dir/core/baseline_controllers_test.cpp.o.d"
+  "CMakeFiles/bofl_core_tests.dir/core/bofl_controller_test.cpp.o"
+  "CMakeFiles/bofl_core_tests.dir/core/bofl_controller_test.cpp.o.d"
+  "CMakeFiles/bofl_core_tests.dir/core/mbo_cost_test.cpp.o"
+  "CMakeFiles/bofl_core_tests.dir/core/mbo_cost_test.cpp.o.d"
+  "CMakeFiles/bofl_core_tests.dir/core/robustness_test.cpp.o"
+  "CMakeFiles/bofl_core_tests.dir/core/robustness_test.cpp.o.d"
+  "CMakeFiles/bofl_core_tests.dir/core/state_io_test.cpp.o"
+  "CMakeFiles/bofl_core_tests.dir/core/state_io_test.cpp.o.d"
+  "CMakeFiles/bofl_core_tests.dir/core/task_test.cpp.o"
+  "CMakeFiles/bofl_core_tests.dir/core/task_test.cpp.o.d"
+  "CMakeFiles/bofl_core_tests.dir/core/trace_test.cpp.o"
+  "CMakeFiles/bofl_core_tests.dir/core/trace_test.cpp.o.d"
+  "bofl_core_tests"
+  "bofl_core_tests.pdb"
+  "bofl_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

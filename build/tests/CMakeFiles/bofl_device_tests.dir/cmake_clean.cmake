@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_device_tests.dir/device/device_model_test.cpp.o"
+  "CMakeFiles/bofl_device_tests.dir/device/device_model_test.cpp.o.d"
+  "CMakeFiles/bofl_device_tests.dir/device/disturbance_test.cpp.o"
+  "CMakeFiles/bofl_device_tests.dir/device/disturbance_test.cpp.o.d"
+  "CMakeFiles/bofl_device_tests.dir/device/frequency_test.cpp.o"
+  "CMakeFiles/bofl_device_tests.dir/device/frequency_test.cpp.o.d"
+  "CMakeFiles/bofl_device_tests.dir/device/observer_test.cpp.o"
+  "CMakeFiles/bofl_device_tests.dir/device/observer_test.cpp.o.d"
+  "CMakeFiles/bofl_device_tests.dir/device/sysfs_test.cpp.o"
+  "CMakeFiles/bofl_device_tests.dir/device/sysfs_test.cpp.o.d"
+  "bofl_device_tests"
+  "bofl_device_tests.pdb"
+  "bofl_device_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_device_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

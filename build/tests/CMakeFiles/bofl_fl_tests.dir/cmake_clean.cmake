@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_fl_tests.dir/fl/client_server_test.cpp.o"
+  "CMakeFiles/bofl_fl_tests.dir/fl/client_server_test.cpp.o.d"
+  "CMakeFiles/bofl_fl_tests.dir/fl/deadline_policy_test.cpp.o"
+  "CMakeFiles/bofl_fl_tests.dir/fl/deadline_policy_test.cpp.o.d"
+  "CMakeFiles/bofl_fl_tests.dir/fl/heterogeneous_fleet_test.cpp.o"
+  "CMakeFiles/bofl_fl_tests.dir/fl/heterogeneous_fleet_test.cpp.o.d"
+  "CMakeFiles/bofl_fl_tests.dir/fl/network_test.cpp.o"
+  "CMakeFiles/bofl_fl_tests.dir/fl/network_test.cpp.o.d"
+  "CMakeFiles/bofl_fl_tests.dir/fl/simulation_modes_test.cpp.o"
+  "CMakeFiles/bofl_fl_tests.dir/fl/simulation_modes_test.cpp.o.d"
+  "CMakeFiles/bofl_fl_tests.dir/fl/simulation_test.cpp.o"
+  "CMakeFiles/bofl_fl_tests.dir/fl/simulation_test.cpp.o.d"
+  "bofl_fl_tests"
+  "bofl_fl_tests.pdb"
+  "bofl_fl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_fl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

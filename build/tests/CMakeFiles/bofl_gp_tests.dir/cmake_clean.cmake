@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_gp_tests.dir/gp/gaussian_process_test.cpp.o"
+  "CMakeFiles/bofl_gp_tests.dir/gp/gaussian_process_test.cpp.o.d"
+  "CMakeFiles/bofl_gp_tests.dir/gp/hyperopt_test.cpp.o"
+  "CMakeFiles/bofl_gp_tests.dir/gp/hyperopt_test.cpp.o.d"
+  "CMakeFiles/bofl_gp_tests.dir/gp/kernel_test.cpp.o"
+  "CMakeFiles/bofl_gp_tests.dir/gp/kernel_test.cpp.o.d"
+  "bofl_gp_tests"
+  "bofl_gp_tests.pdb"
+  "bofl_gp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_gp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_ilp_tests.dir/ilp/branch_and_bound_test.cpp.o"
+  "CMakeFiles/bofl_ilp_tests.dir/ilp/branch_and_bound_test.cpp.o.d"
+  "CMakeFiles/bofl_ilp_tests.dir/ilp/lp_test.cpp.o"
+  "CMakeFiles/bofl_ilp_tests.dir/ilp/lp_test.cpp.o.d"
+  "CMakeFiles/bofl_ilp_tests.dir/ilp/schedule_solver_test.cpp.o"
+  "CMakeFiles/bofl_ilp_tests.dir/ilp/schedule_solver_test.cpp.o.d"
+  "bofl_ilp_tests"
+  "bofl_ilp_tests.pdb"
+  "bofl_ilp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_ilp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

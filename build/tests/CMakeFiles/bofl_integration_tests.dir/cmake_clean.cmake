@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_integration_tests.dir/integration/determinism_test.cpp.o"
+  "CMakeFiles/bofl_integration_tests.dir/integration/determinism_test.cpp.o.d"
+  "CMakeFiles/bofl_integration_tests.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/bofl_integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "bofl_integration_tests"
+  "bofl_integration_tests.pdb"
+  "bofl_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_linalg_tests.dir/linalg/cholesky_test.cpp.o"
+  "CMakeFiles/bofl_linalg_tests.dir/linalg/cholesky_test.cpp.o.d"
+  "CMakeFiles/bofl_linalg_tests.dir/linalg/matrix_test.cpp.o"
+  "CMakeFiles/bofl_linalg_tests.dir/linalg/matrix_test.cpp.o.d"
+  "bofl_linalg_tests"
+  "bofl_linalg_tests.pdb"
+  "bofl_linalg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_linalg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

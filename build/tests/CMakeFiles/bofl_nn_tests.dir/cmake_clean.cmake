@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_nn_tests.dir/nn/conv_test.cpp.o"
+  "CMakeFiles/bofl_nn_tests.dir/nn/conv_test.cpp.o.d"
+  "CMakeFiles/bofl_nn_tests.dir/nn/layers_test.cpp.o"
+  "CMakeFiles/bofl_nn_tests.dir/nn/layers_test.cpp.o.d"
+  "CMakeFiles/bofl_nn_tests.dir/nn/loss_test.cpp.o"
+  "CMakeFiles/bofl_nn_tests.dir/nn/loss_test.cpp.o.d"
+  "CMakeFiles/bofl_nn_tests.dir/nn/lstm_test.cpp.o"
+  "CMakeFiles/bofl_nn_tests.dir/nn/lstm_test.cpp.o.d"
+  "CMakeFiles/bofl_nn_tests.dir/nn/tensor_test.cpp.o"
+  "CMakeFiles/bofl_nn_tests.dir/nn/tensor_test.cpp.o.d"
+  "CMakeFiles/bofl_nn_tests.dir/nn/training_test.cpp.o"
+  "CMakeFiles/bofl_nn_tests.dir/nn/training_test.cpp.o.d"
+  "bofl_nn_tests"
+  "bofl_nn_tests.pdb"
+  "bofl_nn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

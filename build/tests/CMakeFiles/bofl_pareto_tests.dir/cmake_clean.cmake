@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_pareto_tests.dir/pareto/hypervolume_test.cpp.o"
+  "CMakeFiles/bofl_pareto_tests.dir/pareto/hypervolume_test.cpp.o.d"
+  "CMakeFiles/bofl_pareto_tests.dir/pareto/pareto_test.cpp.o"
+  "CMakeFiles/bofl_pareto_tests.dir/pareto/pareto_test.cpp.o.d"
+  "CMakeFiles/bofl_pareto_tests.dir/pareto/quality_test.cpp.o"
+  "CMakeFiles/bofl_pareto_tests.dir/pareto/quality_test.cpp.o.d"
+  "bofl_pareto_tests"
+  "bofl_pareto_tests.pdb"
+  "bofl_pareto_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_pareto_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

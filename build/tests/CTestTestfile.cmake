@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bofl_common_tests[1]_include.cmake")
+include("/root/repo/build/tests/bofl_linalg_tests[1]_include.cmake")
+include("/root/repo/build/tests/bofl_gp_tests[1]_include.cmake")
+include("/root/repo/build/tests/bofl_pareto_tests[1]_include.cmake")
+include("/root/repo/build/tests/bofl_bo_tests[1]_include.cmake")
+include("/root/repo/build/tests/bofl_ilp_tests[1]_include.cmake")
+include("/root/repo/build/tests/bofl_device_tests[1]_include.cmake")
+include("/root/repo/build/tests/bofl_nn_tests[1]_include.cmake")
+include("/root/repo/build/tests/bofl_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/bofl_fl_tests[1]_include.cmake")
+include("/root/repo/build/tests/bofl_integration_tests[1]_include.cmake")

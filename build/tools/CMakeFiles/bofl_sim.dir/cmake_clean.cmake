@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bofl_sim.dir/bofl_sim.cpp.o"
+  "CMakeFiles/bofl_sim.dir/bofl_sim.cpp.o.d"
+  "bofl_sim"
+  "bofl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bofl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

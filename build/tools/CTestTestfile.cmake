@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bofl_sim_smoke_bofl "/root/repo/build/tools/bofl_sim" "--rounds" "3" "--quiet" "--tau" "2.5")
+set_tests_properties(bofl_sim_smoke_bofl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(bofl_sim_smoke_performant "/root/repo/build/tools/bofl_sim" "--controller" "performant" "--rounds" "3" "--quiet")
+set_tests_properties(bofl_sim_smoke_performant PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(bofl_sim_smoke_oracle "/root/repo/build/tools/bofl_sim" "--controller" "oracle" "--device" "tx2" "--task" "lstm" "--rounds" "3" "--quiet")
+set_tests_properties(bofl_sim_smoke_oracle PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(bofl_sim_smoke_linear "/root/repo/build/tools/bofl_sim" "--controller" "linear" "--rounds" "3" "--quiet")
+set_tests_properties(bofl_sim_smoke_linear PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(bofl_sim_rejects_unknown_device "/root/repo/build/tools/bofl_sim" "--device" "toaster")
+set_tests_properties(bofl_sim_rejects_unknown_device PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
