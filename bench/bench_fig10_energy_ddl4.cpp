@@ -2,7 +2,8 @@
 // the AGX testbed with Tmax/Tmin = 4, for the three paper tasks.
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bofl::bench::configure_threads(argc, argv);  // --threads N
   bofl::bench::print_energy_figure("Figure 10", 4.0);
   std::printf(
       "\nPaper reference: longer deadlines flatten the energy spikes and "

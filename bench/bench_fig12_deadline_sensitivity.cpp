@@ -3,8 +3,9 @@
 // 4.0}, per task, over the full 100-round runs.
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bofl;
+  bench::configure_threads(argc, argv);  // --threads N
   const device::DeviceModel agx = device::jetson_agx();
   const std::vector<double> ratios{2.0, 2.5, 3.0, 3.5, 4.0};
 

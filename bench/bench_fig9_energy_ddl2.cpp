@@ -2,7 +2,8 @@
 // the AGX testbed with Tmax/Tmin = 2, for the three paper tasks.
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bofl::bench::configure_threads(argc, argv);  // --threads N
   bofl::bench::print_energy_figure("Figure 9", 2.0);
   std::printf(
       "\nPaper reference (Fig. 9a): improvement 22.3%%, regret 3.48%%; BoFL "

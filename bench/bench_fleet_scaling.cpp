@@ -1,0 +1,129 @@
+// Fleet-scaling benchmark for the runtime subsystem: sweep fleet size x
+// worker count over the federated simulation and report per-round wall
+// time, speedup over the serial run, and parallel efficiency.  Also checks
+// the runtime's determinism contract as it goes: every thread count must
+// reproduce the serial run's total energy and final accuracy bit-for-bit.
+//
+//   bench_fleet_scaling [--threads N] [--rounds R] [--clients-list 16,64]
+//
+// --threads caps the sweep's largest worker count (0 / absent = one worker
+// per hardware thread; the sweep always includes 1, 2, 4 when they fit).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "device/device_model.hpp"
+#include "figure_common.hpp"
+#include "fl/simulation.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using namespace bofl;
+
+fl::FlSimulationConfig base_config(std::size_t clients, std::int64_t rounds,
+                                   std::size_t threads) {
+  fl::FlSimulationConfig config;
+  config.num_clients = clients;
+  config.clients_per_round = std::max<std::size_t>(1, clients / 2);
+  config.rounds = rounds;
+  config.shard_examples = 128;
+  config.seed = 7;
+  config.threads = threads;
+  return config;
+}
+
+std::vector<std::size_t> parse_list(const std::string& csv,
+                                    std::vector<std::size_t> fallback) {
+  if (csv.empty()) {
+    return fallback;
+  }
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string item =
+        csv.substr(pos, comma == std::string::npos ? csv.npos : comma - pos);
+    out.push_back(static_cast<std::size_t>(std::stoull(item)));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FlagParser flags(argc, argv);
+  const auto rounds = flags.get_int("rounds", 3);
+  const std::size_t max_threads =
+      flags.get_int("threads", 0) > 0
+          ? static_cast<std::size_t>(flags.get_int("threads", 0))
+          : runtime::hardware_threads();
+  const std::vector<std::size_t> fleets =
+      parse_list(flags.get("clients-list", ""), {16, 64});
+
+  std::vector<std::size_t> thread_counts;
+  for (const std::size_t t : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              max_threads}) {
+    if (t <= max_threads &&
+        (thread_counts.empty() || t > thread_counts.back())) {
+      thread_counts.push_back(t);
+    }
+  }
+
+  bench::print_header(
+      "Fleet scaling: round wall-time vs worker count (BoFL clients, "
+      "heterogeneous AGX/TX2 fleet)",
+      "speedup is vs the threads=1 run of the same fleet; results must be "
+      "bit-identical across thread counts");
+
+  const device::DeviceModel agx = device::jetson_agx();
+  const device::DeviceModel tx2 = device::jetson_tx2();
+  const std::vector<const device::DeviceModel*> devices{&agx, &tx2};
+
+  bool deterministic = true;
+  for (const std::size_t clients : fleets) {
+    std::printf("\n%zu clients, %zu/round, %lld rounds:\n", clients,
+                std::max<std::size_t>(1, clients / 2),
+                static_cast<long long>(rounds));
+    std::printf("  %8s %14s %10s %12s\n", "threads", "round [ms]", "speedup",
+                "efficiency");
+    double serial_ms = 0.0;
+    Joules serial_energy{0.0};
+    double serial_accuracy = 0.0;
+    for (const std::size_t threads : thread_counts) {
+      fl::FederatedSimulation sim(devices,
+                                  base_config(clients, rounds, threads));
+      const auto start = std::chrono::steady_clock::now();
+      const fl::FlSimulationResult result = sim.run();
+      const auto stop = std::chrono::steady_clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(stop - start).count() /
+          static_cast<double>(rounds);
+      if (threads == 1) {
+        serial_ms = ms;
+        serial_energy = result.total_energy();
+        serial_accuracy = result.final_accuracy();
+      }
+      const bool same =
+          result.total_energy().value() == serial_energy.value() &&
+          result.final_accuracy() == serial_accuracy;
+      deterministic = deterministic && same;
+      const double speedup = serial_ms / ms;
+      std::printf("  %8zu %14.1f %9.2fx %11.0f%%%s\n", threads, ms, speedup,
+                  100.0 * speedup / static_cast<double>(threads),
+                  same ? "" : "  [MISMATCH vs threads=1]");
+    }
+  }
+
+  std::printf("\ndeterminism across thread counts: %s\n",
+              deterministic ? "ok (bit-identical)" : "VIOLATED");
+  return deterministic ? 0 : 1;
+}

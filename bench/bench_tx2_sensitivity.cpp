@@ -4,8 +4,9 @@
 // (936-configuration space, weaker GPU, different power balance).
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bofl;
+  bench::configure_threads(argc, argv);  // --threads N
   const device::DeviceModel tx2 = device::jetson_tx2();
   const std::vector<double> ratios{2.0, 3.0, 4.0};
 

@@ -3,8 +3,23 @@
 #include <cstdlib>
 
 #include "common/csv.hpp"
+#include "common/flags.hpp"
 
 namespace bofl::bench {
+
+namespace {
+std::size_t g_threads = 0;  // 0 = one worker per hardware thread
+}  // namespace
+
+void configure_threads(int argc, const char* const* argv) {
+  const FlagParser flags(argc, argv);
+  g_threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+}
+
+runtime::ThreadPool& shared_pool() {
+  static runtime::ThreadPool pool(g_threads);
+  return pool;
+}
 
 core::BoflOptions default_bofl_options(const device::DeviceModel& model) {
   core::BoflOptions options;
@@ -24,9 +39,12 @@ ComparisonResult run_comparison(const device::DeviceModel& model,
   core::PerformantController performant(model, task.profile, noise,
                                         seeds.performant);
   core::OracleController oracle(model, task.profile, noise, seeds.oracle);
-  result.bofl = core::run_task(bofl, result.rounds);
-  result.performant = core::run_task(performant, result.rounds);
-  result.oracle = core::run_task(oracle, result.rounds);
+  const std::vector<core::TaskResult> swept = core::run_tasks(
+      {&bofl, &performant, &oracle},
+      {&result.rounds, &result.rounds, &result.rounds}, &shared_pool());
+  result.bofl = swept[0];
+  result.performant = swept[1];
+  result.oracle = swept[2];
   return result;
 }
 

@@ -14,8 +14,18 @@
 #include "core/oracle_controller.hpp"
 #include "core/performant_controller.hpp"
 #include "device/device_model.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace bofl::bench {
+
+/// Parse --threads N from a bench driver's argv (0 / absent = one worker
+/// per hardware thread).  Call once at the top of main, before the first
+/// shared_pool() use.
+void configure_threads(int argc, const char* const* argv);
+
+/// Process-wide worker pool for the benches, sized by configure_threads();
+/// created on first use.  Controller sweeps are deterministic for any size.
+[[nodiscard]] runtime::ThreadPool& shared_pool();
 
 /// The seeds every figure benchmark uses, so printed numbers are stable.
 struct Seeds {
@@ -31,6 +41,8 @@ struct Seeds {
 
 /// Run a full (task, deadline-ratio) experiment with the three §6
 /// controllers and return their results in {bofl, performant, oracle} order.
+/// The three controllers run concurrently on shared_pool() (each one's
+/// rounds stay strictly ordered, so numbers match the serial sweep).
 struct ComparisonResult {
   core::TaskResult bofl;
   core::TaskResult performant;

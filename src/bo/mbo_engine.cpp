@@ -173,14 +173,29 @@ std::vector<std::size_t> MboEngine::propose_batch(std::size_t batch_size) {
   std::vector<bool> taken = observed_;
   std::vector<std::size_t> batch;
   last_best_ehvi_.reset();
+  const std::size_t num_candidates = candidates_.size();
+  std::vector<double> values(num_candidates);
+  std::vector<double> uncertainties(num_candidates);
+  std::vector<GaussianPair> beliefs(num_candidates);
+  std::vector<double> thompson_draws;  // two pre-split normals per candidate
   for (std::size_t pick = 0; pick < batch_size; ++pick) {
-    double best_value = -1.0;
-    double best_uncertainty = -1.0;
-    std::size_t best_index = candidates_.size();
-    GaussianPair best_belief;
-    for (std::size_t c = 0; c < candidates_.size(); ++c) {
+    if (thompson) {
+      // All shared-RNG draws happen here, serially, in candidate order —
+      // the exact sequence of the serial scoring loop — so pool size never
+      // changes which candidates get picked.
+      thompson_draws.assign(2 * num_candidates, 0.0);
+      for (std::size_t c = 0; c < num_candidates; ++c) {
+        if (!taken[c]) {
+          thompson_draws[2 * c] = rng_.normal();
+          thompson_draws[2 * c + 1] = rng_.normal();
+        }
+      }
+    }
+    // Candidate scoring is embarrassingly parallel: per-candidate GP
+    // posteriors and acquisition values against the frozen working front.
+    runtime::parallel_for_each(pool_, num_candidates, [&](std::size_t c) {
       if (taken[c]) {
-        continue;
+        return;
       }
       const gp::Prediction p1 = gp1.predict(candidates_[c]);
       const gp::Prediction p2 = gp2.predict(candidates_[c]);
@@ -190,23 +205,35 @@ std::vector<std::size_t> MboEngine::propose_batch(std::size_t batch_size) {
         // One marginal posterior draw per objective; the acquisition value
         // is the deterministic HVI of the sampled point.
         const pareto::Point2 sample{
-            belief.mu1 + belief.sigma1 * rng_.normal(),
-            belief.mu2 + belief.sigma2 * rng_.normal()};
+            belief.mu1 + belief.sigma1 * thompson_draws[2 * c],
+            belief.mu2 + belief.sigma2 * thompson_draws[2 * c + 1]};
         value = pareto::hypervolume_improvement(front, {sample}, ref);
       } else {
         value = ehvi_2d(belief, front, ref);
       }
-      const double uncertainty = p1.variance + p2.variance;
+      beliefs[c] = belief;
+      values[c] = value;
+      uncertainties[c] = p1.variance + p2.variance;
+    });
+    // Serial argmax in candidate order reproduces the serial loop exactly.
+    double best_value = -1.0;
+    double best_uncertainty = -1.0;
+    std::size_t best_index = num_candidates;
+    GaussianPair best_belief;
+    for (std::size_t c = 0; c < num_candidates; ++c) {
+      if (taken[c]) {
+        continue;
+      }
       // Primary criterion: EHVI.  Tie-break (all-zero EHVI happens once the
       // front looks converged): keep exploring where the model is least sure.
       const bool better =
-          value > best_value ||
-          (value == best_value && uncertainty > best_uncertainty);
+          values[c] > best_value ||
+          (values[c] == best_value && uncertainties[c] > best_uncertainty);
       if (better) {
-        best_value = value;
-        best_uncertainty = uncertainty;
+        best_value = values[c];
+        best_uncertainty = uncertainties[c];
         best_index = c;
-        best_belief = belief;
+        best_belief = beliefs[c];
       }
     }
     if (best_index == candidates_.size()) {

@@ -19,6 +19,7 @@
 #include "common/rng.hpp"
 #include "gp/hyperopt.hpp"
 #include "pareto/pareto.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace bofl::bo {
 
@@ -72,6 +73,12 @@ class MboEngine {
   /// unobserved candidates left).  Requires >= 3 observations.
   [[nodiscard]] std::vector<std::size_t> propose_batch(std::size_t batch_size);
 
+  /// Score candidates on `pool` (non-owning; nullptr = serial, the
+  /// default).  Per-candidate acquisition values are independent — RNG
+  /// draws (Thompson) are pre-split per candidate and the greedy argmax
+  /// stays serial — so batches are bit-identical for any pool size.
+  void set_parallel_pool(runtime::ThreadPool* pool) { pool_ = pool; }
+
   /// Pareto front of the raw observations.
   [[nodiscard]] std::vector<pareto::Point2> observed_front() const;
 
@@ -111,6 +118,7 @@ class MboEngine {
 
   std::vector<linalg::Vector> candidates_;
   MboOptions options_;
+  runtime::ThreadPool* pool_ = nullptr;
   Rng rng_;
   std::vector<MboObservation> observations_;
   std::vector<bool> observed_;

@@ -13,6 +13,12 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t stream_seed(std::uint64_t base, std::uint64_t stream) {
+  std::uint64_t state = base;
+  std::uint64_t mixed = splitmix64(state) ^ stream;
+  return splitmix64(mixed);
+}
+
 namespace {
 constexpr std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));

@@ -16,6 +16,14 @@ namespace bofl {
 /// SplitMix64: used for seeding and for cheap one-shot hashes.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Deterministic seed for substream `stream` of a base seed.  Parallel code
+/// derives one independent Rng per *task* (client, candidate, round — never
+/// per thread), so results are bit-identical whatever the worker count and
+/// scheduling order (runtime/thread_pool.hpp relies on this contract).
+/// Two SplitMix64 passes decorrelate even adjacent (base, stream) pairs.
+[[nodiscard]] std::uint64_t stream_seed(std::uint64_t base,
+                                        std::uint64_t stream);
+
 /// xoshiro256** PRNG.  Satisfies UniformRandomBitGenerator so it can be
 /// plugged into <random> distributions, but the convenience members below
 /// cover everything BoFL needs without the libstdc++ distribution quirks.

@@ -73,6 +73,12 @@ class BoflController final : public PaceController {
   [[nodiscard]] Phase phase() const { return phase_; }
   [[nodiscard]] const bo::MboEngine& engine() const { return engine_; }
 
+  /// Score MBO candidates on `pool` (non-owning; nullptr = serial).
+  /// Deterministic for any pool size — see bo::MboEngine::set_parallel_pool.
+  void set_parallel_pool(runtime::ThreadPool* pool) {
+    engine_.set_parallel_pool(pool);
+  }
+
   /// Measured per-job (energy, latency) profile of every explored
   /// configuration (job-weighted averages of the noisy readings).
   [[nodiscard]] std::vector<ilp::ConfigProfile> observed_profiles() const;

@@ -14,6 +14,23 @@ TaskResult run_task(PaceController& controller,
   return result;
 }
 
+std::vector<TaskResult> run_tasks(
+    const std::vector<PaceController*>& controllers,
+    const std::vector<const std::vector<RoundSpec>*>& schedules,
+    runtime::ThreadPool* pool) {
+  BOFL_REQUIRE(controllers.size() == schedules.size(),
+               "need one round schedule per controller");
+  for (std::size_t i = 0; i < controllers.size(); ++i) {
+    BOFL_REQUIRE(controllers[i] != nullptr && schedules[i] != nullptr,
+                 "controllers and schedules must be non-null");
+  }
+  std::vector<TaskResult> results(controllers.size());
+  runtime::parallel_for_each(pool, controllers.size(), [&](std::size_t i) {
+    results[i] = run_task(*controllers[i], *schedules[i]);
+  });
+  return results;
+}
+
 Joules total_energy(const TaskResult& result) {
   return result.total_training_energy() + result.total_mbo_energy();
 }

@@ -5,12 +5,24 @@
 #include "core/pace_controller.hpp"
 #include "core/task.hpp"
 #include "core/trace.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace bofl::core {
 
 /// Run all rounds in order through `controller`.
 [[nodiscard]] TaskResult run_task(PaceController& controller,
                                   const std::vector<RoundSpec>& rounds);
+
+/// Sweep: run each controller through its paired round schedule, one task
+/// per controller on `pool` (nullptr = serial).  Rounds stay strictly
+/// ordered *within* a controller — only whole controllers run concurrently,
+/// so every TaskResult is bit-identical to a run_task() call.  Results are
+/// returned in input order.  `controllers` and `schedules` must be the same
+/// length; null controllers are rejected.
+[[nodiscard]] std::vector<TaskResult> run_tasks(
+    const std::vector<PaceController*>& controllers,
+    const std::vector<const std::vector<RoundSpec>*>& schedules,
+    runtime::ThreadPool* pool);
 
 /// Total energy attributable to the controller: training plus MBO overhead.
 [[nodiscard]] Joules total_energy(const TaskResult& result);

@@ -6,6 +6,30 @@
 
 namespace bofl::fl {
 
+Seconds cohort_deadline_floor(const std::vector<Seconds>& client_t_min,
+                              const std::vector<std::size_t>& participants,
+                              Seconds per_round_overhead) {
+  BOFL_REQUIRE(!participants.empty(), "cohort must have participants");
+  BOFL_REQUIRE(per_round_overhead.value() >= 0.0,
+               "per-round overhead cannot be negative");
+  Seconds slowest{0.0};
+  for (const std::size_t id : participants) {
+    BOFL_REQUIRE(id < client_t_min.size(), "participant id out of range");
+    BOFL_REQUIRE(client_t_min[id].value() > 0.0,
+                 "client T_min must be positive");
+    slowest = std::max(slowest, client_t_min[id]);
+  }
+  return slowest + per_round_overhead;
+}
+
+Seconds fleet_deadline_floor(const std::vector<Seconds>& client_t_min) {
+  std::vector<std::size_t> everyone(client_t_min.size());
+  for (std::size_t i = 0; i < everyone.size(); ++i) {
+    everyone[i] = i;
+  }
+  return cohort_deadline_floor(client_t_min, everyone);
+}
+
 StaticTimeoutPolicy::StaticTimeoutPolicy(Seconds timeout) : timeout_(timeout) {
   BOFL_REQUIRE(timeout.value() > 0.0, "timeout must be positive");
 }

@@ -18,12 +18,30 @@
 #pragma once
 
 #include <cstdint>
+#include <cstddef>
 #include <memory>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
 
 namespace bofl::fl {
+
+/// Fastest feasible round time of a selected cohort: the slowest selected
+/// participant's T_min plus a fixed per-round overhead (the upload
+/// allowance in reporting-deadline mode, zero otherwise).  This is *the*
+/// feasibility floor every DeadlinePolicy::assign() consumes; the round
+/// loop and the static-timeout setup share it so the check lives in one
+/// place.  Requires a non-empty cohort with positive per-client T_min.
+[[nodiscard]] Seconds cohort_deadline_floor(
+    const std::vector<Seconds>& client_t_min,
+    const std::vector<std::size_t>& participants,
+    Seconds per_round_overhead = Seconds{0.0});
+
+/// The floor when *every* client could be selected (a cohort of everyone);
+/// what a static timeout — which cannot react per cohort — must cover.
+[[nodiscard]] Seconds fleet_deadline_floor(
+    const std::vector<Seconds>& client_t_min);
 
 class DeadlinePolicy {
  public:

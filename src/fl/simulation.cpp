@@ -1,12 +1,14 @@
 #include "fl/simulation.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
 #include "core/bofl_controller.hpp"
 #include "core/linear_controller.hpp"
 #include "core/oracle_controller.hpp"
 #include "core/performant_controller.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace bofl::fl {
 
@@ -152,10 +154,7 @@ FlSimulationResult FederatedSimulation::run() {
   }
   // Deadline floor when every client could be selected (used by the static
   // timeout policy, which cannot react per cohort).
-  Seconds t_min{0.0};
-  for (const Seconds t : client_t_min) {
-    t_min = std::max(t_min, t);
-  }
+  const Seconds t_min = fleet_deadline_floor(client_t_min);
 
   // Held-out IID test set for global evaluation.
   const nn::Dataset test =
@@ -199,6 +198,11 @@ FlSimulationResult FederatedSimulation::run() {
     }
   }
 
+  // Worker pool for the per-round client fan-out.  Clients are independent
+  // within a round (own shard, model replica, controller, uplink, adapter),
+  // so each one is a task; everything cross-client stays on this thread.
+  runtime::ThreadPool pool(config_.threads);
+
   FlSimulationResult result;
   result.rounds.reserve(static_cast<std::size_t>(config_.rounds));
   for (std::int64_t round = 0; round < config_.rounds; ++round) {
@@ -206,26 +210,34 @@ FlSimulationResult FederatedSimulation::run() {
         config_.num_clients, config_.clients_per_round, rng);
     // The deadline must be feasible for the slowest selected participant;
     // in reporting mode it must also cover the upload.
-    Seconds cohort_t_min{0.0};
-    for (std::size_t id : participants) {
-      cohort_t_min = std::max(cohort_t_min, client_t_min[id]);
-    }
-    const Seconds cohort_floor =
-        cohort_t_min +
-        Seconds{config_.upload_safety_factor * nominal_upload_seconds};
+    const Seconds cohort_floor = cohort_deadline_floor(
+        client_t_min, participants,
+        Seconds{config_.upload_safety_factor * nominal_upload_seconds});
     const Seconds server_deadline = policy->assign(round, cohort_floor);
 
-    std::vector<LocalUpdate> updates;
-    updates.reserve(participants.size());
     FlRoundStats stats;
     stats.round = round;
     stats.participants = participants.size();
     stats.deadline = server_deadline;
-    bool all_met = true;
+
+    // Serial pre-pass: every shared-RNG draw happens here, in participant
+    // order, so the dropout stream is independent of the worker count.
+    std::vector<std::size_t> active;
+    active.reserve(participants.size());
     for (std::size_t id : participants) {
       if (dropout_rng.bernoulli(config_.dropout_probability)) {
         continue;  // the device vanished before training started
       }
+      active.push_back(id);
+    }
+
+    // Parallel fan-out: local training (plus the simulated upload, whose
+    // RNG is per-client) runs concurrently, one task per active client.
+    // Results land in participant-order slots, keeping every downstream
+    // reduction bit-identical to the serial loop.
+    std::vector<LocalUpdate> updates(active.size());
+    runtime::parallel_for_each(&pool, active.size(), [&](std::size_t k) {
+      const std::size_t id = active[k];
       core::RoundSpec spec{round, jobs_per_round, server_deadline};
       if (config_.reporting_deadline_mode) {
         // The client infers its training deadline from the reporting one.
@@ -240,10 +252,15 @@ FlSimulationResult FederatedSimulation::run() {
             update.pace_trace.elapsed() + update.upload_duration <=
             server_deadline;
       }
+      updates[k] = std::move(update);
+    });
+
+    // Barrier: aggregation and round accounting are serial again.
+    bool all_met = true;
+    for (const LocalUpdate& update : updates) {
       all_met = all_met && update.pace_trace.deadline_met() &&
                 update.reported_in_time;
       stats.energy += update.pace_trace.energy() + update.pace_trace.mbo_energy;
-      updates.push_back(std::move(update));
     }
     policy->record_outcome(all_met);
     stats.accepted = server.aggregate(updates);

@@ -90,6 +90,14 @@ struct FlSimulationConfig {
   double uplink_mbps = 5.0;  ///< paper's 4G-LTE example (§6.5 footnote)
   double uplink_cv = 0.25;
   double upload_safety_factor = 1.25;
+
+  /// Worker threads for the per-round client fan-out (runtime subsystem);
+  /// 0 = one per hardware thread, 1 = fully serial.  Results are
+  /// bit-identical for every value — clients within a round are independent
+  /// and all cross-client state (participant selection, dropout draws,
+  /// aggregation, energy accounting) stays on the round loop's thread in a
+  /// fixed order.  See DESIGN.md "Runtime & parallelism".
+  std::size_t threads = 0;
 };
 
 struct FlRoundStats {

@@ -1,0 +1,74 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bofl::runtime {
+
+namespace {
+
+/// Which pool (if any) owns the current thread.  Lets parallel_for_each
+/// detect re-entrant use from a worker and fall back to inline execution.
+thread_local const ThreadPool* t_owning_pool = nullptr;
+
+}  // namespace
+
+std::size_t hardware_threads() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = hardware_threads();
+  }
+  // A negative flag value cast to size_t lands here as ~2^64; reject it
+  // with a real message instead of dying inside vector::reserve.
+  BOFL_REQUIRE(num_threads <= 65536,
+               "thread count is implausibly large (negative value?)");
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+bool ThreadPool::on_worker_thread() const { return t_owning_pool == this; }
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    BOFL_REQUIRE(!stop_, "submit() on a stopped ThreadPool");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  t_owning_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ set and nothing left to run
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task: exceptions land in the matching future
+  }
+}
+
+}  // namespace bofl::runtime

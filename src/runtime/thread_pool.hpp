@@ -1,0 +1,149 @@
+// Fleet-scale concurrency runtime: a fixed-size worker pool with a shared
+// task queue, plus the parallel_for_each building block the rest of the
+// stack uses for embarrassingly-parallel work (independent FL clients in a
+// round, candidate scoring in the MBO engine, controller sweeps).
+//
+// Design rules:
+//   * Determinism is the caller's contract, concurrency is ours.  The pool
+//     never reorders *results*: parallel_for_each writes into caller-owned
+//     slots indexed by the item, so a reduction over those slots in index
+//     order is bit-identical however many workers ran.  Anything stateful
+//     (shared RNG draws, EWMA updates) must be pulled out of the parallel
+//     region or split into per-task streams (common/rng.hpp stream_seed).
+//   * The calling thread participates.  parallel_for_each runs items on the
+//     caller too, so a pool of size 1 degenerates to the serial loop and
+//     nested parallel_for_each on one pool cannot deadlock: a worker that
+//     re-enters simply chews through its own items.
+//   * Exceptions propagate.  The first exception thrown by any task is
+//     captured and rethrown on the calling thread once all items finished.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace bofl::runtime {
+
+/// Worker threads to use when the caller passed 0 ("pick for me"):
+/// std::thread::hardware_concurrency(), floored at 1.
+[[nodiscard]] std::size_t hardware_threads();
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means hardware_threads().
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains nothing: outstanding tasks are completed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (>= 1).
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue one task; the future carries its result or exception.
+  template <typename F>
+  [[nodiscard]] auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// True when called from one of this pool's workers (used to decide
+  /// whether a nested parallel region may block on the queue).
+  [[nodiscard]] bool on_worker_thread() const;
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+namespace detail {
+
+/// Shared state of one parallel_for_each region: a work cursor plus the
+/// first captured exception.
+struct ForEachState {
+  explicit ForEachState(std::size_t n) : total(n) {}
+  const std::size_t total;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  template <typename Fn>
+  void drain(const Fn& fn) {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < total; i = next.fetch_add(1, std::memory_order_relaxed)) {
+      if (failed.load(std::memory_order_acquire)) {
+        return;  // best-effort early exit once something threw
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) {
+          error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_release);
+      }
+    }
+  }
+};
+
+}  // namespace detail
+
+/// Apply fn(i) for every i in [0, n).  Items are claimed dynamically from a
+/// shared cursor, so uneven item costs balance across workers; the calling
+/// thread works too.  With pool == nullptr, a pool of size 1, or n <= 1 the
+/// loop runs serially on the caller.  The first exception any item throws
+/// is rethrown here after the region finishes.
+template <typename Fn>
+void parallel_for_each(ThreadPool* pool, std::size_t n, const Fn& fn) {
+  if (n == 0) {
+    return;
+  }
+  // A worker re-entering its own pool must not block on queued helpers
+  // (they may sit behind the very tasks waiting for them); the caller just
+  // runs its nested region inline.
+  if (pool == nullptr || pool->size() <= 1 || n == 1 ||
+      pool->on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  detail::ForEachState state(n);
+  const std::size_t helpers = std::min(pool->size(), n - 1);
+  std::vector<std::future<void>> pending;
+  pending.reserve(helpers);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pending.push_back(pool->submit([&state, &fn]() { state.drain(fn); }));
+  }
+  state.drain(fn);
+  for (std::future<void>& f : pending) {
+    f.get();
+  }
+  if (state.error) {
+    std::rethrow_exception(state.error);
+  }
+}
+
+}  // namespace bofl::runtime

@@ -255,5 +255,31 @@ TEST(MboEngine, BeatsRandomSearchOnHypervolume) {
                          << " random=" << random_hv;
 }
 
+TEST(MboEngine, ParallelScoringMatchesSerialBatches) {
+  // Candidate scoring on a pool must pick the exact batch the serial loop
+  // picks, for both the deterministic (EHVI) and the sampling (Thompson)
+  // acquisitions.
+  SyntheticProblem problem;
+  runtime::ThreadPool pool(4);
+  for (const AcquisitionKind kind :
+       {AcquisitionKind::kEhvi, AcquisitionKind::kThompsonMarginal}) {
+    SCOPED_TRACE(to_string(kind));
+    MboOptions options;
+    options.acquisition = kind;
+    options.hyperopt.num_restarts = 2;
+    options.hyperopt.max_iterations_per_start = 80;
+    MboEngine a(problem.candidates, options, 11);
+    MboEngine b(problem.candidates, options, 11);
+    b.set_parallel_pool(&pool);
+    Rng rng(11 * 31);
+    for (std::size_t i = 0; i < 8; ++i) {
+      const std::size_t c = rng.uniform_index(problem.candidates.size());
+      a.add_observation({c, problem.values[c].f1, problem.values[c].f2});
+      b.add_observation({c, problem.values[c].f1, problem.values[c].f2});
+    }
+    EXPECT_EQ(a.propose_batch(6), b.propose_batch(6));
+  }
+}
+
 }  // namespace
 }  // namespace bofl::bo

@@ -4,7 +4,7 @@
 //            [--controller bofl|performant|oracle|linear]
 //            [--ratio 2.0] [--rounds 100] [--seed 1] [--tau 5.0]
 //            [--spike-prob 0] [--spike-mag 3] [--thermal]
-//            [--csv PATH] [--quiet]
+//            [--threads N] [--csv PATH] [--quiet]
 //
 // Runs one pace controller through one FL task on one simulated testbed and
 // prints the per-round trace plus summary metrics; optionally exports the
@@ -21,6 +21,7 @@
 #include "core/oracle_controller.hpp"
 #include "core/performant_controller.hpp"
 #include "core/state_io.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace {
 
@@ -33,8 +34,8 @@ int usage(const char* argv0) {
       "          [--controller bofl|performant|oracle|linear]\n"
       "          [--ratio R] [--rounds N] [--seed S] [--tau SECONDS]\n"
       "          [--spike-prob P] [--spike-mag K] [--thermal]\n"
-      "          [--csv PATH] [--save-state PATH] [--load-state PATH]\n"
-      "          [--quiet]\n",
+      "          [--threads N] [--csv PATH] [--save-state PATH]\n"
+      "          [--load-state PATH] [--quiet]\n",
       argv0);
   return 2;
 }
@@ -78,6 +79,11 @@ int main(int argc, char** argv) {
     noise.thermal = device::ThermalParams{};
   }
 
+  // Worker pool for MBO candidate scoring (deterministic for any size;
+  // 0 = one worker per hardware thread).
+  runtime::ThreadPool pool(
+      static_cast<std::size_t>(flags.get_int("threads", 0)));
+
   const std::string controller_name = flags.get("controller", "bofl");
   std::unique_ptr<core::PaceController> controller;
   if (controller_name == "bofl") {
@@ -86,6 +92,7 @@ int main(int argc, char** argv) {
     options.tau = Seconds{flags.get_double("tau", 5.0)};
     auto bofl = std::make_unique<core::BoflController>(
         model, task.profile, noise, options, seed);
+    bofl->set_parallel_pool(&pool);
     const std::string state_path = flags.get("load-state", "");
     if (!state_path.empty()) {
       bofl->import_state(core::load_state(state_path));
