@@ -4,7 +4,7 @@
 
 int main(int argc, char** argv) {
   bofl::bench::configure_threads(argc, argv);  // --threads N
-  bofl::bench::print_energy_figure("Figure 10", 4.0);
+  bofl::bench::print_energy_figure("Figure 10", "fig10_energy_ddl4", 4.0);
   std::printf(
       "\nPaper reference: longer deadlines flatten the energy spikes and "
       "shorten the exploration\nphase (ViT explores ~6 rounds at ratio 4 vs "

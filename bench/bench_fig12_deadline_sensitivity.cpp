@@ -1,6 +1,8 @@
 // Figure 12: BoFL's effectiveness across deadline lengths — improvement vs
 // Performant and regret vs Oracle for Tmax/Tmin in {2.0, 2.5, 3.0, 3.5,
 // 4.0}, per task, over the full 100-round runs.
+#include <limits>
+
 #include "figure_common.hpp"
 
 int main(int argc, char** argv) {
@@ -23,24 +25,41 @@ int main(int argc, char** argv) {
   double max_improvement = 0.0;
   double min_regret = 1.0;
   double max_regret = 0.0;
+  telemetry::JsonValue bench_rows = telemetry::JsonValue::array();
   for (const core::FlTaskSpec& task : core::paper_tasks(agx.name())) {
     std::vector<double> improvements;
     std::vector<double> regrets;
+    std::vector<double> min_slacks;
     for (double ratio : ratios) {
       const bench::ComparisonResult cmp =
           bench::run_comparison(agx, task, ratio);
       const double improvement =
           core::improvement_vs(cmp.bofl, cmp.performant);
       const double regret = core::regret_vs(cmp.bofl, cmp.oracle);
+      // How close BoFL cuts it: the tightest per-round deadline slack over
+      // the whole run (negative would mean a miss).
+      double min_slack = std::numeric_limits<double>::infinity();
+      for (const core::RoundTrace& trace : cmp.bofl.rounds) {
+        min_slack = std::min(min_slack, trace.slack().value());
+      }
       improvements.push_back(100.0 * improvement);
       regrets.push_back(100.0 * regret);
+      min_slacks.push_back(min_slack);
       min_improvement = std::min(min_improvement, improvement);
       max_improvement = std::max(max_improvement, improvement);
       min_regret = std::min(min_regret, regret);
       max_regret = std::max(max_regret, regret);
+      telemetry::JsonValue row = telemetry::JsonValue::object();
+      row.set("task", task.name)
+          .set("ratio", ratio)
+          .set("improvement_pct", 100.0 * improvement)
+          .set("regret_pct", 100.0 * regret)
+          .set("bofl_min_slack_s", min_slack);
+      bench_rows.push_back(std::move(row));
     }
     bench::print_row(task.name + "  improv. [%]", improvements);
     bench::print_row(task.name + "  regret  [%]", regrets);
+    bench::print_row(task.name + "  min slack [s]", min_slacks);
   }
   std::printf(
       "\nOverall: improvement %.1f%% - %.1f%% (paper: 20.3%% - 25.9%%), "
@@ -49,5 +68,12 @@ int main(int argc, char** argv) {
       "shrinks.\n",
       100.0 * min_improvement, 100.0 * max_improvement, 100.0 * min_regret,
       100.0 * max_regret);
+  telemetry::JsonValue metrics = telemetry::JsonValue::object();
+  metrics.set("improvement_pct_min", 100.0 * min_improvement)
+      .set("improvement_pct_max", 100.0 * max_improvement)
+      .set("regret_pct_min", 100.0 * min_regret)
+      .set("regret_pct_max", 100.0 * max_regret)
+      .set("rows", std::move(bench_rows));
+  bench::write_bench_json("fig12_deadline_sensitivity", std::move(metrics));
   return 0;
 }

@@ -4,7 +4,7 @@
 
 int main(int argc, char** argv) {
   bofl::bench::configure_threads(argc, argv);  // --threads N
-  bofl::bench::print_energy_figure("Figure 9", 2.0);
+  bofl::bench::print_energy_figure("Figure 9", "fig9_energy_ddl2", 2.0);
   std::printf(
       "\nPaper reference (Fig. 9a): improvement 22.3%%, regret 3.48%%; BoFL "
       "explores ~10 rounds then exploits.\n");

@@ -89,6 +89,7 @@ int main(int argc, char** argv) {
   const std::vector<const device::DeviceModel*> devices{&agx, &tx2};
 
   bool deterministic = true;
+  telemetry::JsonValue cells = telemetry::JsonValue::array();
   for (const std::size_t clients : fleets) {
     std::printf("\n%zu clients, %zu/round, %lld rounds:\n", clients,
                 std::max<std::size_t>(1, clients / 2),
@@ -120,10 +121,24 @@ int main(int argc, char** argv) {
       std::printf("  %8zu %14.1f %9.2fx %11.0f%%%s\n", threads, ms, speedup,
                   100.0 * speedup / static_cast<double>(threads),
                   same ? "" : "  [MISMATCH vs threads=1]");
+      telemetry::JsonValue cell = telemetry::JsonValue::object();
+      cell.set("clients", clients)
+          .set("threads", threads)
+          .set("round_ms", ms)
+          .set("speedup", speedup)
+          .set("efficiency",
+               speedup / static_cast<double>(threads))
+          .set("deterministic", same);
+      cells.push_back(std::move(cell));
     }
   }
 
   std::printf("\ndeterminism across thread counts: %s\n",
               deterministic ? "ok (bit-identical)" : "VIOLATED");
+  telemetry::JsonValue metrics = telemetry::JsonValue::object();
+  metrics.set("rounds", rounds)
+      .set("deterministic", deterministic)
+      .set("cells", std::move(cells));
+  bench::write_bench_json("fleet_scaling", std::move(metrics));
   return deterministic ? 0 : 1;
 }

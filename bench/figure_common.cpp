@@ -60,7 +60,8 @@ std::unique_ptr<core::BoflController> run_bofl_only(
   return controller;
 }
 
-void print_energy_figure(const char* figure_label, double deadline_ratio) {
+void print_energy_figure(const char* figure_label, const char* bench_slug,
+                         double deadline_ratio) {
   const device::DeviceModel agx = device::jetson_agx();
   char title[160];
   std::snprintf(title, sizeof(title),
@@ -73,6 +74,7 @@ void print_energy_figure(const char* figure_label, double deadline_ratio) {
 
   const char sub = 'a';
   const auto tasks = core::paper_tasks(agx.name());
+  telemetry::JsonValue bench_tasks = telemetry::JsonValue::array();
   for (std::size_t t = 0; t < tasks.size(); ++t) {
     const core::FlTaskSpec& task = tasks[t];
     const ComparisonResult cmp = run_comparison(agx, task, deadline_ratio);
@@ -122,7 +124,46 @@ void print_energy_figure(const char* figure_label, double deadline_ratio) {
             cmp.bofl.rounds_in_phase(core::Phase::kParetoConstruction)),
         static_cast<long long>(
             cmp.bofl.rounds_in_phase(core::Phase::kExploitation)));
+    telemetry::JsonValue row = telemetry::JsonValue::object();
+    row.set("task", task.name)
+        .set("improvement_vs_performant_pct",
+             100.0 * core::improvement_vs(cmp.bofl, cmp.performant))
+        .set("regret_vs_oracle_pct",
+             100.0 * core::regret_vs(cmp.bofl, cmp.oracle))
+        .set("bofl_energy_j", cmp.bofl.total_training_energy().value() +
+                                  cmp.bofl.total_mbo_energy().value())
+        .set("performant_energy_j",
+             cmp.performant.total_training_energy().value())
+        .set("oracle_energy_j", cmp.oracle.total_training_energy().value())
+        .set("bofl_deadlines_met", cmp.bofl.all_deadlines_met());
+    bench_tasks.push_back(std::move(row));
   }
+  telemetry::JsonValue metrics = telemetry::JsonValue::object();
+  metrics.set("deadline_ratio", deadline_ratio)
+      .set("tasks", std::move(bench_tasks));
+  write_bench_json(bench_slug, std::move(metrics));
+}
+
+std::string write_bench_json(const std::string& name,
+                             telemetry::JsonValue metrics) {
+  const char* dir = std::getenv("BOFL_BENCH_JSON_DIR");
+  const std::string path = (dir != nullptr && *dir != '\0')
+                               ? std::string(dir) + "/BENCH_" + name + ".json"
+                               : "BENCH_" + name + ".json";
+  telemetry::JsonValue root = telemetry::JsonValue::object();
+  root.set("bench", name).set("metrics", std::move(metrics));
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "warning: cannot write bench json to %s\n",
+                 path.c_str());
+    return {};
+  }
+  const std::string text = root.dump();
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fputc('\n', out);
+  std::fclose(out);
+  std::printf("[bench json written to %s]\n", path.c_str());
+  return path;
 }
 
 std::string csv_path_or_empty(const std::string& filename) {

@@ -15,6 +15,7 @@
 #include "core/performant_controller.hpp"
 #include "device/device_model.hpp"
 #include "runtime/thread_pool.hpp"
+#include "telemetry/json.hpp"
 
 namespace bofl::bench {
 
@@ -70,7 +71,18 @@ struct ComparisonResult {
 /// Figures 9 and 10 share everything except the deadline ratio: print the
 /// per-round energy of BoFL / Performant / Oracle (first 40 of 100 rounds)
 /// with deadlines and phase markers, then the whole-task summary metrics.
-void print_energy_figure(const char* figure_label, double deadline_ratio);
+/// `bench_slug` names the machine-readable result file (see
+/// write_bench_json).
+void print_energy_figure(const char* figure_label, const char* bench_slug,
+                         double deadline_ratio);
+
+/// Write a machine-readable bench result as BENCH_<name>.json into
+/// $BOFL_BENCH_JSON_DIR (or the current directory), wrapping `metrics` as
+///   {"bench": <name>, "metrics": <metrics>}
+/// so perf trajectories can be assembled from bench runs.  Returns the path
+/// written.
+std::string write_bench_json(const std::string& name,
+                             telemetry::JsonValue metrics);
 
 /// Section banner: "=== Figure 9(a): ... ===".
 void print_header(const std::string& title, const std::string& subtitle = "");

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "pareto/hypervolume.hpp"
+#include "telemetry/scoped_timer.hpp"
 
 namespace bofl::bo {
 
@@ -102,6 +103,13 @@ std::vector<std::size_t> MboEngine::propose_batch(std::size_t batch_size) {
                "propose_batch needs at least 3 observations");
   batch_size = std::min(batch_size, options_.max_batch_size);
 
+  telemetry::Registry* reg = telemetry::global_registry();
+  telemetry::ScopedTimer propose_timer(
+      reg != nullptr ? &reg->histogram("mbo.propose_seconds") : nullptr);
+  if (reg != nullptr) {
+    reg->counter("mbo.propose_calls").add(1);
+  }
+
   if (options_.acquisition == AcquisitionKind::kRandomUnobserved) {
     // Ablation strategy: uniform over the unobserved candidates, no GP.
     std::vector<std::size_t> unobserved;
@@ -115,6 +123,11 @@ std::vector<std::size_t> MboEngine::propose_batch(std::size_t batch_size) {
       unobserved.resize(batch_size);
     }
     last_best_ehvi_.reset();
+    if (reg != nullptr) {
+      reg->histogram("mbo.batch_size",
+                     telemetry::exponential_buckets(1.0, 2.0, 8))
+          .observe(static_cast<double>(unobserved.size()));
+    }
     return unobserved;
   }
 
@@ -147,6 +160,8 @@ std::vector<std::size_t> MboEngine::propose_batch(std::size_t batch_size) {
   }
 
   // --- 2. Fit hyperparameters and condition the two GPs. ------------------
+  telemetry::ScopedTimer fit_timer(
+      reg != nullptr ? &reg->histogram("mbo.gp_fit_seconds") : nullptr);
   const gp::HyperoptResult h1 = gp::fit_hyperparameters(
       options_.kernel_family, inputs, z1, rng_, options_.hyperopt);
   const gp::HyperoptResult h2 = gp::fit_hyperparameters(
@@ -155,6 +170,7 @@ std::vector<std::size_t> MboEngine::propose_batch(std::size_t batch_size) {
   gp::GaussianProcess gp2(h2.kernel, h2.noise_variance);
   gp1.condition(inputs, z1);
   gp2.condition(inputs, z2);
+  fit_timer.stop();
 
   // --- 3. Working front and reference in standardized space. --------------
   const pareto::Point2 raw_ref = reference();
@@ -178,6 +194,12 @@ std::vector<std::size_t> MboEngine::propose_batch(std::size_t batch_size) {
   std::vector<double> uncertainties(num_candidates);
   std::vector<GaussianPair> beliefs(num_candidates);
   std::vector<double> thompson_draws;  // two pre-split normals per candidate
+  // Candidates still scorable this pick; each scoring pass evaluates the
+  // acquisition (EHVI or sampled HVI) once per such candidate.
+  std::size_t scorable =
+      num_candidates - static_cast<std::size_t>(std::count(
+                           taken.begin(), taken.end(), true));
+  std::uint64_t acquisition_evaluations = 0;
   for (std::size_t pick = 0; pick < batch_size; ++pick) {
     if (thompson) {
       // All shared-RNG draws happen here, serially, in candidate order —
@@ -236,9 +258,11 @@ std::vector<std::size_t> MboEngine::propose_batch(std::size_t batch_size) {
         best_belief = beliefs[c];
       }
     }
+    acquisition_evaluations += scorable;
     if (best_index == candidates_.size()) {
       break;  // every candidate observed or taken
     }
+    --scorable;
     if (pick == 0) {
       last_best_ehvi_ = best_value;
     }
@@ -250,6 +274,14 @@ std::vector<std::size_t> MboEngine::propose_batch(std::size_t batch_size) {
     std::vector<pareto::Point2> updated = std::move(front);
     updated.push_back({best_belief.mu1, best_belief.mu2});
     front = pareto::pareto_front(std::move(updated));
+  }
+  if (reg != nullptr) {
+    reg->counter(thompson ? "mbo.thompson_evaluations"
+                          : "mbo.ehvi_evaluations")
+        .add(acquisition_evaluations);
+    reg->histogram("mbo.batch_size",
+                   telemetry::exponential_buckets(1.0, 2.0, 8))
+        .observe(static_cast<double>(batch.size()));
   }
   return batch;
 }

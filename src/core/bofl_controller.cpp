@@ -7,6 +7,7 @@
 #include "common/quasirandom.hpp"
 #include "common/stats.hpp"
 #include "pareto/pareto.hpp"
+#include "telemetry/run_recorder.hpp"
 
 namespace bofl::core {
 
@@ -267,6 +268,9 @@ RoundTrace BoflController::run_round(const RoundSpec& spec) {
                          options_.first_job_allowance * t_x_max_->value()};
     if (!guardian_allows(state, budget)) {
       // Deadline guardian trip: finish the round at x_max (Fig. 7).
+      if (telemetry::Registry* reg = telemetry::global_registry()) {
+        reg->counter("bofl.guardian_trips").add(1);
+      }
       run_config(state, model_.space().max_config(), state.remaining, false);
       break;
     }
@@ -279,6 +283,7 @@ RoundTrace BoflController::run_round(const RoundSpec& spec) {
 }
 
 void BoflController::finish_round_bookkeeping(const RoundSpec& spec) {
+  const Phase entered = phase_;
   if (phase_ == Phase::kSafeRandomExploration) {
     phase1_deadlines_.push_back(spec.deadline.value());
     if (pending_.empty()) {
@@ -289,9 +294,7 @@ void BoflController::finish_round_bookkeeping(const RoundSpec& spec) {
       t_avg_seconds_ = mean_of(phase1_deadlines_);
       hv_prev_ = engine_.observed_hypervolume();
     }
-    return;
-  }
-  if (phase_ == Phase::kParetoConstruction) {
+  } else if (phase_ == Phase::kParetoConstruction) {
     ++pareto_rounds_done_;
     const double hv = engine_.observed_hypervolume();
     const double relative_improvement =
@@ -308,6 +311,32 @@ void BoflController::finish_round_bookkeeping(const RoundSpec& spec) {
          explored_enough && converged) ||
         exhausted) {
       phase_ = Phase::kExploitation;
+    }
+    // Hypervolume trajectory (§4.3's stopping signal), recorded from the
+    // value the stop rule itself just computed.
+    if (telemetry::Registry* reg = telemetry::global_registry()) {
+      reg->gauge("mbo.hypervolume").set(hv);
+      if (telemetry::RunRecorder* rec = telemetry::global_recorder()) {
+        telemetry::JsonValue fields = telemetry::JsonValue::object();
+        fields.set("round", spec.index)
+            .set("hypervolume", hv)
+            .set("relative_improvement", relative_improvement)
+            .set("observed_candidates", engine_.num_observed_candidates())
+            .set("observations", engine_.num_observations());
+        rec->emit("pareto_round", std::move(fields));
+      }
+    }
+  }
+  if (phase_ != entered) {
+    if (telemetry::Registry* reg = telemetry::global_registry()) {
+      reg->counter("bofl.phase_transitions").add(1);
+      if (telemetry::RunRecorder* rec = telemetry::global_recorder()) {
+        telemetry::JsonValue fields = telemetry::JsonValue::object();
+        fields.set("round", spec.index)
+            .set("from", static_cast<int>(entered))
+            .set("to", static_cast<int>(phase_));
+        rec->emit("phase_transition", std::move(fields));
+      }
     }
   }
 }

@@ -1,8 +1,46 @@
 #include "core/harness.hpp"
 
+#include <string>
+
 #include "common/error.hpp"
+#include "telemetry/run_recorder.hpp"
 
 namespace bofl::core {
+
+namespace {
+
+/// Record one finished round into the global registry / event stream.
+/// Every recorded quantity is SimClock- or trace-derived (the determinism
+/// contract: enabling telemetry cannot change what the controller does).
+void record_round(const PaceController& controller, const RoundTrace& trace) {
+  telemetry::Registry* reg = telemetry::global_registry();
+  if (reg == nullptr) {
+    return;
+  }
+  reg->counter("core.rounds").add(1);
+  if (!trace.deadline_met()) {
+    reg->counter("core.deadline_misses").add(1);
+  }
+  reg->histogram("core.round_energy_j").observe(trace.energy().value());
+  reg->histogram("core.round_slack_s").observe(trace.slack().value());
+  if (telemetry::RunRecorder* rec = telemetry::global_recorder()) {
+    telemetry::JsonValue fields = telemetry::JsonValue::object();
+    fields.set("controller", std::string(controller.name()))
+        .set("round", trace.index)
+        .set("phase", static_cast<int>(trace.phase))
+        .set("deadline_s", trace.deadline.value())
+        .set("elapsed_s", trace.elapsed().value())
+        .set("slack_s", trace.slack().value())
+        .set("energy_j", trace.energy().value())
+        .set("mbo_latency_s", trace.mbo_latency.value())
+        .set("mbo_energy_j", trace.mbo_energy.value())
+        .set("jobs", trace.jobs())
+        .set("met", trace.deadline_met());
+    rec->emit("round", std::move(fields));
+  }
+}
+
+}  // namespace
 
 TaskResult run_task(PaceController& controller,
                     const std::vector<RoundSpec>& rounds) {
@@ -10,6 +48,7 @@ TaskResult run_task(PaceController& controller,
   result.rounds.reserve(rounds.size());
   for (const RoundSpec& spec : rounds) {
     result.rounds.push_back(controller.run_round(spec));
+    record_round(controller, result.rounds.back());
   }
   return result;
 }

@@ -31,6 +31,8 @@ bool RoundTrace::deadline_met() const {
   return elapsed().value() <= deadline.value() + 1e-9;
 }
 
+Seconds RoundTrace::slack() const { return deadline - elapsed(); }
+
 Joules TaskResult::total_training_energy() const {
   Joules total{0.0};
   for (const RoundTrace& round : rounds) {

@@ -42,6 +42,10 @@ struct RoundTrace {
   [[nodiscard]] Joules energy() const;  ///< training energy (MBO excluded)
   [[nodiscard]] std::int64_t jobs() const;
   [[nodiscard]] bool deadline_met() const;
+  /// Deadline slack: deadline minus elapsed (negative on a miss; a tiny
+  /// negative value within deadline_met()'s float tolerance still counts
+  /// as met).
+  [[nodiscard]] Seconds slack() const;
 };
 
 /// A full task execution (|T| rounds).

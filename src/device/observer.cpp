@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace bofl::device {
 
@@ -100,10 +101,15 @@ Measurement PerformanceObserver::run_jobs(const WorkloadProfile& profile,
     m.true_energy = per_job_energy * jobs;
   } else {
     // Disturbed path: spikes and/or thermal throttling vary per job.
+    std::uint64_t throttled_jobs = 0;
+    std::uint64_t spiked_jobs = 0;
     for (std::int64_t j = 0; j < count; ++j) {
       DvfsConfig effective = config;
       if (thermal_) {
         effective = thermal_->effective_config(model_.space(), config);
+        if (thermal_->throttled()) {
+          ++throttled_jobs;
+        }
       }
       double latency = model_.latency(profile, effective).value();
       double energy = model_.energy(profile, effective).value();
@@ -112,12 +118,23 @@ Measurement PerformanceObserver::run_jobs(const WorkloadProfile& profile,
         // The device stays busy for the whole spike.
         latency *= noise_.spike_magnitude;
         energy *= noise_.spike_magnitude;
+        ++spiked_jobs;
       }
       m.true_duration += Seconds{latency};
       m.true_energy += Joules{energy};
       if (thermal_) {
         thermal_->advance(Joules{energy} / Seconds{latency},
                           Seconds{latency});
+      }
+    }
+    if (throttled_jobs > 0 || spiked_jobs > 0) {
+      if (telemetry::Registry* reg = telemetry::global_registry()) {
+        if (throttled_jobs > 0) {
+          reg->counter("device.thermal_throttled_jobs").add(throttled_jobs);
+        }
+        if (spiked_jobs > 0) {
+          reg->counter("device.latency_spike_jobs").add(spiked_jobs);
+        }
       }
     }
   }

@@ -9,6 +9,7 @@
 #include "core/oracle_controller.hpp"
 #include "core/performant_controller.hpp"
 #include "runtime/thread_pool.hpp"
+#include "telemetry/run_recorder.hpp"
 
 namespace bofl::fl {
 
@@ -270,9 +271,67 @@ FlSimulationResult FederatedSimulation::run() {
         evaluate(eval_model, test, config_.minibatch_size);
     stats.global_loss = eval.loss;
     stats.global_accuracy = eval.accuracy;
+    record_round_telemetry(stats, participants.size() - active.size(),
+                           updates);
     result.rounds.push_back(stats);
   }
   return result;
+}
+
+void FederatedSimulation::record_round_telemetry(
+    const FlRoundStats& stats, std::size_t dropouts,
+    const std::vector<LocalUpdate>& updates) const {
+  // Serial (round-loop thread) and purely observational: every value comes
+  // from the already-computed round stats and SimClock-based traces, so a
+  // telemetry-enabled run is bit-identical to a disabled one.
+  telemetry::Registry* reg = telemetry::global_registry();
+  if (reg == nullptr) {
+    return;
+  }
+  reg->counter("fl.rounds").add(1);
+  reg->counter("fl.dropouts").add(dropouts);
+  reg->counter("fl.deadline_misses").add(stats.participants - stats.accepted);
+  reg->histogram("fl.round_energy_j").observe(stats.energy.value());
+  Seconds min_slack{0.0};
+  Seconds upload_total{0.0};
+  bool first = true;
+  for (const LocalUpdate& update : updates) {
+    const Seconds slack = update.pace_trace.slack();
+    min_slack = first ? slack : std::min(min_slack, slack);
+    first = false;
+    reg->histogram("fl.round_slack_s").observe(slack.value());
+    // Phase occupancy across the fleet (paper Table 3's per-phase view).
+    const char* phase_counter = "fl.client_rounds_phase3";
+    if (update.pace_trace.phase == core::Phase::kSafeRandomExploration) {
+      phase_counter = "fl.client_rounds_phase1";
+    } else if (update.pace_trace.phase == core::Phase::kParetoConstruction) {
+      phase_counter = "fl.client_rounds_phase2";
+    }
+    reg->counter(phase_counter).add(1);
+    if (config_.reporting_deadline_mode) {
+      reg->histogram("fl.upload_seconds")
+          .observe(update.upload_duration.value());
+      upload_total += update.upload_duration;
+    }
+  }
+  if (telemetry::RunRecorder* rec = telemetry::global_recorder()) {
+    telemetry::JsonValue fields = telemetry::JsonValue::object();
+    fields.set("round", stats.round)
+        .set("deadline_s", stats.deadline.value())
+        .set("energy_j", stats.energy.value())
+        .set("participants", stats.participants)
+        .set("accepted", stats.accepted)
+        .set("dropouts", dropouts)
+        .set("min_slack_s", updates.empty() ? telemetry::JsonValue()
+                                            : min_slack.value())
+        .set("loss", stats.global_loss)
+        .set("accuracy", stats.global_accuracy);
+    if (config_.reporting_deadline_mode && !updates.empty()) {
+      fields.set("mean_upload_s",
+                 upload_total.value() / static_cast<double>(updates.size()));
+    }
+    rec->emit("fl_round", std::move(fields));
+  }
 }
 
 }  // namespace bofl::fl

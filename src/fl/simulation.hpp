@@ -141,6 +141,11 @@ class FederatedSimulation {
       const device::DeviceModel& model, std::uint64_t seed,
       Seconds round_t_min) const;
 
+  /// Fold one finished round into the global telemetry registry / event
+  /// stream (no-op when telemetry is off; never perturbs the simulation).
+  void record_round_telemetry(const FlRoundStats& stats, std::size_t dropouts,
+                              const std::vector<LocalUpdate>& updates) const;
+
   std::vector<const device::DeviceModel*> devices_;
   FlSimulationConfig config_;
 };

@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -29,6 +30,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "telemetry/metrics.hpp"
 
 namespace bofl::runtime {
 
@@ -69,11 +72,26 @@ class ThreadPool {
   void enqueue(std::function<void()> task);
   void worker_loop();
 
+  /// Metric handles resolved from the global telemetry registry at pool
+  /// construction (all null when telemetry is off — the hot paths then pay
+  /// one null check).  A registry installed before a pool is created must
+  /// outlive the pool.
+  struct Telemetry {
+    telemetry::Counter* tasks_submitted = nullptr;
+    telemetry::Counter* tasks_executed = nullptr;
+    telemetry::Histogram* task_seconds = nullptr;
+    telemetry::Histogram* queue_depth = nullptr;
+    telemetry::Gauge* utilization = nullptr;
+  };
+
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  Telemetry telemetry_;
+  std::atomic<double> busy_seconds_{0.0};
+  std::chrono::steady_clock::time_point created_{};
 };
 
 namespace detail {

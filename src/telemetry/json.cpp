@@ -1,0 +1,115 @@
+#include "telemetry/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace bofl::telemetry {
+
+JsonValue& JsonValue::set(std::string key, JsonValue value) {
+  BOFL_REQUIRE(is_object(), "set() requires a JSON object");
+  std::get<std::vector<Member>>(value_).emplace_back(std::move(key),
+                                                    std::move(value));
+  return *this;
+}
+
+void JsonValue::push_back(JsonValue value) {
+  BOFL_REQUIRE(is_array(), "push_back() requires a JSON array");
+  std::get<std::vector<JsonValue>>(value_).push_back(std::move(value));
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  BOFL_REQUIRE(is_object(), "members() requires a JSON object");
+  return std::get<std::vector<Member>>(value_);
+}
+
+std::string JsonValue::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+void JsonValue::dump_to(std::string& out) const {
+  struct Visitor {
+    std::string& out;
+    void operator()(std::nullptr_t) const { out += "null"; }
+    void operator()(bool b) const { out += b ? "true" : "false"; }
+    void operator()(std::int64_t i) const { out += std::to_string(i); }
+    void operator()(double d) const {
+      if (!std::isfinite(d)) {
+        out += "null";  // JSON has no inf/nan
+        return;
+      }
+      char buf[32];
+      const std::to_chars_result r = std::to_chars(buf, buf + sizeof(buf), d);
+      out.append(buf, r.ptr);
+    }
+    void operator()(const std::string& s) const {
+      out += '"';
+      out += escape(s);
+      out += '"';
+    }
+    void operator()(const std::vector<JsonValue>& array) const {
+      out += '[';
+      for (std::size_t i = 0; i < array.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        array[i].dump_to(out);
+      }
+      out += ']';
+    }
+    void operator()(const std::vector<Member>& object) const {
+      out += '{';
+      for (std::size_t i = 0; i < object.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        out += '"';
+        out += escape(object[i].first);
+        out += "\":";
+        object[i].second.dump_to(out);
+      }
+      out += '}';
+    }
+  };
+  std::visit(Visitor{out}, value_);
+}
+
+}  // namespace bofl::telemetry

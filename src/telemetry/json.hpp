@@ -1,0 +1,71 @@
+// Minimal JSON value/writer for the telemetry exporters (JSON Lines events,
+// run summaries, BENCH_*.json).  Objects preserve insertion order and
+// doubles print via shortest-round-trip std::to_chars, so serialized output
+// is byte-stable — a hard requirement for the golden-file tests and for
+// diffing summaries across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace bofl::telemetry {
+
+class JsonValue {
+ public:
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}                          // NOLINT
+  JsonValue(std::int64_t i) : value_(i) {}                  // NOLINT
+  JsonValue(int i) : value_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  JsonValue(std::uint64_t u)                                // NOLINT
+      : value_(static_cast<std::int64_t>(u)) {}
+  JsonValue(double d) : value_(d) {}                        // NOLINT
+  JsonValue(std::string s) : value_(std::move(s)) {}        // NOLINT
+  JsonValue(const char* s) : value_(std::string(s)) {}      // NOLINT
+
+  [[nodiscard]] static JsonValue object() {
+    JsonValue v;
+    v.value_ = std::vector<Member>{};
+    return v;
+  }
+  [[nodiscard]] static JsonValue array() {
+    JsonValue v;
+    v.value_ = std::vector<JsonValue>{};
+    return v;
+  }
+
+  /// Append a key (objects only; keys are not deduplicated — the caller
+  /// owns uniqueness).  Returns *this for chaining.
+  JsonValue& set(std::string key, JsonValue value);
+
+  /// Append an element (arrays only).
+  void push_back(JsonValue value);
+
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<std::vector<Member>>(value_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<std::vector<JsonValue>>(value_);
+  }
+  /// Object members in insertion order (objects only).
+  [[nodiscard]] const std::vector<Member>& members() const;
+
+  /// Compact single-line serialization.
+  [[nodiscard]] std::string dump() const;
+
+  /// JSON string escaping (quotes, backslashes, control characters).
+  [[nodiscard]] static std::string escape(const std::string& raw);
+
+ private:
+  void dump_to(std::string& out) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+               std::vector<JsonValue>, std::vector<Member>>
+      value_;
+};
+
+}  // namespace bofl::telemetry

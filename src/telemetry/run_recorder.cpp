@@ -1,0 +1,119 @@
+#include "telemetry/run_recorder.hpp"
+
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace bofl::telemetry {
+
+RunRecorder::RunRecorder(Registry& registry, const std::string& jsonl_path)
+    : registry_(registry), path_(jsonl_path) {
+  if (!path_.empty()) {
+    out_.open(path_);
+    BOFL_REQUIRE(out_.is_open(), "cannot open metrics output: " + path_);
+  }
+}
+
+void RunRecorder::emit(const std::string& event, JsonValue fields) {
+  BOFL_REQUIRE(fields.is_object(), "event fields must be a JSON object");
+  JsonValue line = JsonValue::object();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  line.set("event", event).set("seq", events_);
+  for (const JsonValue::Member& member : fields.members()) {
+    line.set(member.first, member.second);
+  }
+  ++events_;
+  if (out_.is_open()) {
+    out_ << line.dump() << '\n';
+    out_.flush();
+  }
+}
+
+JsonValue RunRecorder::summary() const {
+  const RegistrySnapshot snap = registry_.snapshot();
+  JsonValue counters = JsonValue::object();
+  for (const CounterSnapshot& c : snap.counters) {
+    counters.set(c.name, c.value);
+  }
+  JsonValue gauges = JsonValue::object();
+  for (const GaugeSnapshot& g : snap.gauges) {
+    gauges.set(g.name, g.value);
+  }
+  JsonValue histograms = JsonValue::object();
+  for (const NamedHistogramSnapshot& h : snap.histograms) {
+    JsonValue entry = JsonValue::object();
+    entry.set("count", h.histogram.count)
+        .set("sum", h.histogram.sum)
+        .set("mean", h.histogram.mean())
+        .set("min", h.histogram.min)
+        .set("max", h.histogram.max)
+        .set("p50", h.histogram.quantile(0.50))
+        .set("p90", h.histogram.quantile(0.90))
+        .set("p99", h.histogram.quantile(0.99));
+    JsonValue buckets = JsonValue::array();
+    for (std::size_t b = 0; b < h.histogram.counts.size(); ++b) {
+      if (h.histogram.counts[b] == 0) {
+        continue;  // sparse export: empty buckets carry no information
+      }
+      JsonValue bucket = JsonValue::object();
+      bucket.set("le", b < h.histogram.bounds.size()
+                           ? JsonValue(h.histogram.bounds[b])
+                           : JsonValue("inf"));
+      bucket.set("count", h.histogram.counts[b]);
+      buckets.push_back(std::move(bucket));
+    }
+    entry.set("buckets", std::move(buckets));
+    histograms.set(h.name, std::move(entry));
+  }
+  JsonValue out = JsonValue::object();
+  out.set("counters", std::move(counters))
+      .set("gauges", std::move(gauges))
+      .set("histograms", std::move(histograms));
+  return out;
+}
+
+void RunRecorder::emit_summary() { emit("summary", summary()); }
+
+void RunRecorder::print_summary(std::FILE* out) const {
+  const RegistrySnapshot snap = registry_.snapshot();
+  std::fprintf(out, "\n=== telemetry summary ===\n");
+  if (!snap.counters.empty()) {
+    std::fprintf(out, "counters:\n");
+    for (const CounterSnapshot& c : snap.counters) {
+      std::fprintf(out, "  %-36s %14llu\n", c.name.c_str(),
+                   static_cast<unsigned long long>(c.value));
+    }
+  }
+  if (!snap.gauges.empty()) {
+    std::fprintf(out, "gauges:\n");
+    for (const GaugeSnapshot& g : snap.gauges) {
+      std::fprintf(out, "  %-36s %14.4g\n", g.name.c_str(), g.value);
+    }
+  }
+  if (!snap.histograms.empty()) {
+    std::fprintf(out, "histograms:%*s count       mean        p50        p90        max\n",
+                 26, "");
+    for (const NamedHistogramSnapshot& h : snap.histograms) {
+      std::fprintf(out, "  %-36s %5llu %10.4g %10.4g %10.4g %10.4g\n",
+                   h.name.c_str(),
+                   static_cast<unsigned long long>(h.histogram.count),
+                   h.histogram.mean(), h.histogram.quantile(0.50),
+                   h.histogram.quantile(0.90), h.histogram.max);
+    }
+  }
+}
+
+namespace {
+std::atomic<RunRecorder*> g_recorder{nullptr};
+}  // namespace
+
+RunRecorder* global_recorder() {
+  return g_recorder.load(std::memory_order_acquire);
+}
+
+void install_global_recorder(RunRecorder* recorder) {
+  g_recorder.store(recorder, std::memory_order_release);
+  set_global_registry(recorder == nullptr ? nullptr : &recorder->registry());
+}
+
+}  // namespace bofl::telemetry

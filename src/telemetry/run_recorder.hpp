@@ -1,0 +1,71 @@
+// Structured run recorder: a JSON Lines event stream plus an end-of-run
+// summary rendered from the metrics registry.
+//
+// Events are flat JSON objects, one per line:
+//   {"event":"round","seq":12,"round":3,"energy_j":512.8,...}
+// The event stream carries *simulation* quantities only (SimClock time,
+// trace energies, phases) and is therefore deterministic: two runs with the
+// same seeds produce byte-identical event lines.  Wall-clock profiling
+// (ScopedTimer histograms) appears only in the summary, which is expected
+// to vary run-to-run in its timing sections.
+//
+// Like the registry, the recorder is installed process-globally;
+// instrumentation sites do
+//   if (auto* rec = telemetry::global_recorder()) rec->emit(...);
+// so a run without telemetry pays one pointer load per site.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace bofl::telemetry {
+
+class RunRecorder {
+ public:
+  /// Events stream to `jsonl_path` (JSON Lines, flushed per event); with an
+  /// empty path, events are counted but not written (summary-only mode).
+  RunRecorder(Registry& registry, const std::string& jsonl_path);
+
+  RunRecorder(const RunRecorder&) = delete;
+  RunRecorder& operator=(const RunRecorder&) = delete;
+
+  /// Write one event line: {"event": <name>, "seq": <n>, ...fields}.
+  /// `fields` must be a JSON object.  Thread-safe; `seq` reflects emit
+  /// order, so a serial caller gets a deterministic stream.
+  void emit(const std::string& event, JsonValue fields = JsonValue::object());
+
+  /// Registry snapshot as an ordered JSON object:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  /// mean, min, max, p50, p90, p99, buckets:[{le,count},...]}}}.
+  [[nodiscard]] JsonValue summary() const;
+
+  /// Append the summary as a final {"event":"summary",...} line.
+  void emit_summary();
+
+  /// Human-readable summary table.
+  void print_summary(std::FILE* out) const;
+
+  [[nodiscard]] std::size_t events_written() const { return events_; }
+  [[nodiscard]] Registry& registry() { return registry_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  Registry& registry_;
+  std::string path_;
+  std::ofstream out_;
+  mutable std::mutex mutex_;
+  std::size_t events_ = 0;
+};
+
+/// Process-global recorder (nullptr = event recording disabled).
+/// Installing a recorder also installs its registry as the global registry;
+/// installing nullptr clears both.
+[[nodiscard]] RunRecorder* global_recorder();
+void install_global_recorder(RunRecorder* recorder);
+
+}  // namespace bofl::telemetry

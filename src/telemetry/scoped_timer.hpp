@@ -1,0 +1,52 @@
+// RAII profiling scope: measures the wall-clock time spent inside a block
+// and records it into a Histogram on destruction.
+//
+// Wall-clock timings are *profiling* data — they belong to the
+// `profile`-style histograms in the summary and never enter the
+// deterministic event stream (which carries SimClock quantities only; see
+// DESIGN.md "Observability & telemetry").  A null sink disables the timer
+// entirely — not even the clock is read — so instrumentation sites can
+// construct one unconditionally:
+//
+//   telemetry::ScopedTimer timer(
+//       reg ? &reg->histogram("mbo.gp_fit_seconds") : nullptr);
+#pragma once
+
+#include <chrono>
+
+#include "telemetry/metrics.hpp"
+
+namespace bofl::telemetry {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* sink) : sink_(sink) {
+    if (sink_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Record now instead of at scope exit; returns the elapsed seconds
+  /// (0 when the timer is disabled).  Idempotent.
+  double stop() {
+    if (sink_ == nullptr) {
+      return 0.0;
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    sink_->observe(elapsed.count());
+    sink_ = nullptr;
+    return elapsed.count();
+  }
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace bofl::telemetry

@@ -1,0 +1,150 @@
+// JSON serialization and JSONL/summary exporter tests, including a
+// golden-file check: the exporter's byte-stable output contract is what
+// makes metrics diffs across runs meaningful.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/json.hpp"
+#include "telemetry/run_recorder.hpp"
+
+namespace bofl::telemetry {
+namespace {
+
+TEST(JsonValue, Scalars) {
+  EXPECT_EQ(JsonValue().dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(JsonValue(std::size_t{3}).dump(), "3");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonValue, DoubleFormattingIsShortestRoundTrip) {
+  EXPECT_EQ(JsonValue(2.5).dump(), "2.5");
+  EXPECT_EQ(JsonValue(6.0).dump(), "6");
+  EXPECT_EQ(JsonValue(0.1).dump(), "0.1");
+  EXPECT_EQ(JsonValue(-0.0).dump(), "-0");
+}
+
+TEST(JsonValue, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonValue(std::nan("")).dump(), "null");
+  EXPECT_EQ(JsonValue(HUGE_VAL).dump(), "null");
+  EXPECT_EQ(JsonValue(-HUGE_VAL).dump(), "null");
+}
+
+TEST(JsonValue, StringEscaping) {
+  EXPECT_EQ(JsonValue("a\"b\\c").dump(), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(JsonValue("line\nbreak\ttab").dump(), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(JsonValue(std::string("\x01")).dump(), "\"\\u0001\"");
+}
+
+TEST(JsonValue, ObjectsPreserveInsertionOrder) {
+  JsonValue obj = JsonValue::object();
+  obj.set("zebra", 1).set("alpha", 2).set("mid", "x");
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":\"x\"}");
+}
+
+TEST(JsonValue, NestedArraysAndObjects) {
+  JsonValue arr = JsonValue::array();
+  arr.push_back(1);
+  JsonValue inner = JsonValue::object();
+  inner.set("k", JsonValue::array());
+  arr.push_back(std::move(inner));
+  EXPECT_EQ(arr.dump(), "[1,{\"k\":[]}]");
+}
+
+// The exporter contract, checked byte-for-byte: deterministic inputs (a
+// counter, a gauge, a histogram whose observations all share one value so
+// every derived statistic is exact) must produce exactly these lines.
+TEST(RunRecorder, GoldenJsonlFile) {
+  const std::string path = ::testing::TempDir() + "/telemetry_golden.jsonl";
+  Registry registry;
+  {
+    RunRecorder recorder(registry, path);
+    registry.counter("alpha").add(3);
+    registry.gauge("g").set(2.5);
+    Histogram& h = registry.histogram("h", {1.0, 10.0});
+    h.observe(2.0);
+    h.observe(2.0);
+    h.observe(2.0);
+    JsonValue fields = JsonValue::object();
+    fields.set("n", 42).set("note", "a\"b");
+    recorder.emit("hello", std::move(fields));
+    recorder.emit_summary();
+    EXPECT_EQ(recorder.events_written(), 2u);
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0],
+            "{\"event\":\"hello\",\"seq\":0,\"n\":42,\"note\":\"a\\\"b\"}");
+  EXPECT_EQ(
+      lines[1],
+      "{\"event\":\"summary\",\"seq\":1,"
+      "\"counters\":{\"alpha\":3},"
+      "\"gauges\":{\"g\":2.5},"
+      "\"histograms\":{\"h\":{\"count\":3,\"sum\":6,\"mean\":2,\"min\":2,"
+      "\"max\":2,\"p50\":2,\"p90\":2,\"p99\":2,"
+      "\"buckets\":[{\"le\":10,\"count\":3}]}}}");
+}
+
+TEST(RunRecorder, SummaryOnlyModeCountsEvents) {
+  Registry registry;
+  RunRecorder recorder(registry, "");
+  recorder.emit("a");
+  recorder.emit("b");
+  EXPECT_EQ(recorder.events_written(), 2u);
+}
+
+TEST(RunRecorder, OverflowBucketExportsLeInf) {
+  Registry registry;
+  RunRecorder recorder(registry, "");
+  registry.histogram("h", {1.0}).observe(5.0);
+  const std::string dump = recorder.summary().dump();
+  EXPECT_NE(dump.find("{\"le\":\"inf\",\"count\":1}"), std::string::npos);
+}
+
+TEST(RunRecorder, PrintSummaryWritesTable) {
+  Registry registry;
+  RunRecorder recorder(registry, "");
+  registry.counter("c").add(7);
+  registry.gauge("g").set(1.5);
+  registry.histogram("h").observe(0.25);
+  const std::string path = ::testing::TempDir() + "/telemetry_summary.txt";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  ASSERT_NE(out, nullptr);
+  recorder.print_summary(out);
+  std::fclose(out);
+  std::ifstream in(path);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("telemetry summary"), std::string::npos);
+  EXPECT_NE(text.find("c"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+}
+
+TEST(GlobalRecorder, InstallSetsRegistryToo) {
+  ASSERT_EQ(global_recorder(), nullptr);
+  Registry registry;
+  RunRecorder recorder(registry, "");
+  install_global_recorder(&recorder);
+  EXPECT_EQ(global_recorder(), &recorder);
+  EXPECT_EQ(global_registry(), &registry);
+  install_global_recorder(nullptr);
+  EXPECT_EQ(global_recorder(), nullptr);
+  EXPECT_EQ(global_registry(), nullptr);
+}
+
+}  // namespace
+}  // namespace bofl::telemetry

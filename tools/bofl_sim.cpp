@@ -5,11 +5,14 @@
 //            [--ratio 2.0] [--rounds 100] [--seed 1] [--tau 5.0]
 //            [--spike-prob 0] [--spike-mag 3] [--thermal]
 //            [--threads N] [--csv PATH] [--quiet]
+//            [--metrics-out PATH] [--metrics-summary]
 //
 // Runs one pace controller through one FL task on one simulated testbed and
 // prints the per-round trace plus summary metrics; optionally exports the
-// trace as CSV.  Everything a downstream user needs to poke at the system
-// without writing C++.
+// trace as CSV.  --metrics-out streams structured telemetry (JSON Lines
+// events + a final summary line) to PATH; --metrics-summary prints the
+// summary table to stdout.  Everything a downstream user needs to poke at
+// the system without writing C++.
 #include <cstdio>
 #include <memory>
 
@@ -22,6 +25,7 @@
 #include "core/performant_controller.hpp"
 #include "core/state_io.hpp"
 #include "runtime/thread_pool.hpp"
+#include "telemetry/run_recorder.hpp"
 
 namespace {
 
@@ -35,7 +39,8 @@ int usage(const char* argv0) {
       "          [--ratio R] [--rounds N] [--seed S] [--tau SECONDS]\n"
       "          [--spike-prob P] [--spike-mag K] [--thermal]\n"
       "          [--threads N] [--csv PATH] [--save-state PATH]\n"
-      "          [--load-state PATH] [--quiet]\n",
+      "          [--load-state PATH] [--quiet]\n"
+      "          [--metrics-out PATH] [--metrics-summary]\n",
       argv0);
   return 2;
 }
@@ -79,95 +84,124 @@ int main(int argc, char** argv) {
     noise.thermal = device::ThermalParams{};
   }
 
+  // Telemetry must be installed before any instrumented component (the
+  // thread pool caches metric handles at construction) and — because the
+  // pool is declared after — outlives everything that uses it.
+  const std::string metrics_path = flags.get("metrics-out", "");
+  const bool metrics_summary = flags.get_bool("metrics-summary");
+  std::unique_ptr<telemetry::Registry> registry;
+  std::unique_ptr<telemetry::RunRecorder> recorder;
+  if (!metrics_path.empty() || metrics_summary) {
+    registry = std::make_unique<telemetry::Registry>();
+    recorder =
+        std::make_unique<telemetry::RunRecorder>(*registry, metrics_path);
+    telemetry::install_global_recorder(recorder.get());
+    telemetry::JsonValue run_start = telemetry::JsonValue::object();
+    run_start.set("device", model.name())
+        .set("task", task.name)
+        .set("controller", flags.get("controller", "bofl"))
+        .set("rounds", task.num_rounds)
+        .set("ratio", ratio)
+        .set("seed", seed);
+    recorder->emit("run_start", std::move(run_start));
+  }
+
   // Worker pool for MBO candidate scoring (deterministic for any size;
-  // 0 = one worker per hardware thread).
-  runtime::ThreadPool pool(
-      static_cast<std::size_t>(flags.get_int("threads", 0)));
+  // 0 = one worker per hardware thread).  Scoped so its destructor — which
+  // finalizes the pool's telemetry gauges — runs before the summary below
+  // is rendered.
+  core::TaskResult result;
+  {
+    runtime::ThreadPool pool(
+        static_cast<std::size_t>(flags.get_int("threads", 0)));
 
-  const std::string controller_name = flags.get("controller", "bofl");
-  std::unique_ptr<core::PaceController> controller;
-  if (controller_name == "bofl") {
-    core::BoflOptions options;
-    options.mbo_cost = core::mbo_cost_for_device(model.name());
-    options.tau = Seconds{flags.get_double("tau", 5.0)};
-    auto bofl = std::make_unique<core::BoflController>(
-        model, task.profile, noise, options, seed);
-    bofl->set_parallel_pool(&pool);
-    const std::string state_path = flags.get("load-state", "");
-    if (!state_path.empty()) {
-      bofl->import_state(core::load_state(state_path));
-      std::printf("resumed from %s (phase %d)\n", state_path.c_str(),
-                  static_cast<int>(bofl->phase()));
-    }
-    controller = std::move(bofl);
-  } else if (controller_name == "performant") {
-    controller = std::make_unique<core::PerformantController>(
-        model, task.profile, noise, seed);
-  } else if (controller_name == "oracle") {
-    controller = std::make_unique<core::OracleController>(model, task.profile,
-                                                          noise, seed);
-  } else if (controller_name == "linear") {
-    controller = std::make_unique<core::LinearModelController>(
-        model, task.profile, noise, seed);
-  } else {
-    std::fprintf(stderr, "unknown controller: %s\n", controller_name.c_str());
-    return usage(argv[0]);
-  }
-
-  std::printf("device=%s task=%s controller=%s ratio=%.2f rounds=%lld "
-              "seed=%llu jobs/round=%lld\n",
-              model.name().c_str(), task.name.c_str(),
-              std::string(controller->name()).c_str(), ratio,
-              static_cast<long long>(task.num_rounds),
-              static_cast<unsigned long long>(seed),
-              static_cast<long long>(task.jobs_per_round()));
-
-  const core::TaskResult result = core::run_task(*controller, rounds);
-
-  const bool quiet = flags.get_bool("quiet");
-  if (!quiet) {
-    std::printf("%6s %6s %10s %10s %10s %6s\n", "round", "phase", "ddl[s]",
-                "used[s]", "energy[J]", "met");
-    for (const core::RoundTrace& trace : result.rounds) {
-      std::printf("%6lld %6d %10.2f %10.2f %10.1f %6s\n",
-                  static_cast<long long>(trace.index + 1),
-                  static_cast<int>(trace.phase), trace.deadline.value(),
-                  trace.elapsed().value(), trace.energy().value(),
-                  trace.deadline_met() ? "yes" : "MISS");
-    }
-  }
-
-  const std::string csv_path = flags.get("csv", "");
-  if (!csv_path.empty()) {
-    CsvWriter csv(csv_path, {"round", "phase", "deadline_s", "elapsed_s",
-                             "energy_J", "mbo_energy_J", "deadline_met"});
-    for (const core::RoundTrace& trace : result.rounds) {
-      csv.write_row(std::vector<double>{
-          static_cast<double>(trace.index + 1),
-          static_cast<double>(static_cast<int>(trace.phase)),
-          trace.deadline.value(), trace.elapsed().value(),
-          trace.energy().value(), trace.mbo_energy.value(),
-          trace.deadline_met() ? 1.0 : 0.0});
-    }
-    std::printf("trace written to %s (%zu rows)\n", csv_path.c_str(),
-                csv.rows_written());
-  }
-
-  std::printf(
-      "\ntotal: training %.0f J + MBO %.0f J over %zu rounds; deadlines %s\n",
-      result.total_training_energy().value(),
-      result.total_mbo_energy().value(), result.rounds.size(),
-      result.all_deadlines_met() ? "all met" : "MISSED");
-  const std::string save_path = flags.get("save-state", "");
-  if (!save_path.empty()) {
-    if (auto* bofl = dynamic_cast<core::BoflController*>(controller.get())) {
-      core::save_state(*bofl, save_path);
-      std::printf("state saved to %s (%zu configurations)\n",
-                  save_path.c_str(), bofl->export_state().size());
+    const std::string controller_name = flags.get("controller", "bofl");
+    std::unique_ptr<core::PaceController> controller;
+    if (controller_name == "bofl") {
+      core::BoflOptions options;
+      options.mbo_cost = core::mbo_cost_for_device(model.name());
+      options.tau = Seconds{flags.get_double("tau", 5.0)};
+      auto bofl = std::make_unique<core::BoflController>(
+          model, task.profile, noise, options, seed);
+      bofl->set_parallel_pool(&pool);
+      const std::string state_path = flags.get("load-state", "");
+      if (!state_path.empty()) {
+        bofl->import_state(core::load_state(state_path));
+        std::printf("resumed from %s (phase %d)\n", state_path.c_str(),
+                    static_cast<int>(bofl->phase()));
+      }
+      controller = std::move(bofl);
+    } else if (controller_name == "performant") {
+      controller = std::make_unique<core::PerformantController>(
+          model, task.profile, noise, seed);
+    } else if (controller_name == "oracle") {
+      controller = std::make_unique<core::OracleController>(model, task.profile,
+                                                            noise, seed);
+    } else if (controller_name == "linear") {
+      controller = std::make_unique<core::LinearModelController>(
+          model, task.profile, noise, seed);
     } else {
-      std::fprintf(stderr,
-                   "--save-state only applies to the bofl controller\n");
+      std::fprintf(stderr, "unknown controller: %s\n", controller_name.c_str());
+      return usage(argv[0]);
     }
+
+    std::printf("device=%s task=%s controller=%s ratio=%.2f rounds=%lld "
+                "seed=%llu jobs/round=%lld\n",
+                model.name().c_str(), task.name.c_str(),
+                std::string(controller->name()).c_str(), ratio,
+                static_cast<long long>(task.num_rounds),
+                static_cast<unsigned long long>(seed),
+                static_cast<long long>(task.jobs_per_round()));
+
+    result = core::run_task(*controller, rounds);
+
+    const bool quiet = flags.get_bool("quiet");
+    if (!quiet) {
+      std::printf("%6s %6s %10s %10s %10s %6s\n", "round", "phase", "ddl[s]",
+                  "used[s]", "energy[J]", "met");
+      for (const core::RoundTrace& trace : result.rounds) {
+        std::printf("%6lld %6d %10.2f %10.2f %10.1f %6s\n",
+                    static_cast<long long>(trace.index + 1),
+                    static_cast<int>(trace.phase), trace.deadline.value(),
+                    trace.elapsed().value(), trace.energy().value(),
+                    trace.deadline_met() ? "yes" : "MISS");
+      }
+    }
+
+    const std::string csv_path = flags.get("csv", "");
+    if (!csv_path.empty()) {
+      CsvWriter csv(csv_path, {"round", "phase", "deadline_s", "elapsed_s",
+                               "energy_J", "mbo_energy_J", "deadline_met"});
+      for (const core::RoundTrace& trace : result.rounds) {
+        csv.write_row(std::vector<double>{
+            static_cast<double>(trace.index + 1),
+            static_cast<double>(static_cast<int>(trace.phase)),
+            trace.deadline.value(), trace.elapsed().value(),
+            trace.energy().value(), trace.mbo_energy.value(),
+            trace.deadline_met() ? 1.0 : 0.0});
+      }
+      std::printf("trace written to %s (%zu rows)\n", csv_path.c_str(),
+                  csv.rows_written());
+    }
+
+    std::printf(
+        "\ntotal: training %.0f J + MBO %.0f J over %zu rounds; deadlines %s\n",
+        result.total_training_energy().value(),
+        result.total_mbo_energy().value(), result.rounds.size(),
+        result.all_deadlines_met() ? "all met" : "MISSED");
+    const std::string save_path = flags.get("save-state", "");
+    if (!save_path.empty()) {
+      if (auto* bofl = dynamic_cast<core::BoflController*>(controller.get())) {
+        core::save_state(*bofl, save_path);
+        std::printf("state saved to %s (%zu configurations)\n",
+                    save_path.c_str(), bofl->export_state().size());
+      } else {
+        std::fprintf(stderr,
+                     "--save-state only applies to the bofl controller\n");
+      }
+    }
+    // End of the pool's scope: workers join and the pool publishes its final
+    // utilization gauge before the telemetry summary is emitted.
   }
   std::printf("phases 1/2/3: %lld/%lld/%lld rounds\n",
               static_cast<long long>(result.rounds_in_phase(
@@ -176,5 +210,23 @@ int main(int argc, char** argv) {
                   result.rounds_in_phase(core::Phase::kParetoConstruction)),
               static_cast<long long>(
                   result.rounds_in_phase(core::Phase::kExploitation)));
+  if (recorder) {
+    telemetry::JsonValue run_end = telemetry::JsonValue::object();
+    run_end.set("training_energy_j", result.total_training_energy().value())
+        .set("mbo_energy_j", result.total_mbo_energy().value())
+        .set("mbo_latency_s", result.total_mbo_latency().value())
+        .set("rounds", result.rounds.size())
+        .set("all_deadlines_met", result.all_deadlines_met());
+    recorder->emit("run_end", std::move(run_end));
+    recorder->emit_summary();
+    if (metrics_summary) {
+      recorder->print_summary(stdout);
+    }
+    if (!metrics_path.empty()) {
+      std::printf("metrics written to %s (%zu events)\n",
+                  metrics_path.c_str(), recorder->events_written());
+    }
+    telemetry::install_global_recorder(nullptr);
+  }
   return result.all_deadlines_met() ? 0 : 1;
 }
