@@ -1,0 +1,171 @@
+// Dense-linalg kernel sweeps: GEMM, kernel Gram builds, Cholesky
+// factorization and the multi-RHS triangular solve, over the matrix sizes
+// the GP hot path actually sees (tens of observations, ~2100-candidate
+// blocks).  Emits BENCH_linalg_kernels.json so kernel regressions show up
+// in the perf trajectory; the `optimized` flag records whether the binary
+// was compiled with optimization (unoptimized numbers are not comparable).
+#include <chrono>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "figure_common.hpp"
+#include "gp/kernel.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+
+namespace {
+
+using namespace bofl;
+
+linalg::Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  linalg::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = rng.normal();
+    }
+  }
+  return m;
+}
+
+linalg::Matrix random_spd(std::size_t n, Rng& rng) {
+  linalg::Matrix a = random_matrix(n, n, rng);
+  linalg::Matrix spd = a.transposed() * a;
+  for (std::size_t i = 0; i < n; ++i) {
+    spd(i, i) += static_cast<double>(n);
+  }
+  return spd;
+}
+
+/// Best-of-`reps` wall time of fn(), in seconds.  `sink` defeats dead-code
+/// elimination: callers accumulate a dependent value into it.
+template <typename Fn>
+double best_seconds(int reps, double& sink, const Fn& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    sink += fn();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    best = std::min(best, elapsed.count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::configure_threads(argc, argv);
+  Rng rng(20220901);
+  double sink = 0.0;
+  telemetry::JsonValue metrics = telemetry::JsonValue::object();
+#ifdef __OPTIMIZE__
+  const bool optimized = true;
+#else
+  const bool optimized = false;
+#endif
+  metrics.set("optimized", optimized);
+
+  bench::print_header("Dense GEMM (register-blocked ikj kernel)");
+  std::printf("  %6s %14s %12s\n", "n", "best [ms]", "GFLOP/s");
+  telemetry::JsonValue gemm = telemetry::JsonValue::array();
+  for (const std::size_t n : {32u, 64u, 128u, 256u}) {
+    const linalg::Matrix a = random_matrix(n, n, rng);
+    const linalg::Matrix b = random_matrix(n, n, rng);
+    const double secs = best_seconds(n >= 256 ? 5 : 20, sink, [&] {
+      const linalg::Matrix c = a * b;
+      return c(0, 0);
+    });
+    const double gflops = 2.0 * static_cast<double>(n) * n * n / secs / 1e9;
+    std::printf("  %6zu %14.3f %12.2f\n", n, secs * 1e3, gflops);
+    telemetry::JsonValue row = telemetry::JsonValue::object();
+    row.set("n", n).set("seconds", secs).set("gflops", gflops);
+    gemm.push_back(std::move(row));
+  }
+  metrics.set("gemm", std::move(gemm));
+
+  bench::print_header("Kernel Gram build (Matérn-5/2, 3-D inputs)",
+                      "serial vs. fanned out over the shared worker pool");
+  std::printf("  %6s %14s %14s %10s\n", "n", "serial [ms]", "pool [ms]",
+              "speedup");
+  telemetry::JsonValue gram = telemetry::JsonValue::array();
+  const gp::Kernel kernel(gp::KernelFamily::kMatern52, 1.0, {0.3, 0.3, 0.3});
+  for (const std::size_t n : {32u, 64u, 128u, 256u}) {
+    std::vector<linalg::Vector> points;
+    points.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      points.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+    }
+    const double serial = best_seconds(20, sink, [&] {
+      return kernel.gram(points)(n - 1, 0);
+    });
+    const double pooled = best_seconds(20, sink, [&] {
+      return kernel.gram(points, &bench::shared_pool())(n - 1, 0);
+    });
+    std::printf("  %6zu %14.3f %14.3f %10.2f\n", n, serial * 1e3,
+                pooled * 1e3, serial / pooled);
+    telemetry::JsonValue row = telemetry::JsonValue::object();
+    row.set("n", n)
+        .set("serial_seconds", serial)
+        .set("pool_seconds", pooled);
+    gram.push_back(std::move(row));
+  }
+  metrics.set("gram", std::move(gram));
+
+  bench::print_header("Cholesky factorization (row-oriented, contiguous dots)");
+  std::printf("  %6s %14s %12s\n", "n", "best [ms]", "GFLOP/s");
+  telemetry::JsonValue chol = telemetry::JsonValue::array();
+  for (const std::size_t n : {32u, 64u, 128u, 256u}) {
+    const linalg::Matrix spd = random_spd(n, rng);
+    const double secs = best_seconds(20, sink, [&] {
+      return (*linalg::cholesky(spd))(n - 1, n - 1);
+    });
+    const double gflops =
+        static_cast<double>(n) * n * n / 3.0 / secs / 1e9;
+    std::printf("  %6zu %14.3f %12.2f\n", n, secs * 1e3, gflops);
+    telemetry::JsonValue row = telemetry::JsonValue::object();
+    row.set("n", n).set("seconds", secs).set("gflops", gflops);
+    chol.push_back(std::move(row));
+  }
+  metrics.set("cholesky", std::move(chol));
+
+  bench::print_header(
+      "Triangular solve: 2048 RHS (one EHVI candidate sweep)",
+      "blocked multi-RHS solve vs. 2048 independent solve_lower calls");
+  std::printf("  %6s %16s %16s %10s\n", "n", "per-RHS [ms]", "blocked [ms]",
+              "speedup");
+  telemetry::JsonValue multi = telemetry::JsonValue::array();
+  for (const std::size_t n : {30u, 60u, 90u}) {
+    const std::size_t m = 2048;
+    const linalg::Matrix spd = random_spd(n, rng);
+    const linalg::Matrix l = *linalg::cholesky(spd);
+    const linalg::Matrix b = random_matrix(n, m, rng);
+    const double per_rhs = best_seconds(10, sink, [&] {
+      double acc = 0.0;
+      linalg::Vector col(n);
+      for (std::size_t c = 0; c < m; ++c) {
+        for (std::size_t r = 0; r < n; ++r) {
+          col[r] = b(r, c);
+        }
+        acc += linalg::solve_lower(l, col)[n - 1];
+      }
+      return acc;
+    });
+    const double blocked = best_seconds(10, sink, [&] {
+      return linalg::solve_lower_multi(l, b)(n - 1, m - 1);
+    });
+    std::printf("  %6zu %16.3f %16.3f %10.2f\n", n, per_rhs * 1e3,
+                blocked * 1e3, per_rhs / blocked);
+    telemetry::JsonValue row = telemetry::JsonValue::object();
+    row.set("n", n)
+        .set("rhs", m)
+        .set("per_rhs_seconds", per_rhs)
+        .set("blocked_seconds", blocked)
+        .set("speedup", per_rhs / blocked);
+    multi.push_back(std::move(row));
+  }
+  metrics.set("multi_rhs", std::move(multi));
+
+  std::printf("\n  (sink=%.3g, optimized=%d)\n", sink, optimized ? 1 : 0);
+  bench::write_bench_json("linalg_kernels", std::move(metrics));
+  return 0;
+}

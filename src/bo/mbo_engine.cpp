@@ -54,7 +54,10 @@ void MboEngine::add_observation(const MboObservation& obs) {
                  "objectives must be positive under the log transform");
   }
   observations_.push_back(obs);
-  observed_[obs.candidate_index] = true;
+  if (!observed_[obs.candidate_index]) {
+    observed_[obs.candidate_index] = true;
+    ++num_observed_candidates_;
+  }
 }
 
 void MboEngine::set_reference(const pareto::Point2& ref) { reference_ = ref; }
@@ -72,11 +75,6 @@ pareto::Point2 MboEngine::reference() const {
     worst.f2 = std::max(worst.f2, o.f2);
   }
   return worst;
-}
-
-std::size_t MboEngine::num_observed_candidates() const {
-  return static_cast<std::size_t>(
-      std::count(observed_.begin(), observed_.end(), true));
 }
 
 bool MboEngine::is_observed(std::size_t candidate_index) const {
@@ -162,12 +160,25 @@ std::vector<std::size_t> MboEngine::propose_batch(std::size_t batch_size) {
   // --- 2. Fit hyperparameters and condition the two GPs. ------------------
   telemetry::ScopedTimer fit_timer(
       reg != nullptr ? &reg->histogram("mbo.gp_fit_seconds") : nullptr);
+  const bool full_search = options_.hyperopt_refresh_period == 0 ||
+                           hyperopt_fits_ % options_.hyperopt_refresh_period ==
+                               0 ||
+                           !warm_fit1_.has_value() || !warm_fit2_.has_value();
+  ++hyperopt_fits_;
   const gp::HyperoptResult h1 = gp::fit_hyperparameters(
-      options_.kernel_family, inputs, z1, rng_, options_.hyperopt);
+      options_.kernel_family, inputs, z1, rng_, options_.hyperopt,
+      full_search ? nullptr : &*warm_fit1_);
   const gp::HyperoptResult h2 = gp::fit_hyperparameters(
-      options_.kernel_family, inputs, z2, rng_, options_.hyperopt);
+      options_.kernel_family, inputs, z2, rng_, options_.hyperopt,
+      full_search ? nullptr : &*warm_fit2_);
+  warm_fit1_ = h1;
+  warm_fit2_ = h2;
   gp::GaussianProcess gp1(h1.kernel, h1.noise_variance);
   gp::GaussianProcess gp2(h2.kernel, h2.noise_variance);
+  gp1.set_full_refit(options_.full_refit);
+  gp2.set_full_refit(options_.full_refit);
+  gp1.set_parallel_pool(pool_);
+  gp2.set_parallel_pool(pool_);
   gp1.condition(inputs, z1);
   gp2.condition(inputs, z2);
   fit_timer.stop();
@@ -194,6 +205,13 @@ std::vector<std::size_t> MboEngine::propose_batch(std::size_t batch_size) {
   std::vector<double> uncertainties(num_candidates);
   std::vector<GaussianPair> beliefs(num_candidates);
   std::vector<double> thompson_draws;  // two pre-split normals per candidate
+  // Cached cross-covariance rows, one per scorable candidate and GP:
+  // kstar1[c][i] = k1(candidates_[c], X_i) over the (growing) training set.
+  // Built once on the first pick, then extended by a single kernel
+  // evaluation per fantasized observation — the per-pick cost drops from
+  // O(m * n) kernel evaluations to O(m).
+  std::vector<linalg::Vector> kstar1;
+  std::vector<linalg::Vector> kstar2;
   // Candidates still scorable this pick; each scoring pass evaluates the
   // acquisition (EHVI or sampled HVI) once per such candidate.
   std::size_t scorable =
@@ -213,14 +231,9 @@ std::vector<std::size_t> MboEngine::propose_batch(std::size_t batch_size) {
         }
       }
     }
-    // Candidate scoring is embarrassingly parallel: per-candidate GP
-    // posteriors and acquisition values against the frozen working front.
-    runtime::parallel_for_each(pool_, num_candidates, [&](std::size_t c) {
-      if (taken[c]) {
-        return;
-      }
-      const gp::Prediction p1 = gp1.predict(candidates_[c]);
-      const gp::Prediction p2 = gp2.predict(candidates_[c]);
+    // Per-candidate acquisition against the frozen working front.
+    auto score_candidate = [&](std::size_t c, const gp::Prediction& p1,
+                               const gp::Prediction& p2) {
       const GaussianPair belief{p1.mean, p1.stddev(), p2.mean, p2.stddev()};
       double value = 0.0;
       if (thompson) {
@@ -236,7 +249,76 @@ std::vector<std::size_t> MboEngine::propose_batch(std::size_t batch_size) {
       beliefs[c] = belief;
       values[c] = value;
       uncertainties[c] = p1.variance + p2.variance;
-    });
+    };
+    if (options_.full_refit) {
+      // Reference path: per-candidate kernel evaluations and solves, just
+      // as embarrassingly parallel as before.
+      runtime::parallel_for_each(pool_, num_candidates, [&](std::size_t c) {
+        if (taken[c]) {
+          return;
+        }
+        score_candidate(c, gp1.predict(candidates_[c]),
+                        gp2.predict(candidates_[c]));
+      });
+    } else {
+      // Incremental path: extend the cached cross-covariance rows, then
+      // score candidates in fixed-size blocks, each block's posterior
+      // variances coming from one multi-RHS triangular solve.  The block
+      // partition depends only on `taken`, and every write lands in a
+      // per-candidate slot, so batches stay bit-identical for any pool
+      // size (including no pool).
+      if (kstar1.empty()) {
+        kstar1.resize(num_candidates);
+        kstar2.resize(num_candidates);
+        const std::size_t n0 = gp1.num_observations();
+        const std::vector<linalg::Vector>& train = gp1.inputs();
+        runtime::parallel_for_each(pool_, num_candidates, [&](std::size_t c) {
+          if (taken[c]) {
+            return;
+          }
+          kstar1[c].reserve(n0 + batch_size);
+          kstar2[c].reserve(n0 + batch_size);
+          for (std::size_t i = 0; i < n0; ++i) {
+            kstar1[c].push_back(gp1.kernel()(candidates_[c], train[i]));
+            kstar2[c].push_back(gp2.kernel()(candidates_[c], train[i]));
+          }
+        });
+      } else {
+        // One new training point since last pick: append one entry per row.
+        const linalg::Vector& x_new = gp1.inputs().back();
+        runtime::parallel_for_each(pool_, num_candidates, [&](std::size_t c) {
+          if (taken[c]) {
+            return;
+          }
+          kstar1[c].push_back(gp1.kernel()(candidates_[c], x_new));
+          kstar2[c].push_back(gp2.kernel()(candidates_[c], x_new));
+        });
+      }
+      std::vector<std::size_t> block_indices;
+      block_indices.reserve(scorable);
+      for (std::size_t c = 0; c < num_candidates; ++c) {
+        if (!taken[c]) {
+          block_indices.push_back(c);
+        }
+      }
+      constexpr std::size_t kBlock = 128;
+      const std::size_t num_blocks =
+          (block_indices.size() + kBlock - 1) / kBlock;
+      runtime::parallel_for_each(pool_, num_blocks, [&](std::size_t blk) {
+        const std::size_t begin = blk * kBlock;
+        const std::size_t count =
+            std::min(kBlock, block_indices.size() - begin);
+        std::vector<gp::Prediction> p1(count);
+        std::vector<gp::Prediction> p2(count);
+        gp1.predict_block(kstar1, block_indices.data() + begin, count,
+                          p1.data());
+        gp2.predict_block(kstar2, block_indices.data() + begin, count,
+                          p2.data());
+        for (std::size_t j = 0; j < count; ++j) {
+          score_candidate(block_indices[begin + j], p1[j], p2[j]);
+        }
+      });
+    }
     // Serial argmax in candidate order reproduces the serial loop exactly.
     double best_value = -1.0;
     double best_uncertainty = -1.0;

@@ -42,6 +42,21 @@ struct MboOptions {
   bool log_transform = true;
   /// Upper bound on one batch (the paper caps at ~10 to bound MBO latency).
   std::size_t max_batch_size = 10;
+  /// Escape hatch: run propose_batch on the reference algebra — full O(n^3)
+  /// GP refactorization per fantasy pick and per-candidate kernel
+  /// evaluations — instead of the default incremental path (O(n^2) rank-1
+  /// Cholesky updates, cached cross-covariances, blocked candidate solves).
+  /// Both paths propose from the same posterior; the incremental one only
+  /// reorders floating-point work.  Used by the differential tests and the
+  /// fig. 13 overhead benchmark baseline.
+  bool full_refit = false;
+  /// Hyperparameter-fit cadence.  Every Nth propose_batch runs the full
+  /// multi-restart marginal-likelihood search; the fits in between are
+  /// warm-started from the previous optimum (a short local polish, an order
+  /// of magnitude fewer LML evaluations).  The optimum drifts slowly as
+  /// observations accumulate, so the polish tracks it; the periodic full
+  /// search bounds any drift.  0 = always run the full search.
+  std::size_t hyperopt_refresh_period = 5;
   gp::HyperoptOptions hyperopt;
 };
 
@@ -95,8 +110,11 @@ class MboEngine {
   [[nodiscard]] std::size_t num_observations() const {
     return observations_.size();
   }
-  /// Number of distinct candidates observed at least once.
-  [[nodiscard]] std::size_t num_observed_candidates() const;
+  /// Number of distinct candidates observed at least once (O(1): maintained
+  /// by add_observation, not recounted).
+  [[nodiscard]] std::size_t num_observed_candidates() const {
+    return num_observed_candidates_;
+  }
   [[nodiscard]] bool is_observed(std::size_t candidate_index) const;
   [[nodiscard]] const std::vector<linalg::Vector>& candidates() const {
     return candidates_;
@@ -122,8 +140,14 @@ class MboEngine {
   Rng rng_;
   std::vector<MboObservation> observations_;
   std::vector<bool> observed_;
+  std::size_t num_observed_candidates_ = 0;  ///< distinct candidates observed
   std::optional<pareto::Point2> reference_;
   std::optional<double> last_best_ehvi_;
+  /// Warm-start state for the per-objective hyperparameter fits: the last
+  /// optima and how many fits have run (drives hyperopt_refresh_period).
+  std::optional<gp::HyperoptResult> warm_fit1_;
+  std::optional<gp::HyperoptResult> warm_fit2_;
+  std::size_t hyperopt_fits_ = 0;
 };
 
 }  // namespace bofl::bo

@@ -29,23 +29,42 @@ void GaussianProcess::condition(std::vector<linalg::Vector> inputs,
 void GaussianProcess::add_observation(linalg::Vector input, double target) {
   BOFL_REQUIRE(input.size() == kernel_.input_dimension(),
                "input dimension mismatch");
+  if (full_refit_ || !chol_.has_value() || inputs_.empty()) {
+    inputs_.push_back(std::move(input));
+    targets_.push_back(target);
+    refit();
+    return;
+  }
+  // Incremental path: border the factor with the new row in O(n^2).  The
+  // existing factor absorbed `jitter_` on its whole diagonal, so the new
+  // diagonal entry carries the same jitter to stay one coherent matrix.
+  const linalg::Vector cross = kernel_.cross(input, inputs_);
+  const double diag = kernel_.signal_variance() + noise_variance_ + jitter_;
+  auto extended = linalg::cholesky_append_row(*chol_, cross, diag);
   inputs_.push_back(std::move(input));
   targets_.push_back(target);
-  refit();
+  if (!extended.has_value()) {
+    refit();  // indefinite border (e.g. duplicate noiseless point): re-jitter
+    return;
+  }
+  chol_ = std::move(*extended);
+  alpha_ = linalg::solve_cholesky(*chol_, targets_);
 }
 
 void GaussianProcess::refit() {
   if (inputs_.empty()) {
     chol_.reset();
     alpha_.clear();
+    jitter_ = 0.0;
     return;
   }
-  linalg::Matrix k = kernel_.gram(inputs_);
+  linalg::Matrix k = kernel_.gram(inputs_, pool_);
   for (std::size_t i = 0; i < inputs_.size(); ++i) {
     k(i, i) += noise_variance_;
   }
   auto factor = linalg::cholesky_with_jitter(k);
   chol_ = std::move(factor.l);
+  jitter_ = factor.jitter;
   alpha_ = linalg::solve_cholesky(*chol_, targets_);
 }
 
@@ -55,12 +74,59 @@ Prediction GaussianProcess::predict(const linalg::Vector& x) const {
   if (inputs_.empty()) {
     return {0.0, kernel_.signal_variance()};
   }
-  const linalg::Vector k_star = kernel_.cross(x, inputs_);
+  return predict_from_cross(kernel_.cross(x, inputs_));
+}
+
+Prediction GaussianProcess::predict_from_cross(
+    const linalg::Vector& k_star) const {
+  if (inputs_.empty()) {
+    return {0.0, kernel_.signal_variance()};
+  }
+  BOFL_REQUIRE(k_star.size() == inputs_.size(),
+               "cross-covariance length mismatch");
   const double mean = linalg::dot(k_star, alpha_);
   // variance = k(x,x) - k*^T (K + s^2 I)^{-1} k* computed via v = L^{-1} k*.
   const linalg::Vector v = linalg::solve_lower(*chol_, k_star);
   const double variance = kernel_.signal_variance() - linalg::dot(v, v);
   return {mean, std::max(variance, 0.0)};
+}
+
+void GaussianProcess::predict_block(
+    const std::vector<linalg::Vector>& k_star_rows, const std::size_t* indices,
+    std::size_t count, Prediction* out) const {
+  if (count == 0) {
+    return;
+  }
+  if (inputs_.empty()) {
+    for (std::size_t j = 0; j < count; ++j) {
+      out[j] = {0.0, kernel_.signal_variance()};
+    }
+    return;
+  }
+  const std::size_t n = inputs_.size();
+  // Gather the block's cross-covariance rows as the columns of one n x count
+  // right-hand-side matrix, then run a single blocked forward substitution.
+  linalg::Matrix b(n, count);
+  for (std::size_t j = 0; j < count; ++j) {
+    const linalg::Vector& row = k_star_rows[indices[j]];
+    BOFL_REQUIRE(row.size() == n, "cross-covariance length mismatch");
+    for (std::size_t i = 0; i < n; ++i) {
+      b(i, j) = row[i];
+    }
+  }
+  const linalg::Matrix v = linalg::solve_lower_multi(*chol_, b);
+  std::vector<double> explained(count, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* vi = v.row(i);
+    for (std::size_t j = 0; j < count; ++j) {
+      explained[j] += vi[j] * vi[j];
+    }
+  }
+  const double sv = kernel_.signal_variance();
+  for (std::size_t j = 0; j < count; ++j) {
+    const double mean = linalg::dot(k_star_rows[indices[j]], alpha_);
+    out[j] = {mean, std::max(sv - explained[j], 0.0)};
+  }
 }
 
 double GaussianProcess::log_marginal_likelihood() const {

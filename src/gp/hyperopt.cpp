@@ -38,6 +38,18 @@ struct ParamCodec {
     return std::clamp(std::exp(p[dim + 1]), opts.min_noise_variance,
                       opts.max_noise_variance);
   }
+
+  [[nodiscard]] std::vector<double> encode(const HyperoptResult& r) const {
+    std::vector<double> p(size());
+    for (std::size_t i = 0; i < dim; ++i) {
+      p[i] = std::log(r.kernel.lengthscales()[i]);
+    }
+    p[dim] = std::log(r.kernel.signal_variance());
+    if (with_noise) {
+      p[dim + 1] = std::log(std::max(r.noise_variance, opts.min_noise_variance));
+    }
+    return p;
+  }
 };
 
 }  // namespace
@@ -45,7 +57,8 @@ struct ParamCodec {
 HyperoptResult fit_hyperparameters(KernelFamily family,
                                    const std::vector<linalg::Vector>& inputs,
                                    const std::vector<double>& targets,
-                                   Rng& rng, const HyperoptOptions& options) {
+                                   Rng& rng, const HyperoptOptions& options,
+                                   const HyperoptResult* warm_start) {
   BOFL_REQUIRE(!inputs.empty(), "hyperparameter fitting needs data");
   BOFL_REQUIRE(inputs.size() == targets.size(),
                "inputs and targets must have equal length");
@@ -59,6 +72,19 @@ HyperoptResult fit_hyperparameters(KernelFamily family,
     model.condition(inputs, targets);
     return -model.log_marginal_likelihood();
   };
+
+  if (warm_start != nullptr) {
+    BOFL_REQUIRE(warm_start->kernel.family() == family &&
+                     warm_start->kernel.lengthscales().size() == dim,
+                 "warm start does not match the kernel family or dimension");
+    NelderMeadOptions nm;
+    nm.max_iterations = options.warm_start_max_iterations;
+    nm.initial_step = options.warm_start_step;
+    const NelderMeadResult run =
+        nelder_mead(negative_lml, codec.encode(*warm_start), nm);
+    return {codec.decode_kernel(family, run.x),
+            codec.decode_noise(run.x, default_noise), -run.f};
+  }
 
   NelderMeadOptions nm;
   nm.max_iterations = options.max_iterations_per_start;

@@ -15,6 +15,14 @@ namespace bofl::gp {
 struct HyperoptOptions {
   std::size_t num_restarts = 4;
   std::size_t max_iterations_per_start = 200;
+  /// Warm-started refits (see `warm_start` below) run a single Nelder–Mead
+  /// pass from the previous optimum with a small simplex instead of the
+  /// multi-start search: the LML optimum moves slowly as observations
+  /// accumulate, so a short local polish recovers it at a fraction of the
+  /// evaluation budget.  ~60 iterations keeps the refit an order of
+  /// magnitude cheaper than a full search at typical phase-2 data sizes.
+  std::size_t warm_start_max_iterations = 60;
+  double warm_start_step = 0.05;
   // log-space box bounds (applied by clamping inside the objective).
   double min_lengthscale = 0.02;
   double max_lengthscale = 10.0;
@@ -35,9 +43,15 @@ struct HyperoptResult {
 /// the best kernel found.  Inputs are expected normalized to [0,1]^d and
 /// targets standardized (mean 0, unit variance) — the bounds above assume
 /// that scaling.
+///
+/// When `warm_start` is non-null, the multi-start search is replaced by one
+/// short local polish seeded at the warm-start's hyperparameters (which must
+/// match `family` and the input dimension).  The warm path draws nothing
+/// from `rng`, so it is bitwise deterministic given the data and the start.
 [[nodiscard]] HyperoptResult fit_hyperparameters(
     KernelFamily family, const std::vector<linalg::Vector>& inputs,
     const std::vector<double>& targets, Rng& rng,
-    const HyperoptOptions& options = {});
+    const HyperoptOptions& options = {},
+    const HyperoptResult* warm_start = nullptr);
 
 }  // namespace bofl::gp

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace bofl::gp {
 
@@ -58,15 +59,26 @@ double Kernel::operator()(const linalg::Vector& a,
   return signal_variance_ * correlation(std::sqrt(r2));
 }
 
-linalg::Matrix Kernel::gram(const std::vector<linalg::Vector>& points) const {
+linalg::Matrix Kernel::gram(const std::vector<linalg::Vector>& points,
+                            runtime::ThreadPool* pool) const {
   const std::size_t n = points.size();
   linalg::Matrix k(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
+  auto fill_row = [&](std::size_t i) {
     k(i, i) = signal_variance_;
     for (std::size_t j = i + 1; j < n; ++j) {
       const double v = (*this)(points[i], points[j]);
       k(i, j) = v;
       k(j, i) = v;
+    }
+  };
+  // Below ~48 points the n^2/2 kernel evaluations are cheaper than waking
+  // workers; the GP fits in hyperopt's inner loop live mostly below this.
+  constexpr std::size_t kParallelThreshold = 48;
+  if (pool != nullptr && n >= kParallelThreshold) {
+    runtime::parallel_for_each(pool, n, fill_row);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      fill_row(i);
     }
   }
   return k;

@@ -10,6 +10,10 @@
 
 #include "linalg/matrix.hpp"
 
+namespace bofl::runtime {
+class ThreadPool;
+}
+
 namespace bofl::gp {
 
 enum class KernelFamily {
@@ -40,9 +44,12 @@ class Kernel {
   [[nodiscard]] double operator()(const linalg::Vector& a,
                                   const linalg::Vector& b) const;
 
-  /// Full covariance matrix of a point set (symmetric).
-  [[nodiscard]] linalg::Matrix gram(
-      const std::vector<linalg::Vector>& points) const;
+  /// Full covariance matrix of a point set (symmetric).  Large builds
+  /// (n >= 48) fan their rows out over `pool` when one is given; every
+  /// entry is written to its own slot, so the result is identical for any
+  /// pool size (including nullptr = serial).
+  [[nodiscard]] linalg::Matrix gram(const std::vector<linalg::Vector>& points,
+                                    runtime::ThreadPool* pool = nullptr) const;
 
   /// Cross-covariance vector k(x, X) against a point set.
   [[nodiscard]] linalg::Vector cross(

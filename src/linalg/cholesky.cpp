@@ -1,31 +1,58 @@
 #include "linalg/cholesky.hpp"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/error.hpp"
 
 namespace bofl::linalg {
 
+namespace {
+
+/// Dot product of two contiguous spans with a four-way accumulator split.
+/// The inner loops of the factorization and the triangular solves all
+/// reduce to this; the split breaks the serial FP dependence chain so the
+/// compiler can keep four vector accumulators in flight.
+inline double dot_n(const double* a, const double* b, std::size_t n) {
+  double s0 = 0.0;
+  double s1 = 0.0;
+  double s2 = 0.0;
+  double s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    tail += a[i] * b[i];
+  }
+  return ((s0 + s1) + (s2 + s3)) + tail;
+}
+
+}  // namespace
+
 std::optional<Matrix> cholesky(const Matrix& a) {
   BOFL_REQUIRE(a.rows() == a.cols(), "cholesky needs a square matrix");
   const std::size_t n = a.rows();
   Matrix l(n, n, 0.0);
-  for (std::size_t j = 0; j < n; ++j) {
-    double diag = a(j, j);
-    for (std::size_t k = 0; k < j; ++k) {
-      diag -= l(j, k) * l(j, k);
+  // Cholesky–Banachiewicz (row-by-row): every inner reduction is a dot of
+  // two contiguous row prefixes, so the whole factorization streams
+  // unit-stride through the row-major storage.
+  for (std::size_t i = 0; i < n; ++i) {
+    double* li = l.row(i);
+    const double* ai = a.row(i);
+    for (std::size_t j = 0; j < i; ++j) {
+      const double* lj = l.row(j);
+      li[j] = (ai[j] - dot_n(li, lj, j)) / lj[j];
     }
+    const double diag = ai[i] - dot_n(li, li, i);
     if (diag <= 0.0 || !std::isfinite(diag)) {
       return std::nullopt;
     }
-    l(j, j) = std::sqrt(diag);
-    for (std::size_t i = j + 1; i < n; ++i) {
-      double sum = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) {
-        sum -= l(i, k) * l(j, k);
-      }
-      l(i, j) = sum / l(j, j);
-    }
+    li[i] = std::sqrt(diag);
   }
   return l;
 }
@@ -49,17 +76,74 @@ JitteredCholesky cholesky_with_jitter(const Matrix& a, double initial_jitter,
   BOFL_ASSERT(false, "matrix not positive definite even with maximal jitter");
 }
 
+std::optional<Matrix> cholesky_append_row(const Matrix& l, const Vector& cross,
+                                          double diag) {
+  BOFL_REQUIRE(l.rows() == l.cols(), "cholesky_append_row needs a square L");
+  BOFL_REQUIRE(cross.size() == l.rows(),
+               "cholesky_append_row cross-covariance length mismatch");
+  const std::size_t n = l.rows();
+  // A' = [[A, k], [k^T, kappa]] factors as
+  //   L' = [[L, 0], [l12^T, l22]]  with  L l12 = k,  l22^2 = kappa - |l12|^2.
+  // Solving for l12 is one forward substitution: O(n^2) total, against the
+  // O(n^3) of refactorizing A' from scratch.
+  Matrix out(n + 1, n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(out.row(i), l.row(i), (i + 1) * sizeof(double));
+  }
+  double* last = out.row(n);
+  double norm2_l12 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* li = l.row(i);
+    const double v = (cross[i] - dot_n(li, last, i)) / li[i];
+    last[i] = v;
+    norm2_l12 += v * v;
+  }
+  const double d = diag - norm2_l12;
+  // Reject near-singular tails (duplicate or nearly coincident points with
+  // no noise): a relative guard, because sqrt of a catastrophically
+  // cancelled difference would poison every later solve with 1/l22.
+  if (!std::isfinite(d) || d <= 1e-12 * std::abs(diag)) {
+    return std::nullopt;
+  }
+  last[n] = std::sqrt(d);
+  return out;
+}
+
 Vector solve_lower(const Matrix& l, const Vector& b) {
   BOFL_REQUIRE(l.rows() == l.cols() && l.rows() == b.size(),
                "solve_lower shape mismatch");
   const std::size_t n = b.size();
   Vector x(n);
   for (std::size_t i = 0; i < n; ++i) {
-    double sum = b[i];
+    const double* li = l.row(i);
+    x[i] = (b[i] - dot_n(li, x.data(), i)) / li[i];
+  }
+  return x;
+}
+
+Matrix solve_lower_multi(const Matrix& l, const Matrix& b) {
+  BOFL_REQUIRE(l.rows() == l.cols() && l.rows() == b.rows(),
+               "solve_lower_multi shape mismatch");
+  const std::size_t n = b.rows();
+  const std::size_t m = b.cols();
+  Matrix x = b;
+  // Forward substitution vectorized across the m right-hand sides: the
+  // inner loop is a unit-stride axpy over row i, so one pass through L
+  // serves the whole block instead of m independent strided solves.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* li = l.row(i);
+    double* xi = x.row(i);
     for (std::size_t j = 0; j < i; ++j) {
-      sum -= l(i, j) * x[j];
+      const double lij = li[j];
+      const double* xj = x.row(j);
+      for (std::size_t c = 0; c < m; ++c) {
+        xi[c] -= lij * xj[c];
+      }
     }
-    x[i] = sum / l(i, i);
+    const double inv = 1.0 / li[i];
+    for (std::size_t c = 0; c < m; ++c) {
+      xi[c] *= inv;
+    }
   }
   return x;
 }

@@ -28,8 +28,26 @@ struct JitteredCholesky {
                                                     double initial_jitter = 1e-10,
                                                     double max_jitter = 1e-2);
 
+/// Rank-1 extension of a Cholesky factor: given the n x n factor L of A,
+/// the cross-covariance column `cross` = A'[0..n, n] and the new diagonal
+/// entry `diag` = A'[n, n], returns the (n+1) x (n+1) factor of the
+/// bordered matrix A' in O(n^2) (one forward substitution) instead of the
+/// O(n^3) from-scratch refactorization.  Returns std::nullopt when the
+/// appended row makes the matrix numerically indefinite (e.g. a duplicate
+/// point with no observation noise) — callers fall back to a full
+/// `cholesky_with_jitter` refit in that case.
+[[nodiscard]] std::optional<Matrix> cholesky_append_row(const Matrix& l,
+                                                        const Vector& cross,
+                                                        double diag);
+
 /// Solve L x = b with L lower triangular (forward substitution).
 [[nodiscard]] Vector solve_lower(const Matrix& l, const Vector& b);
+
+/// Solve L X = B for m right-hand sides given as the *columns* of the
+/// row-major n x m matrix `b`.  One blocked forward substitution whose
+/// inner loops are unit-stride across the m systems — the GP uses this to
+/// get posterior variances for a whole candidate block at once.
+[[nodiscard]] Matrix solve_lower_multi(const Matrix& l, const Matrix& b);
 
 /// Solve L^T x = b with L lower triangular (backward substitution).
 [[nodiscard]] Vector solve_lower_transpose(const Matrix& l, const Vector& b);

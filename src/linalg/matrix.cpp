@@ -69,15 +69,44 @@ Matrix operator*(double s, Matrix a) { return a *= s; }
 
 Matrix operator*(const Matrix& a, const Matrix& b) {
   BOFL_REQUIRE(a.cols() == b.rows(), "matrix product shape mismatch");
-  Matrix c(a.rows(), b.cols(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) {
-        continue;
+  const std::size_t m = a.rows();
+  const std::size_t kk = a.cols();
+  const std::size_t n = b.cols();
+  Matrix c(m, n, 0.0);
+  // Register-blocked ikj kernel: four output rows share each streamed row
+  // of b, so b is read once per four rows of a instead of once per row.
+  // The inner j loop is branch-free and unit-stride on both c and b, which
+  // is what the auto-vectorizer needs (a data-dependent `a(i,k) == 0.0`
+  // skip here would force scalar code).
+  constexpr std::size_t kRowBlock = 4;
+  std::size_t i = 0;
+  for (; i + kRowBlock <= m; i += kRowBlock) {
+    double* c0 = c.row(i);
+    double* c1 = c.row(i + 1);
+    double* c2 = c.row(i + 2);
+    double* c3 = c.row(i + 3);
+    for (std::size_t k = 0; k < kk; ++k) {
+      const double* bk = b.row(k);
+      const double a0 = a(i, k);
+      const double a1 = a(i + 1, k);
+      const double a2 = a(i + 2, k);
+      const double a3 = a(i + 3, k);
+      for (std::size_t j = 0; j < n; ++j) {
+        const double bkj = bk[j];
+        c0[j] += a0 * bkj;
+        c1[j] += a1 * bkj;
+        c2[j] += a2 * bkj;
+        c3[j] += a3 * bkj;
       }
-      for (std::size_t j = 0; j < b.cols(); ++j) {
-        c(i, j) += aik * b(k, j);
+    }
+  }
+  for (; i < m; ++i) {  // remainder rows
+    double* ci = c.row(i);
+    for (std::size_t k = 0; k < kk; ++k) {
+      const double* bk = b.row(k);
+      const double aik = a(i, k);
+      for (std::size_t j = 0; j < n; ++j) {
+        ci[j] += aik * bk[j];
       }
     }
   }
@@ -86,11 +115,13 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
 
 Vector operator*(const Matrix& a, const Vector& x) {
   BOFL_REQUIRE(a.cols() == x.size(), "matrix-vector shape mismatch");
+  const std::size_t n = a.cols();
   Vector y(a.rows(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.row(i);
     double sum = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) {
-      sum += a(i, j) * x[j];
+    for (std::size_t j = 0; j < n; ++j) {
+      sum += ai[j] * x[j];
     }
     y[i] = sum;
   }

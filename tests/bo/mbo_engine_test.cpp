@@ -257,10 +257,10 @@ TEST(MboEngine, BeatsRandomSearchOnHypervolume) {
 
 TEST(MboEngine, ParallelScoringMatchesSerialBatches) {
   // Candidate scoring on a pool must pick the exact batch the serial loop
-  // picks, for both the deterministic (EHVI) and the sampling (Thompson)
-  // acquisitions.
+  // picks — for both the deterministic (EHVI) and the sampling (Thompson)
+  // acquisitions, and for every pool size (the --threads invariance the
+  // blocked scoring path promises).
   SyntheticProblem problem;
-  runtime::ThreadPool pool(4);
   for (const AcquisitionKind kind :
        {AcquisitionKind::kEhvi, AcquisitionKind::kThompsonMarginal}) {
     SCOPED_TRACE(to_string(kind));
@@ -268,17 +268,139 @@ TEST(MboEngine, ParallelScoringMatchesSerialBatches) {
     options.acquisition = kind;
     options.hyperopt.num_restarts = 2;
     options.hyperopt.max_iterations_per_start = 80;
-    MboEngine a(problem.candidates, options, 11);
-    MboEngine b(problem.candidates, options, 11);
-    b.set_parallel_pool(&pool);
-    Rng rng(11 * 31);
+    auto propose = [&](runtime::ThreadPool* pool) {
+      MboEngine engine(problem.candidates, options, 11);
+      if (pool != nullptr) {
+        engine.set_parallel_pool(pool);
+      }
+      Rng rng(11 * 31);
+      for (std::size_t i = 0; i < 8; ++i) {
+        const std::size_t c = rng.uniform_index(problem.candidates.size());
+        engine.add_observation(
+            {c, problem.values[c].f1, problem.values[c].f2});
+      }
+      return engine.propose_batch(6);
+    };
+    const std::vector<std::size_t> serial = propose(nullptr);
+    for (const std::size_t threads : {2u, 4u, 7u}) {
+      SCOPED_TRACE(threads);
+      runtime::ThreadPool pool(threads);
+      EXPECT_EQ(serial, propose(&pool));
+    }
+  }
+}
+
+TEST(MboEngine, FullRefitEscapeHatchProposesEquivalentBatches) {
+  // The incremental algebra (rank-1 Cholesky updates, cached
+  // cross-covariances, blocked solves) only reorders floating-point work:
+  // against the reference full-refit path it must pick the same
+  // candidates.
+  SyntheticProblem problem;
+  for (const std::uint64_t seed : {11ull, 29ull}) {
+    SCOPED_TRACE(seed);
+    MboOptions incremental_options;
+    incremental_options.hyperopt.num_restarts = 2;
+    incremental_options.hyperopt.max_iterations_per_start = 80;
+    MboOptions reference_options = incremental_options;
+    reference_options.full_refit = true;
+    MboEngine incremental(problem.candidates, incremental_options, seed);
+    MboEngine reference(problem.candidates, reference_options, seed);
+    Rng rng(seed * 31);
     for (std::size_t i = 0; i < 8; ++i) {
       const std::size_t c = rng.uniform_index(problem.candidates.size());
-      a.add_observation({c, problem.values[c].f1, problem.values[c].f2});
-      b.add_observation({c, problem.values[c].f1, problem.values[c].f2});
+      incremental.add_observation(
+          {c, problem.values[c].f1, problem.values[c].f2});
+      reference.add_observation(
+          {c, problem.values[c].f1, problem.values[c].f2});
     }
-    EXPECT_EQ(a.propose_batch(6), b.propose_batch(6));
+    EXPECT_EQ(incremental.propose_batch(5), reference.propose_batch(5));
   }
+}
+
+TEST(MboEngine, WarmStartedRoundsStayDeterministicAcrossPools) {
+  // Rounds after the first use warm-started hyperparameter fits (see
+  // MboOptions::hyperopt_refresh_period).  A full observe/propose cycle
+  // repeated over several rounds must still pick identical batches for
+  // every pool size, and the full-refit escape hatch must keep agreeing
+  // with the incremental algebra on those warm rounds too.
+  SyntheticProblem problem;
+  MboOptions options;
+  options.hyperopt.num_restarts = 2;
+  options.hyperopt.max_iterations_per_start = 80;
+  auto run_rounds = [&](const MboOptions& opts, runtime::ThreadPool* pool) {
+    MboEngine engine(problem.candidates, opts, 17);
+    if (pool != nullptr) {
+      engine.set_parallel_pool(pool);
+    }
+    Rng rng(17 * 31);
+    for (std::size_t i = 0; i < 6; ++i) {
+      const std::size_t c = rng.uniform_index(problem.candidates.size());
+      engine.add_observation({c, problem.values[c].f1, problem.values[c].f2});
+    }
+    std::vector<std::size_t> trace;
+    for (int round = 0; round < 3; ++round) {
+      const std::vector<std::size_t> batch = engine.propose_batch(4);
+      trace.insert(trace.end(), batch.begin(), batch.end());
+      for (const std::size_t c : batch) {
+        engine.add_observation(
+            {c, problem.values[c].f1, problem.values[c].f2});
+      }
+    }
+    return trace;
+  };
+  const std::vector<std::size_t> serial = run_rounds(options, nullptr);
+  for (const std::size_t threads : {2u, 5u}) {
+    SCOPED_TRACE(threads);
+    runtime::ThreadPool pool(threads);
+    EXPECT_EQ(serial, run_rounds(options, &pool));
+  }
+  MboOptions reference = options;
+  reference.full_refit = true;
+  EXPECT_EQ(serial, run_rounds(reference, nullptr));
+}
+
+TEST(MboEngine, RefreshPeriodZeroAlwaysRunsFullSearch) {
+  // hyperopt_refresh_period = 0 disables warm starts entirely: every round
+  // re-runs the multi-restart search.  With the RNG consumption that
+  // implies, the engine must still produce valid, deterministic batches.
+  SyntheticProblem problem;
+  MboOptions options;
+  options.hyperopt_refresh_period = 0;
+  options.hyperopt.num_restarts = 2;
+  options.hyperopt.max_iterations_per_start = 80;
+  auto run_rounds = [&]() {
+    MboEngine engine(problem.candidates, options, 23);
+    Rng rng(23 * 31);
+    for (std::size_t i = 0; i < 6; ++i) {
+      const std::size_t c = rng.uniform_index(problem.candidates.size());
+      engine.add_observation({c, problem.values[c].f1, problem.values[c].f2});
+    }
+    std::vector<std::size_t> trace;
+    for (int round = 0; round < 2; ++round) {
+      const std::vector<std::size_t> batch = engine.propose_batch(3);
+      trace.insert(trace.end(), batch.begin(), batch.end());
+      for (const std::size_t c : batch) {
+        engine.add_observation(
+            {c, problem.values[c].f1, problem.values[c].f2});
+      }
+    }
+    return trace;
+  };
+  const std::vector<std::size_t> a = run_rounds();
+  const std::vector<std::size_t> b = run_rounds();
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(MboEngine, NumObservedCandidatesCountsDistinct) {
+  SyntheticProblem problem;
+  MboEngine engine(problem.candidates, {}, 1);
+  EXPECT_EQ(engine.num_observed_candidates(), 0u);
+  engine.add_observation({3, 1.0, 2.0});
+  engine.add_observation({3, 1.1, 2.1});  // re-observation of the same cell
+  engine.add_observation({7, 1.0, 2.0});
+  EXPECT_EQ(engine.num_observed_candidates(), 2u);
+  EXPECT_EQ(engine.num_observations(), 3u);
 }
 
 }  // namespace

@@ -76,6 +76,112 @@ TEST(GaussianProcess, AddObservationMatchesBatchConditioning) {
   }
 }
 
+// Differential test for the incremental algebra: a GP extended one
+// observation at a time (rank-1 Cholesky borders) must agree with its
+// full-refit twin to tight tolerance over randomized data in several
+// dimensions — means, variances, and the log marginal likelihood.
+TEST(GaussianProcess, IncrementalMatchesFullRefitOnRandomData) {
+  for (const std::size_t dim : {1u, 2u, 3u}) {
+    SCOPED_TRACE(dim);
+    Rng rng(50 + dim);
+    Kernel kernel(KernelFamily::kMatern52, 1.3,
+                  std::vector<double>(dim, 0.4));
+    GaussianProcess incremental(kernel, 1e-4);
+    GaussianProcess reference(kernel, 1e-4);
+    reference.set_full_refit(true);
+    for (int i = 0; i < 25; ++i) {
+      linalg::Vector x(dim);
+      for (double& v : x) {
+        v = rng.uniform();
+      }
+      const double y = rng.normal();
+      incremental.add_observation(x, y);
+      reference.add_observation(x, y);
+    }
+    EXPECT_FALSE(incremental.full_refit());
+    EXPECT_NEAR(incremental.log_marginal_likelihood(),
+                reference.log_marginal_likelihood(), 1e-7);
+    for (int q = 0; q < 10; ++q) {
+      linalg::Vector x(dim);
+      for (double& v : x) {
+        v = rng.uniform();
+      }
+      const Prediction a = incremental.predict(x);
+      const Prediction b = reference.predict(x);
+      EXPECT_NEAR(a.mean, b.mean, 1e-8);
+      EXPECT_NEAR(a.variance, b.variance, 1e-8);
+    }
+  }
+}
+
+// A duplicate noiseless observation makes the bordered matrix singular:
+// the incremental path must fall back to a full (jittered) refit and keep
+// producing finite, sane predictions.
+TEST(GaussianProcess, IncrementalFallsBackOnDuplicateNoiselessPoint) {
+  GaussianProcess gp(default_kernel(), 0.0);
+  gp.add_observation({0.4}, 1.0);
+  gp.add_observation({0.9}, -0.5);
+  EXPECT_EQ(gp.jitter(), 0.0);
+  gp.add_observation({0.4}, 1.0);  // exact duplicate, zero noise
+  EXPECT_GT(gp.jitter(), 0.0);     // the fallback refit had to jitter
+  const Prediction p = gp.predict({0.4});
+  EXPECT_TRUE(std::isfinite(p.mean));
+  EXPECT_TRUE(std::isfinite(p.variance));
+  EXPECT_NEAR(p.mean, 1.0, 1e-2);
+}
+
+TEST(GaussianProcess, PredictFromCrossMatchesPredict) {
+  Rng rng(61);
+  GaussianProcess gp(default_kernel(), 1e-4);
+  for (int i = 0; i < 12; ++i) {
+    gp.add_observation({rng.uniform()}, rng.normal());
+  }
+  for (int q = 0; q < 5; ++q) {
+    const linalg::Vector x{rng.uniform()};
+    const Prediction direct = gp.predict(x);
+    const Prediction via_cross =
+        gp.predict_from_cross(gp.kernel().cross(x, gp.inputs()));
+    EXPECT_DOUBLE_EQ(via_cross.mean, direct.mean);
+    EXPECT_DOUBLE_EQ(via_cross.variance, direct.variance);
+  }
+}
+
+// predict_block must agree with per-point prediction for every point of a
+// block (one multi-RHS solve vs. independent solves).
+TEST(GaussianProcess, PredictBlockMatchesPerPointPrediction) {
+  Rng rng(67);
+  GaussianProcess gp(default_kernel(), 1e-4);
+  for (int i = 0; i < 15; ++i) {
+    gp.add_observation({rng.uniform()}, rng.normal());
+  }
+  const std::size_t m = 9;
+  std::vector<linalg::Vector> rows(m);
+  std::vector<linalg::Vector> queries(m);
+  std::vector<std::size_t> indices(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    queries[j] = {rng.uniform()};
+    rows[j] = gp.kernel().cross(queries[j], gp.inputs());
+    indices[j] = j;
+  }
+  std::vector<Prediction> block(m);
+  gp.predict_block(rows, indices.data(), m, block.data());
+  for (std::size_t j = 0; j < m; ++j) {
+    const Prediction ref = gp.predict(queries[j]);
+    EXPECT_NEAR(block[j].mean, ref.mean, 1e-12);
+    EXPECT_NEAR(block[j].variance, ref.variance, 1e-12);
+  }
+}
+
+TEST(GaussianProcess, PredictBlockOnPriorReturnsPrior) {
+  GaussianProcess gp(default_kernel(), 1e-4);
+  std::vector<linalg::Vector> rows{{}};
+  const std::size_t index = 0;
+  Prediction p;
+  gp.predict_block(rows, &index, 1, &p);
+  EXPECT_DOUBLE_EQ(p.mean, 0.0);
+  EXPECT_DOUBLE_EQ(p.variance, 1.0);
+}
+
 TEST(GaussianProcess, LogMarginalLikelihoodPrefersTruth) {
   // Data drawn from a smooth function: a sane lengthscale must beat an
   // absurdly short one.

@@ -100,5 +100,76 @@ TEST(Hyperopt, RejectsEmptyData) {
                std::invalid_argument);
 }
 
+// A warm-started refit polishing the previous optimum on the same data must
+// not lose likelihood relative to the full multi-restart search (Nelder-Mead
+// keeps its best vertex, and it starts at the full search's answer).
+TEST(Hyperopt, WarmStartKeepsLikelihoodOnSameData) {
+  Rng rng(31);
+  std::vector<linalg::Vector> xs;
+  std::vector<double> ys;
+  make_data(xs, ys, 25, rng);
+  Rng opt_rng(32);
+  const HyperoptResult full =
+      fit_hyperparameters(KernelFamily::kMatern52, xs, ys, opt_rng);
+  const HyperoptResult warm = fit_hyperparameters(KernelFamily::kMatern52, xs,
+                                                  ys, opt_rng, {}, &full);
+  EXPECT_GE(warm.log_marginal_likelihood,
+            full.log_marginal_likelihood - 1e-9);
+}
+
+// The warm path draws nothing from the RNG: the result is a pure function
+// of (data, warm start), and the caller's stream is left untouched.
+TEST(Hyperopt, WarmStartIsDeterministicAndSkipsRng) {
+  Rng rng(33);
+  std::vector<linalg::Vector> xs;
+  std::vector<double> ys;
+  make_data(xs, ys, 20, rng);
+  Rng opt_rng(34);
+  const HyperoptResult full =
+      fit_hyperparameters(KernelFamily::kMatern52, xs, ys, opt_rng);
+  Rng a(1);
+  Rng b(2);
+  const HyperoptResult wa = fit_hyperparameters(KernelFamily::kMatern52, xs,
+                                                ys, a, {}, &full);
+  const HyperoptResult wb = fit_hyperparameters(KernelFamily::kMatern52, xs,
+                                                ys, b, {}, &full);
+  EXPECT_EQ(wa.log_marginal_likelihood, wb.log_marginal_likelihood);
+  EXPECT_EQ(wa.noise_variance, wb.noise_variance);
+  EXPECT_EQ(wa.kernel.lengthscales(), wb.kernel.lengthscales());
+  EXPECT_EQ(a.uniform(), Rng(1).uniform());  // stream position untouched
+}
+
+// Warm refits still track the optimum after the data grows, staying ahead
+// of the stale hyperparameters they started from.
+TEST(Hyperopt, WarmStartTracksGrowingData) {
+  Rng rng(35);
+  std::vector<linalg::Vector> xs;
+  std::vector<double> ys;
+  make_data(xs, ys, 15, rng);
+  Rng opt_rng(36);
+  const HyperoptResult early =
+      fit_hyperparameters(KernelFamily::kMatern52, xs, ys, opt_rng);
+  make_data(xs, ys, 30, rng);
+  const HyperoptResult warm = fit_hyperparameters(KernelFamily::kMatern52, xs,
+                                                  ys, opt_rng, {}, &early);
+  GaussianProcess stale(early.kernel, early.noise_variance);
+  stale.condition(xs, ys);
+  EXPECT_GE(warm.log_marginal_likelihood,
+            stale.log_marginal_likelihood() - 1e-9);
+}
+
+TEST(Hyperopt, WarmStartRejectsMismatchedDimension) {
+  Rng rng(37);
+  std::vector<linalg::Vector> xs;
+  std::vector<double> ys;
+  make_data(xs, ys, 10, rng);
+  const HyperoptResult wrong_dim{
+      Kernel(KernelFamily::kMatern52, 1.0, {0.3, 0.3}), 1e-4, 0.0};
+  Rng opt_rng(38);
+  EXPECT_THROW((void)fit_hyperparameters(KernelFamily::kMatern52, xs, ys,
+                                         opt_rng, {}, &wrong_dim),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace bofl::gp

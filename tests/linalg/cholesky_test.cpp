@@ -91,6 +91,150 @@ TEST(CholeskyJitter, ThrowsOnStructurallyBroken) {
   EXPECT_THROW((void)cholesky_with_jitter(a, 1e-10, 1e-4), InternalError);
 }
 
+TEST(CholeskyAppendRow, MatchesFullFactorization) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 3 + static_cast<std::size_t>(trial);
+    const Matrix full = random_spd(n, rng);
+    // Factor the leading (n-1) x (n-1) block, then append the last row.
+    Matrix leading(n - 1, n - 1);
+    Vector cross(n - 1);
+    for (std::size_t r = 0; r + 1 < n; ++r) {
+      cross[r] = full(r, n - 1);
+      for (std::size_t c = 0; c + 1 < n; ++c) {
+        leading(r, c) = full(r, c);
+      }
+    }
+    const auto l0 = cholesky(leading);
+    ASSERT_TRUE(l0.has_value());
+    const auto appended = cholesky_append_row(*l0, cross, full(n - 1, n - 1));
+    ASSERT_TRUE(appended.has_value());
+    const auto reference = cholesky(full);
+    ASSERT_TRUE(reference.has_value());
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c <= r; ++c) {
+        EXPECT_NEAR((*appended)(r, c), (*reference)(r, c), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(CholeskyAppendRow, GrowsFromEmptyFactor) {
+  const Matrix empty(0, 0);
+  const auto l = cholesky_append_row(empty, {}, 9.0);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_EQ(l->rows(), 1u);
+  EXPECT_DOUBLE_EQ((*l)(0, 0), 3.0);
+}
+
+TEST(CholeskyAppendRow, ExtendsJitteredFactor) {
+  // Rank-1 base needs jitter to factor at all; the appended row must then
+  // carry the same jitter on its diagonal to stay consistent.
+  Matrix a(3, 3);
+  const Vector v{1.0, 2.0, 3.0};
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      a(r, c) = v[r] * v[c];
+    }
+  }
+  const JitteredCholesky jc = cholesky_with_jitter(a);
+  ASSERT_GT(jc.jitter, 0.0);
+  // Append an independent direction: cross = 0, diag = 2 + jitter.
+  const auto l = cholesky_append_row(jc.l, {0.0, 0.0, 0.0}, 2.0 + jc.jitter);
+  ASSERT_TRUE(l.has_value());
+  const Matrix rebuilt = (*l) * l->transposed();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(rebuilt(i, i), a(i, i) + jc.jitter, 1e-8);
+  }
+  EXPECT_NEAR(rebuilt(3, 3), 2.0 + jc.jitter, 1e-12);
+  EXPECT_NEAR(rebuilt(3, 0), 0.0, 1e-12);
+}
+
+TEST(CholeskyAppendRow, RejectsNearSingularRow) {
+  Rng rng(23);
+  const Matrix a = random_spd(4, rng);
+  const auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  // Appending an exact copy of row 2 (diag = a(2,2)) makes the bordered
+  // matrix singular: the O(n^2) update must refuse rather than emit a
+  // catastrophically cancelled sqrt.
+  Vector cross(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    cross[i] = a(i, 2);
+  }
+  EXPECT_FALSE(cholesky_append_row(*l, cross, a(2, 2)).has_value());
+}
+
+TEST(CholeskyAppendRow, RejectsShapeMismatch) {
+  const Matrix l{{2.0, 0.0}, {1.0, 3.0}};
+  EXPECT_THROW((void)cholesky_append_row(l, {1.0}, 5.0),
+               std::invalid_argument);
+}
+
+// Repeated appends vs. one from-scratch factorization: the incremental
+// factor of a growing random SPD matrix stays within tight tolerance of
+// the full refactorization (the GP fantasy-update invariant).
+TEST(CholeskyAppendRow, RepeatedAppendsTrackFullFactorization) {
+  Rng rng(31);
+  const std::size_t n = 12;
+  const Matrix full = random_spd(n, rng);
+  Matrix leading(3, 3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      leading(r, c) = full(r, c);
+    }
+  }
+  auto incremental = cholesky(leading);
+  ASSERT_TRUE(incremental.has_value());
+  for (std::size_t k = 3; k < n; ++k) {
+    Vector cross(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      cross[i] = full(i, k);
+    }
+    auto extended = cholesky_append_row(*incremental, cross, full(k, k));
+    ASSERT_TRUE(extended.has_value());
+    incremental = std::move(extended);
+  }
+  const auto reference = cholesky(full);
+  ASSERT_TRUE(reference.has_value());
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c <= r; ++c) {
+      EXPECT_NEAR((*incremental)(r, c), (*reference)(r, c), 1e-8);
+    }
+  }
+}
+
+TEST(SolveLowerMulti, MatchesPerColumnSolves) {
+  Rng rng(41);
+  const Matrix a = random_spd(7, rng);
+  const auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  const std::size_t m = 5;
+  Matrix b(7, m);
+  for (std::size_t r = 0; r < 7; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      b(r, c) = rng.normal();
+    }
+  }
+  const Matrix x = solve_lower_multi(*l, b);
+  for (std::size_t c = 0; c < m; ++c) {
+    Vector col(7);
+    for (std::size_t r = 0; r < 7; ++r) {
+      col[r] = b(r, c);
+    }
+    const Vector ref = solve_lower(*l, col);
+    for (std::size_t r = 0; r < 7; ++r) {
+      EXPECT_NEAR(x(r, c), ref[r], 1e-12);
+    }
+  }
+}
+
+TEST(SolveLowerMulti, RejectsShapeMismatch) {
+  const Matrix l{{2.0, 0.0}, {1.0, 3.0}};
+  EXPECT_THROW((void)solve_lower_multi(l, Matrix(3, 2)),
+               std::invalid_argument);
+}
+
 TEST(TriangularSolve, ForwardAndBackward) {
   const Matrix a{{4.0, 12.0, -16.0}, {12.0, 37.0, -43.0}, {-16.0, -43.0, 98.0}};
   const auto l = cholesky(a);
