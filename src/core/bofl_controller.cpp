@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/quasirandom.hpp"
@@ -12,6 +13,22 @@
 namespace bofl::core {
 
 namespace {
+
+/// Weighted sum w such that w / jobs == mean bit-exactly.  mean * jobs is
+/// within an ulp or two of such a w (every saved mean was itself produced
+/// by a division by jobs), but the product alone can land on a neighbour
+/// whose quotient rounds elsewhere — which would make
+/// save -> load -> import -> save drift by one ulp per generation instead
+/// of being byte-stable.
+double quotient_exact_weighted(double mean, double jobs) {
+  double w = mean * jobs;
+  for (int step = 0; step < 4 && w / jobs != mean; ++step) {
+    w = std::nextafter(w, w / jobs < mean
+                              ? std::numeric_limits<double>::infinity()
+                              : -std::numeric_limits<double>::infinity());
+  }
+  return w;
+}
 
 /// Quasi-random starting points over the DVFS lattice (§4.2): Sobol points
 /// in the unit cube snapped to grid steps, deduplicated, x_max excluded
@@ -67,6 +84,10 @@ BoflController::BoflController(const device::DeviceModel& model,
   BOFL_REQUIRE(options_.tau.value() > 0.0, "tau must be positive");
   BOFL_REQUIRE(options_.initial_sample_fraction > 0.0,
                "initial sample fraction must be positive");
+  BOFL_REQUIRE(options_.drift_demote_ratio > 1.0,
+               "drift demote ratio must exceed 1");
+  BOFL_REQUIRE(options_.drift_guard_cap >= 1.0,
+               "drift guard cap must be >= 1");
   // x_max is the very first configuration ever measured (§4.2).
   pending_.push_front(x_max_flat_);
 }
@@ -88,8 +109,47 @@ device::Measurement BoflController::run_config(RoundState& state,
   const std::size_t flat = model_.space().to_flat(config);
   Aggregate& agg = aggregates_[flat];
   const auto jobs_d = static_cast<double>(jobs);
+  double fresh_latency = m.measured_latency.value();
+  if (agg.jobs > 0.0) {
+    const double prior = agg.mean_latency();
+    if (fresh_latency > prior * options_.drift_demote_ratio) {
+      // Regression: the configuration is genuinely slower than its history
+      // claims (throttling storm, co-runner, governor clamp).  A stale
+      // optimistic aggregate is exactly what rides the ILP schedule into a
+      // deadline miss, so demote it — drop the history, let this reading
+      // define the config — and re-arm the guardian with headroom for the
+      // drift still to come.
+      agg = Aggregate{};
+      drift_factor_ = std::min(options_.drift_guard_cap,
+                               std::max(drift_factor_, fresh_latency / prior));
+      if (telemetry::Registry* reg = telemetry::global_registry()) {
+        reg->counter("bofl.aggregate_demotions").add(1);
+      }
+    } else if (fresh_latency < prior / options_.drift_demote_ratio) {
+      // Suspiciously *fast* reading (flaky sensor garbage, or a large
+      // genuine speedup like a storm ending).  Optimism is the dangerous
+      // direction — believing it inflates the guardian's perceived budget
+      // and can compound across folds into a sub-truth T(x_max) — so
+      // winsorize the fold AND re-arm the guardian by the same factor the
+      // reading is off.  A genuine speedup converges in a few bounded
+      // folds, after which a consistent x_max reading stands the guardian
+      // down again; garbage stays fenced off the whole time.
+      drift_factor_ = std::min(options_.drift_guard_cap,
+                               std::max(drift_factor_, prior / fresh_latency));
+      if (telemetry::Registry* reg = telemetry::global_registry()) {
+        reg->counter("bofl.suspicious_fast_readings").add(1);
+      }
+      fresh_latency = prior / options_.drift_demote_ratio;
+    } else {
+      if (flat == x_max_flat_ && drift_factor_ > 1.0) {
+        // x_max reads consistent with its (possibly demoted) aggregate
+        // again: T(x_max) is trustworthy, stand the guardian down.
+        drift_factor_ = 1.0;
+      }
+    }
+  }
   agg.jobs += jobs_d;
-  agg.latency_weighted += m.measured_latency.value() * jobs_d;
+  agg.latency_weighted += fresh_latency * jobs_d;
   agg.energy_weighted += m.measured_energy.value() * jobs_d;
   if (flat == x_max_flat_) {
     t_x_max_ = Seconds{agg.mean_latency()};
@@ -110,7 +170,7 @@ bool BoflController::guardian_allows(const RoundState& state,
   const double time_left =
       state.trace.deadline.value() - state.trace.elapsed().value();
   const double rescue = static_cast<double>(state.remaining) *
-                        t_x_max_->value() *
+                        t_x_max_->value() * drift_factor_ *
                         (1.0 + options_.deadline_safety_margin);
   return time_left - budget.value() >= rescue;
 }
@@ -135,8 +195,8 @@ void BoflController::explore_candidate(RoundState& state, std::size_t flat) {
       // Largest batch that keeps the x_max rescue plan viable.
       const double time_left =
           state.trace.deadline.value() - state.trace.elapsed().value();
-      const double rescue_per_job =
-          t_x_max_->value() * (1.0 + options_.deadline_safety_margin);
+      const double rescue_per_job = t_x_max_->value() * drift_factor_ *
+                                    (1.0 + options_.deadline_safety_margin);
       // time_left - more*t_hat >= (remaining - more) * rescue_per_job
       const double numerator =
           time_left -
@@ -184,9 +244,13 @@ void BoflController::exploit_remaining(RoundState& state) {
     const std::vector<ilp::ConfigProfile> profiles = observed_profiles();
     ilp::Schedule schedule;
     if (!profiles.empty()) {
+      // While the guardian is armed (drift_factor_ > 1) the aggregates the
+      // solver runs on are suspect by the same factor, so shrink its time
+      // budget accordingly; infeasible mixes then fall through to x_max.
       schedule = ilp::solve_round_schedule(
           profiles, state.remaining,
-          time_left / (1.0 + options_.deadline_safety_margin));
+          time_left /
+              ((1.0 + options_.deadline_safety_margin) * drift_factor_));
     }
     if (!schedule.feasible) {
       // No observations yet or no feasible mix: play safe at x_max.
@@ -264,8 +328,11 @@ RoundTrace BoflController::run_round(const RoundSpec& spec) {
       explore_candidate(state, next);
       continue;
     }
-    const Seconds budget{options_.tau.value() +
-                         options_.first_job_allowance * t_x_max_->value()};
+    // Drift inflation applies to the allowance too: an unknown config's
+    // first job slows down with the environment like everything else.
+    const Seconds budget{options_.tau.value() + options_.first_job_allowance *
+                                                    t_x_max_->value() *
+                                                    drift_factor_};
     if (!guardian_allows(state, budget)) {
       // Deadline guardian trip: finish the round at x_max (Fig. 7).
       if (telemetry::Registry* reg = telemetry::global_registry()) {
@@ -367,8 +434,8 @@ void BoflController::import_state(
                  "saved observation must be positive");
     Aggregate& agg = aggregates_[obs.config_flat];
     agg.jobs = obs.jobs;
-    agg.latency_weighted = obs.mean_latency * obs.jobs;
-    agg.energy_weighted = obs.mean_energy * obs.jobs;
+    agg.latency_weighted = quotient_exact_weighted(obs.mean_latency, obs.jobs);
+    agg.energy_weighted = quotient_exact_weighted(obs.mean_energy, obs.jobs);
     engine_.add_observation(
         {obs.config_flat, obs.mean_energy, obs.mean_latency});
     if (obs.config_flat == x_max_flat_) {

@@ -57,6 +57,15 @@ struct BoflOptions {
   /// Noise margin applied to measured latencies in guardian and ILP
   /// feasibility arithmetic.
   double deadline_safety_margin = 0.03;
+  /// Drift demotion: a fresh per-job latency reading exceeding the config's
+  /// aggregate mean by this ratio means the environment changed (thermal
+  /// storm, co-runner, governor clamp) — the stale optimistic history is
+  /// discarded and the guardian re-armed.  Plain measurement noise (~1 %
+  /// CV) never crosses this; only genuine regressions (or injected latency
+  /// spikes) do.
+  double drift_demote_ratio = 1.25;
+  /// Cap on the guardian's drift inflation factor.
+  double drift_guard_cap = 3.0;
   bo::MboOptions mbo{};
   MboCostModel mbo_cost{};
 };
@@ -69,9 +78,19 @@ class BoflController final : public PaceController {
 
   RoundTrace run_round(const RoundSpec& spec) override;
   [[nodiscard]] std::string_view name() const override { return "BoFL"; }
+  void install_fault_model(device::JobFaultModel* faults) override {
+    observer_.set_fault_model(faults);
+  }
+  [[nodiscard]] Seconds sim_time() const override { return clock_.now(); }
 
   [[nodiscard]] Phase phase() const { return phase_; }
   [[nodiscard]] const bo::MboEngine& engine() const { return engine_; }
+  /// Guardian drift inflation: 1 when the latest x_max reading matches its
+  /// history, larger (up to drift_guard_cap) while a regression detected at
+  /// any configuration is still unresolved.
+  [[nodiscard]] double drift_factor() const { return drift_factor_; }
+  /// Latest believed per-job latency at x_max (unset before the first run).
+  [[nodiscard]] std::optional<Seconds> t_x_max() const { return t_x_max_; }
 
   /// Score MBO candidates on `pool` (non-owning; nullptr = serial).
   /// Deterministic for any pool size — see bo::MboEngine::set_parallel_pool.
@@ -152,6 +171,7 @@ class BoflController final : public PaceController {
   std::deque<std::size_t> pending_;
   std::size_t x_max_flat_;
   std::optional<Seconds> t_x_max_;  ///< measured per-job latency at x_max
+  double drift_factor_ = 1.0;       ///< guardian inflation while drifted
   std::unordered_map<std::size_t, Aggregate> aggregates_;
   std::vector<double> phase1_deadlines_;
   double t_avg_seconds_ = 0.0;

@@ -22,7 +22,9 @@ void record_round(const PaceController& controller, const RoundTrace& trace) {
     reg->counter("core.deadline_misses").add(1);
   }
   reg->histogram("core.round_energy_j").observe(trace.energy().value());
-  reg->histogram("core.round_slack_s").observe(trace.slack().value());
+  // Clamped: a negative sample would skew the slack histogram's percentiles
+  // toward "plenty of headroom" on the very rounds that missed.
+  reg->histogram("core.round_slack_s").observe(trace.safe_slack().value());
   if (telemetry::RunRecorder* rec = telemetry::global_recorder()) {
     telemetry::JsonValue fields = telemetry::JsonValue::object();
     fields.set("controller", std::string(controller.name()))
@@ -36,6 +38,9 @@ void record_round(const PaceController& controller, const RoundTrace& trace) {
         .set("mbo_energy_j", trace.mbo_energy.value())
         .set("jobs", trace.jobs())
         .set("met", trace.deadline_met());
+    if (!trace.deadline_met()) {
+      fields.set("overrun_s", trace.overrun().value());
+    }
     rec->emit("round", std::move(fields));
   }
 }
@@ -44,11 +49,20 @@ void record_round(const PaceController& controller, const RoundTrace& trace) {
 
 TaskResult run_task(PaceController& controller,
                     const std::vector<RoundSpec>& rounds) {
+  return run_task(controller, rounds, RoundHook{});
+}
+
+TaskResult run_task(PaceController& controller,
+                    const std::vector<RoundSpec>& rounds,
+                    const RoundHook& after_round) {
   TaskResult result;
   result.rounds.reserve(rounds.size());
   for (const RoundSpec& spec : rounds) {
     result.rounds.push_back(controller.run_round(spec));
     record_round(controller, result.rounds.back());
+    if (after_round) {
+      after_round(result.rounds.back());
+    }
   }
   return result;
 }

@@ -2,6 +2,8 @@
 // compute the paper's summary metrics.
 #pragma once
 
+#include <functional>
+
 #include "core/pace_controller.hpp"
 #include "core/task.hpp"
 #include "core/trace.hpp"
@@ -9,9 +11,19 @@
 
 namespace bofl::core {
 
+/// Per-round observer for run_task: called serially, on the round loop's
+/// thread, after each round's trace is recorded.  Used by fault-injected
+/// runs to drain queued fault events in deterministic order.
+using RoundHook = std::function<void(const RoundTrace&)>;
+
 /// Run all rounds in order through `controller`.
 [[nodiscard]] TaskResult run_task(PaceController& controller,
                                   const std::vector<RoundSpec>& rounds);
+
+/// Same, invoking `after_round` once per finished round (may be empty).
+[[nodiscard]] TaskResult run_task(PaceController& controller,
+                                  const std::vector<RoundSpec>& rounds,
+                                  const RoundHook& after_round);
 
 /// Sweep: run each controller through its paired round schedule, one task
 /// per controller on `pool` (nullptr = serial).  Rounds stay strictly

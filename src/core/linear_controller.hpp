@@ -27,6 +27,10 @@ class LinearModelController final : public PaceController {
   [[nodiscard]] std::string_view name() const override {
     return "LinearModel";
   }
+  void install_fault_model(device::JobFaultModel* faults) override {
+    observer_.set_fault_model(faults);
+  }
+  [[nodiscard]] Seconds sim_time() const override { return clock_.now(); }
 
   /// Rounds in which the linear prediction would have missed the deadline
   /// and the guardian had to intervene.

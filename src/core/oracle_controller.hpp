@@ -18,6 +18,10 @@ class OracleController final : public PaceController {
 
   RoundTrace run_round(const RoundSpec& spec) override;
   [[nodiscard]] std::string_view name() const override { return "Oracle"; }
+  void install_fault_model(device::JobFaultModel* faults) override {
+    observer_.set_fault_model(faults);
+  }
+  [[nodiscard]] Seconds sim_time() const override { return clock_.now(); }
 
   /// The true Pareto-optimal profiles (from exhaustive offline profiling).
   [[nodiscard]] const std::vector<ilp::ConfigProfile>& pareto_profiles()

@@ -6,6 +6,7 @@
 
 #include "core/task.hpp"
 #include "core/trace.hpp"
+#include "device/observer.hpp"
 
 namespace bofl::core {
 
@@ -19,6 +20,16 @@ class PaceController {
   virtual RoundTrace run_round(const RoundSpec& spec) = 0;
 
   [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Attach (or clear, with nullptr) a device fault model — the src/faults
+  /// seam.  Non-owning; `faults` must outlive the controller and must not
+  /// be shared with another controller (see device::JobFaultModel).
+  virtual void install_fault_model(device::JobFaultModel* faults) {
+    (void)faults;
+  }
+
+  /// Simulated time this controller's device has consumed so far.
+  [[nodiscard]] virtual Seconds sim_time() const { return Seconds{0.0}; }
 };
 
 }  // namespace bofl::core

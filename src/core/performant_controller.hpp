@@ -15,6 +15,10 @@ class PerformantController final : public PaceController {
 
   RoundTrace run_round(const RoundSpec& spec) override;
   [[nodiscard]] std::string_view name() const override { return "Performant"; }
+  void install_fault_model(device::JobFaultModel* faults) override {
+    observer_.set_fault_model(faults);
+  }
+  [[nodiscard]] Seconds sim_time() const override { return clock_.now(); }
 
  private:
   const device::DeviceModel& model_;

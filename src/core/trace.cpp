@@ -33,6 +33,20 @@ bool RoundTrace::deadline_met() const {
 
 Seconds RoundTrace::slack() const { return deadline - elapsed(); }
 
+Seconds RoundTrace::safe_slack() const {
+  const Seconds raw = slack();
+  return raw.value() > 0.0 ? raw : Seconds{0.0};
+}
+
+Seconds RoundTrace::overrun() const {
+  // Tied to deadline_met(), not to sign(slack): a round inside the float
+  // tolerance must report zero overrun, not a denormal-sized miss.
+  if (deadline_met()) {
+    return Seconds{0.0};
+  }
+  return elapsed() - deadline;
+}
+
 Joules TaskResult::total_training_energy() const {
   Joules total{0.0};
   for (const RoundTrace& round : rounds) {

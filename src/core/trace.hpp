@@ -44,8 +44,16 @@ struct RoundTrace {
   [[nodiscard]] bool deadline_met() const;
   /// Deadline slack: deadline minus elapsed (negative on a miss; a tiny
   /// negative value within deadline_met()'s float tolerance still counts
-  /// as met).
+  /// as met).  For aggregation use safe_slack()/overrun() — a negative
+  /// sample in a slack histogram reads as "huge headroom" in percentile
+  /// summaries.
   [[nodiscard]] Seconds slack() const;
+  /// slack() clamped at zero: the recordable headroom (0 on any miss).
+  [[nodiscard]] Seconds safe_slack() const;
+  /// How far past the deadline the round ran: max(0, elapsed - deadline).
+  /// Exactly 0 whenever deadline_met() holds (tolerance included), so
+  /// `overrun() > 0` is the authoritative miss flag.
+  [[nodiscard]] Seconds overrun() const;
 };
 
 /// A full task execution (|T| rounds).

@@ -1,5 +1,6 @@
 #include "device/frequency.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -100,6 +101,19 @@ GigaHertz DvfsSpace::mem_freq(const DvfsConfig& c) const {
 
 DvfsConfig DvfsSpace::max_config() const {
   return {cpu_.size() - 1, gpu_.size() - 1, mem_.size() - 1};
+}
+
+DvfsConfig clamp_config(const DvfsSpace& space, const DvfsConfig& config,
+                        double cap) {
+  BOFL_REQUIRE(cap > 0.0 && cap <= 1.0, "config cap must be in (0, 1]");
+  const auto axis = [cap](std::size_t index, std::size_t table_size) {
+    const auto limit = static_cast<std::size_t>(
+        cap * static_cast<double>(table_size - 1));
+    return std::min(index, limit);
+  };
+  return {axis(config.cpu, space.cpu_table().size()),
+          axis(config.gpu, space.gpu_table().size()),
+          axis(config.mem, space.mem_table().size())};
 }
 
 linalg::Vector DvfsSpace::normalized(const DvfsConfig& config) const {

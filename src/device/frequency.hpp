@@ -50,6 +50,16 @@ struct DvfsConfig {
   friend bool operator==(const DvfsConfig&, const DvfsConfig&) = default;
 };
 
+class DvfsSpace;
+
+/// Cap every axis of `config` at `cap * (steps - 1)` of its table — the
+/// common shape of transparent thermal throttling and of the platform
+/// governor rejecting/clamping a requested configuration (the software asks
+/// for `config` but the hardware runs the capped point).  `cap` must be in
+/// (0, 1]; 1.0 returns `config` unchanged.
+[[nodiscard]] DvfsConfig clamp_config(const DvfsSpace& space,
+                                      const DvfsConfig& config, double cap);
+
 /// The full 3-axis configuration space X of one device.
 class DvfsSpace {
  public:

@@ -48,14 +48,7 @@ DvfsConfig ThermalState::effective_config(const DvfsSpace& space,
   if (!throttled()) {
     return requested;
   }
-  const auto cap = [&](std::size_t index, std::size_t table_size) {
-    const auto limit = static_cast<std::size_t>(
-        params_.throttle_cap * static_cast<double>(table_size - 1));
-    return std::min(index, limit);
-  };
-  return {cap(requested.cpu, space.cpu_table().size()),
-          cap(requested.gpu, space.gpu_table().size()),
-          cap(requested.mem, space.mem_table().size())};
+  return clamp_config(space, requested, params_.throttle_cap);
 }
 
 PowerSensor::PowerSensor(NoiseModel noise, Rng rng)
@@ -90,8 +83,8 @@ Measurement PerformanceObserver::run_jobs(const WorkloadProfile& profile,
   Measurement m;
   m.jobs = count;
 
-  const bool job_level =
-      noise_.spike_probability > 0.0 || thermal_.has_value();
+  const bool job_level = noise_.spike_probability > 0.0 ||
+                         thermal_.has_value() || faults_ != nullptr;
   if (!job_level) {
     // Fast path: every job is identical.
     const Seconds per_job_latency = model_.latency(profile, config);
@@ -100,19 +93,39 @@ Measurement PerformanceObserver::run_jobs(const WorkloadProfile& profile,
     m.true_duration = per_job_latency * jobs;
     m.true_energy = per_job_energy * jobs;
   } else {
-    // Disturbed path: spikes and/or thermal throttling vary per job.
+    // Disturbed path: spikes, thermal throttling and injected faults vary
+    // per job.  Job start times are the clock's value plus the duration
+    // accumulated so far in this batch (the clock itself only advances
+    // once, after the batch).
     std::uint64_t throttled_jobs = 0;
     std::uint64_t spiked_jobs = 0;
+    std::uint64_t faulted_jobs = 0;
     for (std::int64_t j = 0; j < count; ++j) {
+      const double now = clock.now().value() + m.true_duration.value();
+      JobFaultModel::JobEffect effect;
+      if (faults_ != nullptr) {
+        effect = faults_->job_effect(now);
+      }
       DvfsConfig effective = config;
+      if (effect.config_cap < 1.0) {
+        // The platform governor rejects the requested point (fault seam).
+        effective = clamp_config(model_.space(), effective, effect.config_cap);
+      }
       if (thermal_) {
-        effective = thermal_->effective_config(model_.space(), config);
+        effective = thermal_->effective_config(model_.space(), effective);
         if (thermal_->throttled()) {
           ++throttled_jobs;
         }
       }
-      double latency = model_.latency(profile, effective).value();
-      double energy = model_.energy(profile, effective).value();
+      double latency =
+          model_.latency(profile, effective).value() *
+          effect.latency_multiplier;
+      double energy =
+          model_.energy(profile, effective).value() * effect.energy_multiplier;
+      if (effect.latency_multiplier != 1.0 || effect.energy_multiplier != 1.0 ||
+          effect.config_cap < 1.0) {
+        ++faulted_jobs;
+      }
       if (noise_.spike_probability > 0.0 &&
           rng_.bernoulli(noise_.spike_probability)) {
         // The device stays busy for the whole spike.
@@ -127,13 +140,16 @@ Measurement PerformanceObserver::run_jobs(const WorkloadProfile& profile,
                           Seconds{latency});
       }
     }
-    if (throttled_jobs > 0 || spiked_jobs > 0) {
+    if (throttled_jobs > 0 || spiked_jobs > 0 || faulted_jobs > 0) {
       if (telemetry::Registry* reg = telemetry::global_registry()) {
         if (throttled_jobs > 0) {
           reg->counter("device.thermal_throttled_jobs").add(throttled_jobs);
         }
         if (spiked_jobs > 0) {
           reg->counter("device.latency_spike_jobs").add(spiked_jobs);
+        }
+        if (faulted_jobs > 0) {
+          reg->counter("device.faulted_jobs").add(faulted_jobs);
         }
       }
     }
@@ -147,6 +163,19 @@ Measurement PerformanceObserver::run_jobs(const WorkloadProfile& profile,
                                rng_.lognormal_mean1(latency_cv)};
   m.measured_energy =
       sensor_.read_energy(m.true_energy, m.true_duration) / jobs;
+  if (faults_ != nullptr) {
+    // Flaky measurement read: the whole window's readings are distorted;
+    // the true execution (clock, energy accounting) is untouched.
+    const double distortion =
+        faults_->measurement_distortion(clock.now().value());
+    if (distortion != 1.0) {
+      m.measured_latency = m.measured_latency * distortion;
+      m.measured_energy = m.measured_energy * distortion;
+      if (telemetry::Registry* reg = telemetry::global_registry()) {
+        reg->counter("device.flaky_measurements").add(1);
+      }
+    }
+  }
   return m;
 }
 

@@ -72,6 +72,39 @@ struct NoiseModel {
   [[nodiscard]] double effective_cv(double base_cv, double duration) const;
 };
 
+/// Per-job execution faults injected by an external fault layer
+/// (src/faults): co-runner interference, throttling storms, platform DVFS
+/// clamping, and flaky measurement reads.  The observer queries one model
+/// per job and per measurement window.
+///
+/// Determinism contract: implementations must be pure functions of the
+/// simulated time they are handed plus their own private state.  A model
+/// instance is owned by exactly one client/controller (never shared across
+/// workers), so fault sequences are bit-identical for any thread count.
+class JobFaultModel {
+ public:
+  virtual ~JobFaultModel() = default;
+
+  /// What a fault does to one job's execution.
+  struct JobEffect {
+    double latency_multiplier = 1.0;  ///< co-running load, storm slowdown
+    double energy_multiplier = 1.0;   ///< the device is held busy meanwhile
+    /// Platform DVFS clamp: the governor rejects the requested config and
+    /// runs clamp_config(space, requested, config_cap) instead.  1 = none.
+    double config_cap = 1.0;
+  };
+
+  /// Effect on a job starting at simulated time `now_s` [s].
+  [[nodiscard]] virtual JobEffect job_effect(double now_s) = 0;
+
+  /// Multiplicative distortion of the *measured* readings (latency and
+  /// energy) of a measurement window ending at `now_s`; 1.0 = healthy read.
+  /// Models transient sysfs/INA read failures — the true execution is
+  /// unaffected, only the reported numbers are garbage.  May advance the
+  /// model's private draw state.
+  [[nodiscard]] virtual double measurement_distortion(double now_s) = 0;
+};
+
 /// Evolving die temperature.
 class ThermalState {
  public:
@@ -135,6 +168,12 @@ class PerformanceObserver {
     return thermal_ ? &*thermal_ : nullptr;
   }
 
+  /// Install (or clear, with nullptr) a fault model consulted per job and
+  /// per measurement.  Non-owning; `faults` must outlive the observer and
+  /// must not be shared with any other observer (see JobFaultModel).
+  void set_fault_model(JobFaultModel* faults) { faults_ = faults; }
+  [[nodiscard]] JobFaultModel* fault_model() const { return faults_; }
+
   [[nodiscard]] const DeviceModel& model() const { return model_; }
 
  private:
@@ -143,6 +182,7 @@ class PerformanceObserver {
   Rng rng_;
   PowerSensor sensor_;
   std::optional<ThermalState> thermal_;
+  JobFaultModel* faults_ = nullptr;
 };
 
 }  // namespace bofl::device

@@ -1,0 +1,278 @@
+#include "faults/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/run_recorder.hpp"
+
+namespace bofl::faults {
+
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+
+/// Stateless uniform draw in [0, 1): a pure function of its four inputs.
+/// Three chained SplitMix64 passes decorrelate adjacent keys (same design
+/// as stream_seed, one level deeper).
+double hash_uniform(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                    std::uint64_t c) {
+  std::uint64_t state = seed;
+  state = splitmix64(state) ^ ((a + 1) * kGolden);
+  state = splitmix64(state) ^ ((b + 1) * kGolden);
+  state = splitmix64(state) ^ ((c + 1) * kGolden);
+  const std::uint64_t bits = splitmix64(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+bool applies_to(const FaultSpec& spec, std::int64_t client) {
+  return spec.client < 0 || spec.client == client;
+}
+
+/// Episode membership at time (or round) `t`.  duration_s == 0 with
+/// period_s == 0 means open-ended from start_s on (FL kinds only; the plan
+/// validator rejects that shape for device kinds).
+bool active_at(const FaultSpec& spec, double t) {
+  if (t < spec.start_s) {
+    return false;
+  }
+  if (spec.period_s == 0.0) {
+    return spec.duration_s == 0.0 || t < spec.start_s + spec.duration_s;
+  }
+  const double phase = std::fmod(t - spec.start_s, spec.period_s);
+  return phase < spec.duration_s;
+}
+
+std::int64_t episode_index(const FaultSpec& spec, double t) {
+  if (spec.period_s == 0.0) {
+    return 0;
+  }
+  return static_cast<std::int64_t>(
+      std::floor((t - spec.start_s) / spec.period_s));
+}
+
+/// Does any episode of `spec` intersect [t0, t1)?
+bool window_overlaps(const FaultSpec& spec, double t0, double t1) {
+  if (t1 <= spec.start_s) {
+    return false;
+  }
+  if (spec.period_s == 0.0) {
+    return spec.duration_s == 0.0 || t0 < spec.start_s + spec.duration_s;
+  }
+  const double base = std::max(t0, spec.start_s);
+  if (t1 - base >= spec.period_s) {
+    // The query window spans a full period, which contains an episode.
+    return true;
+  }
+  const double k = std::floor((base - spec.start_s) / spec.period_s);
+  for (int step = 0; step <= 1; ++step) {
+    const double window_start =
+        spec.start_s + (k + static_cast<double>(step)) * spec.period_s;
+    if (window_start < t1 && window_start + spec.duration_s > t0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void emit_fault_event(const FaultEvent& event) {
+  if (telemetry::Registry* reg = telemetry::global_registry()) {
+    reg->counter("faults.events").add(1);
+  }
+  if (telemetry::RunRecorder* rec = telemetry::global_recorder()) {
+    telemetry::JsonValue fields = telemetry::JsonValue::object();
+    fields.set("kind", to_string(event.kind))
+        .set("round", event.round)
+        .set("client", event.client)
+        .set("time_s", event.time_s)
+        .set("magnitude", event.magnitude);
+    rec->emit("fault", std::move(fields));
+  }
+}
+
+DeviceFaultChannel::DeviceFaultChannel(std::vector<IndexedSpec> specs,
+                                       std::uint64_t seed, std::int64_t client)
+    : specs_(std::move(specs)),
+      seed_(seed),
+      client_(client),
+      last_episode_(specs_.size(), -1) {
+  for (const IndexedSpec& entry : specs_) {
+    BOFL_REQUIRE(is_device_fault(entry.spec.kind),
+                 "device channel fed a round-level fault kind");
+  }
+}
+
+DeviceFaultChannel::JobEffect DeviceFaultChannel::job_effect(double now_s) {
+  JobEffect effect;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const FaultSpec& spec = specs_[i].spec;
+    if (spec.kind == FaultKind::kSensorDropout || !active_at(spec, now_s)) {
+      continue;
+    }
+    switch (spec.kind) {
+      case FaultKind::kThermalStorm:
+        effect.latency_multiplier *= spec.magnitude;
+        effect.energy_multiplier *= spec.magnitude;
+        break;
+      case FaultKind::kCoRunner:
+        effect.latency_multiplier *= spec.magnitude;
+        effect.energy_multiplier *= std::sqrt(spec.magnitude);
+        break;
+      case FaultKind::kDvfsClamp:
+        effect.config_cap = std::min(effect.config_cap, spec.magnitude);
+        break;
+      default:
+        break;
+    }
+    const std::int64_t episode = episode_index(spec, now_s);
+    if (last_episode_[i] != episode) {
+      // First job bitten by this episode: queue one entry event.
+      last_episode_[i] = episode;
+      pending_.push_back(
+          {spec.kind, /*round=*/-1, client_, now_s, spec.magnitude});
+    }
+  }
+  return effect;
+}
+
+double DeviceFaultChannel::measurement_distortion(double now_s) {
+  double distortion = 1.0;
+  for (const IndexedSpec& entry : specs_) {
+    const FaultSpec& spec = entry.spec;
+    if (spec.kind != FaultKind::kSensorDropout || !active_at(spec, now_s)) {
+      continue;
+    }
+    // Two private-counter draws per read: did it fail, and which way the
+    // garbage points.  The counter advances on healthy reads too, keeping
+    // the stream independent of *when* failures land.
+    const double hit = hash_uniform(seed_, entry.index,
+                                    static_cast<std::uint64_t>(client_),
+                                    read_draws_++);
+    const double side = hash_uniform(seed_, entry.index,
+                                     static_cast<std::uint64_t>(client_),
+                                     read_draws_++);
+    if (hit >= spec.probability) {
+      continue;
+    }
+    const double factor =
+        side < 0.5 ? spec.magnitude : 1.0 / spec.magnitude;
+    distortion *= factor;
+    pending_.push_back({spec.kind, /*round=*/-1, client_, now_s, factor});
+  }
+  return distortion;
+}
+
+DeviceFaultChannel::WorstCase DeviceFaultChannel::worst_case_in(
+    double t0_s, double t1_s) const {
+  WorstCase worst;
+  for (const IndexedSpec& entry : specs_) {
+    const FaultSpec& spec = entry.spec;
+    if (spec.kind == FaultKind::kSensorDropout ||
+        !window_overlaps(spec, t0_s, t1_s)) {
+      continue;
+    }
+    switch (spec.kind) {
+      case FaultKind::kThermalStorm:
+      case FaultKind::kCoRunner:
+        worst.latency_multiplier *= spec.magnitude;
+        break;
+      case FaultKind::kDvfsClamp:
+        worst.config_cap = std::min(worst.config_cap, spec.magnitude);
+        break;
+      default:
+        break;
+    }
+  }
+  return worst;
+}
+
+std::vector<FaultEvent> DeviceFaultChannel::drain_events(std::int64_t round) {
+  std::vector<FaultEvent> events = std::move(pending_);
+  pending_.clear();
+  for (FaultEvent& event : events) {
+    event.round = round;
+  }
+  return events;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t run_seed)
+    : plan_(std::move(plan)), seed_(stream_seed(plan_.seed, run_seed)) {
+  plan_.validate();
+}
+
+std::unique_ptr<DeviceFaultChannel> FaultInjector::make_device_channel(
+    std::int64_t client) const {
+  std::vector<DeviceFaultChannel::IndexedSpec> specs;
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& spec = plan_.faults[i];
+    if (is_device_fault(spec.kind) && applies_to(spec, client)) {
+      specs.push_back({spec, i});
+    }
+  }
+  return std::make_unique<DeviceFaultChannel>(
+      std::move(specs), stream_seed(seed_, static_cast<std::uint64_t>(client)),
+      client);
+}
+
+bool FaultInjector::client_drops(std::int64_t round,
+                                 std::int64_t client) const {
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& spec = plan_.faults[i];
+    if (spec.kind != FaultKind::kClientDropout || !applies_to(spec, client) ||
+        !active_at(spec, static_cast<double>(round))) {
+      continue;
+    }
+    const double u = hash_uniform(seed_, i, static_cast<std::uint64_t>(round),
+                                  static_cast<std::uint64_t>(client));
+    if (u < spec.probability) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultInjector::straggler_factor(std::int64_t round,
+                                       std::int64_t client) const {
+  double factor = 1.0;
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& spec = plan_.faults[i];
+    if (spec.kind != FaultKind::kStraggler || !applies_to(spec, client) ||
+        !active_at(spec, static_cast<double>(round))) {
+      continue;
+    }
+    const double u = hash_uniform(seed_, i, static_cast<std::uint64_t>(round),
+                                  static_cast<std::uint64_t>(client));
+    if (u < spec.probability) {
+      factor = std::max(factor, spec.magnitude);
+    }
+  }
+  return factor;
+}
+
+double FaultInjector::deadline_jitter(std::int64_t round) const {
+  double factor = 1.0;
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& spec = plan_.faults[i];
+    if (spec.kind != FaultKind::kDeadlineJitter ||
+        !active_at(spec, static_cast<double>(round))) {
+      continue;
+    }
+    const double hit = hash_uniform(seed_, i,
+                                    static_cast<std::uint64_t>(round), 0xF1);
+    if (hit >= spec.probability) {
+      continue;
+    }
+    const double u = hash_uniform(seed_, i,
+                                  static_cast<std::uint64_t>(round), 0xF2);
+    factor *= 1.0 - spec.magnitude + 2.0 * spec.magnitude * u;
+  }
+  return factor;
+}
+
+}  // namespace bofl::faults

@@ -1,0 +1,128 @@
+// Seed-deterministic fault injection.
+//
+// FaultInjector owns one validated FaultPlan and answers two kinds of
+// questions:
+//   * Round-level (server loop): does client c drop out of round r?  How
+//     late does it report?  How jittered is the round deadline?  These are
+//     PURE HASH DRAWS — functions of (effective seed, spec index, round,
+//     client) with no mutable state — so any call order, any thread count
+//     and any subset of clients produces the same answers.
+//   * Job-level (device): each client gets its own DeviceFaultChannel, a
+//     JobFaultModel implementation evaluating windowed episodes on that
+//     client's SimClock.  A channel is owned by exactly one client task and
+//     carries only per-client state, preserving the parallel-determinism
+//     contract of runtime/thread_pool.hpp.
+//
+// Fault *events* (episode entries, flaky reads, dropouts, ...) are not
+// emitted from worker threads: device channels queue them internally and
+// the round loop drains them serially in participant order, so the
+// telemetry JSONL stream stays byte-identical across worker counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/observer.hpp"
+#include "faults/fault_plan.hpp"
+
+namespace bofl::faults {
+
+/// One observable fault occurrence, destined for the telemetry stream.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kThermalStorm;
+  std::int64_t round = -1;   ///< -1 when not round-scoped (device episodes)
+  std::int64_t client = -1;  ///< -1 for fleet-wide effects (deadline jitter)
+  double time_s = 0.0;       ///< owning clock's simulated time
+  double magnitude = 1.0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Append `event` to the global telemetry stream (event name "fault") and
+/// bump the faults.events counter.  Call only from serial sections.
+void emit_fault_event(const FaultEvent& event);
+
+/// Per-client device fault channel.  Implements the observer's JobFaultModel
+/// seam; additionally answers pessimistic what-if queries for feasibility
+/// checks and queues events for the serial drain.
+class DeviceFaultChannel final : public device::JobFaultModel {
+ public:
+  struct IndexedSpec {
+    FaultSpec spec;
+    std::size_t index = 0;  ///< position in the owning plan (hash stream id)
+  };
+
+  DeviceFaultChannel(std::vector<IndexedSpec> specs, std::uint64_t seed,
+                     std::int64_t client);
+
+  [[nodiscard]] JobEffect job_effect(double now_s) override;
+  [[nodiscard]] double measurement_distortion(double now_s) override;
+
+  /// Worst combined effect any job could see in the window [t0_s, t1_s):
+  /// product of every overlapping slowdown episode's latency multiplier and
+  /// the tightest overlapping DVFS cap.  Pure (no draws consumed) — safe to
+  /// call from feasibility checks without perturbing the fault stream.
+  struct WorstCase {
+    double latency_multiplier = 1.0;
+    double config_cap = 1.0;
+  };
+  [[nodiscard]] WorstCase worst_case_in(double t0_s, double t1_s) const;
+
+  /// Move out the events queued since the last drain, stamping them with
+  /// `round`.  Called serially by the round loop, in participant order.
+  [[nodiscard]] std::vector<FaultEvent> drain_events(std::int64_t round);
+
+  [[nodiscard]] std::int64_t client() const { return client_; }
+
+ private:
+  std::vector<IndexedSpec> specs_;
+  std::uint64_t seed_ = 0;
+  std::int64_t client_ = -1;
+  /// Last episode index seen per spec (-1 = none); episode *entries* become
+  /// events, per-job re-queries inside the same episode do not.
+  std::vector<std::int64_t> last_episode_;
+  /// Monotone counter for sensor-dropout draws.  Channel-private, advanced
+  /// only by this client's jobs, hence deterministic.
+  std::uint64_t read_draws_ = 0;
+  std::vector<FaultEvent> pending_;
+};
+
+class FaultInjector {
+ public:
+  /// `plan` is validated on construction.  `run_seed` is the simulation's
+  /// own seed; fault streams derive from stream_seed(plan.seed, run_seed)
+  /// so distinct runs of one plan decorrelate while (plan, run) pairs
+  /// reproduce exactly.
+  FaultInjector(FaultPlan plan, std::uint64_t run_seed);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] bool empty() const { return plan_.empty(); }
+  [[nodiscard]] std::uint64_t effective_seed() const { return seed_; }
+
+  /// Device channel for one client.  The caller owns the channel and must
+  /// not share it across clients (see JobFaultModel contract).
+  [[nodiscard]] std::unique_ptr<DeviceFaultChannel> make_device_channel(
+      std::int64_t client) const;
+
+  // --- Round-level pure queries (stateless; see file comment). -----------
+
+  /// Does `client` vanish from round `round` before training?
+  [[nodiscard]] bool client_drops(std::int64_t round,
+                                  std::int64_t client) const;
+
+  /// Straggler report-delay factor: >= 1; the report is delayed by
+  /// (factor - 1) x the round deadline.  1.0 = on time.
+  [[nodiscard]] double straggler_factor(std::int64_t round,
+                                        std::int64_t client) const;
+
+  /// Round deadline multiplier (deadline jitter); 1.0 = undisturbed.
+  [[nodiscard]] double deadline_jitter(std::int64_t round) const;
+
+ private:
+  FaultPlan plan_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace bofl::faults

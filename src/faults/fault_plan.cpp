@@ -1,0 +1,392 @@
+#include "faults/fault_plan.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "telemetry/json.hpp"
+
+namespace bofl::faults {
+
+namespace {
+
+struct KindName {
+  FaultKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {FaultKind::kThermalStorm, "thermal-storm"},
+    {FaultKind::kCoRunner, "co-runner"},
+    {FaultKind::kDvfsClamp, "dvfs-clamp"},
+    {FaultKind::kSensorDropout, "sensor-dropout"},
+    {FaultKind::kStraggler, "straggler"},
+    {FaultKind::kClientDropout, "client-dropout"},
+    {FaultKind::kDeadlineJitter, "deadline-jitter"},
+};
+
+// --- Minimal JSON reader (objects, arrays, strings, numbers, bools, null).
+// The telemetry JsonValue is write-only by design; plans are the first
+// thing the repo *reads* as JSON, and this covers exactly the dialect
+// FaultPlan::to_json emits.
+
+struct JsonNode {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonNode> array;
+  std::vector<std::pair<std::string, JsonNode>> object;
+
+  [[nodiscard]] const JsonNode* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonNode parse() {
+    JsonNode root = parse_value();
+    skip_ws();
+    BOFL_REQUIRE(pos_ == text_.size(), "trailing characters after JSON value");
+    return root;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    BOFL_REQUIRE(pos_ < text_.size(), "unexpected end of JSON input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    BOFL_REQUIRE(peek() == c, std::string("expected '") + c + "' in JSON");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    std::size_t n = 0;
+    while (literal[n] != '\0') {
+      ++n;
+    }
+    if (text_.compare(pos_, n, literal) != 0) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  JsonNode parse_value() {
+    JsonNode node;
+    switch (peek()) {
+      case '{': {
+        node.type = JsonNode::Type::kObject;
+        ++pos_;
+        if (peek() == '}') {
+          ++pos_;
+          return node;
+        }
+        while (true) {
+          std::string key = parse_string();
+          expect(':');
+          node.object.emplace_back(std::move(key), parse_value());
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect('}');
+          return node;
+        }
+      }
+      case '[': {
+        node.type = JsonNode::Type::kArray;
+        ++pos_;
+        if (peek() == ']') {
+          ++pos_;
+          return node;
+        }
+        while (true) {
+          node.array.push_back(parse_value());
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect(']');
+          return node;
+        }
+      }
+      case '"':
+        node.type = JsonNode::Type::kString;
+        node.string = parse_string();
+        return node;
+      case 't':
+        BOFL_REQUIRE(consume_literal("true"), "malformed JSON literal");
+        node.type = JsonNode::Type::kBool;
+        node.boolean = true;
+        return node;
+      case 'f':
+        BOFL_REQUIRE(consume_literal("false"), "malformed JSON literal");
+        node.type = JsonNode::Type::kBool;
+        node.boolean = false;
+        return node;
+      case 'n':
+        BOFL_REQUIRE(consume_literal("null"), "malformed JSON literal");
+        node.type = JsonNode::Type::kNull;
+        return node;
+      default: {
+        node.type = JsonNode::Type::kNumber;
+        const char* begin = text_.c_str() + pos_;
+        char* end = nullptr;
+        node.number = std::strtod(begin, &end);
+        BOFL_REQUIRE(end != begin, "malformed JSON number");
+        pos_ += static_cast<std::size_t>(end - begin);
+        return node;
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      BOFL_REQUIRE(pos_ < text_.size(), "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      BOFL_REQUIRE(pos_ < text_.size(), "unterminated JSON escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          BOFL_REQUIRE(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          const unsigned long code =
+              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          // Plans only carry ASCII names; reject anything wider.
+          BOFL_REQUIRE(code < 0x80, "non-ASCII \\u escape in fault plan");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          BOFL_REQUIRE(false, "unsupported JSON escape");
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+double number_field(const JsonNode& node, const std::string& key,
+                    double fallback) {
+  const JsonNode* field = node.find(key);
+  if (field == nullptr) {
+    return fallback;
+  }
+  BOFL_REQUIRE(field->type == JsonNode::Type::kNumber,
+               "fault plan field '" + key + "' must be a number");
+  return field->number;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  for (const KindName& entry : kKindNames) {
+    if (entry.kind == kind) {
+      return entry.name;
+    }
+  }
+  return "unknown";
+}
+
+std::optional<FaultKind> fault_kind_from_string(std::string_view name) {
+  for (const KindName& entry : kKindNames) {
+    if (name == entry.name) {
+      return entry.kind;
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_device_fault(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kThermalStorm:
+    case FaultKind::kCoRunner:
+    case FaultKind::kDvfsClamp:
+    case FaultKind::kSensorDropout:
+      return true;
+    case FaultKind::kStraggler:
+    case FaultKind::kClientDropout:
+    case FaultKind::kDeadlineJitter:
+      return false;
+  }
+  return false;
+}
+
+bool FaultPlan::has_device_faults() const {
+  for (const FaultSpec& spec : faults) {
+    if (is_device_fault(spec.kind)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::has_fl_faults() const {
+  for (const FaultSpec& spec : faults) {
+    if (!is_device_fault(spec.kind)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultPlan::validate() const {
+  for (const FaultSpec& spec : faults) {
+    BOFL_REQUIRE(spec.start_s >= 0.0, "fault start_s cannot be negative");
+    BOFL_REQUIRE(spec.duration_s >= 0.0, "fault duration_s cannot be negative");
+    BOFL_REQUIRE(spec.period_s == 0.0 || spec.period_s >= spec.duration_s,
+                 "recurring faults need period_s >= duration_s");
+    BOFL_REQUIRE(spec.probability >= 0.0 && spec.probability <= 1.0,
+                 "fault probability must be in [0, 1]");
+    BOFL_REQUIRE(spec.client >= -1, "fault client must be -1 or a client id");
+    switch (spec.kind) {
+      case FaultKind::kThermalStorm:
+      case FaultKind::kCoRunner:
+      case FaultKind::kStraggler:
+        BOFL_REQUIRE(spec.magnitude >= 1.0,
+                     "slowdown magnitude must be >= 1 (a fault cannot speed "
+                     "the device up)");
+        break;
+      case FaultKind::kDvfsClamp:
+        BOFL_REQUIRE(spec.magnitude > 0.0 && spec.magnitude <= 1.0,
+                     "dvfs-clamp magnitude is an axis cap fraction in (0, 1]");
+        break;
+      case FaultKind::kSensorDropout:
+        BOFL_REQUIRE(spec.magnitude >= 1.0,
+                     "sensor-dropout magnitude must be >= 1");
+        break;
+      case FaultKind::kClientDropout:
+        break;
+      case FaultKind::kDeadlineJitter:
+        BOFL_REQUIRE(spec.magnitude >= 0.0 && spec.magnitude < 1.0,
+                     "deadline-jitter magnitude must be in [0, 1)");
+        break;
+    }
+    if (is_device_fault(spec.kind)) {
+      BOFL_REQUIRE(spec.duration_s > 0.0,
+                   "windowed device faults need duration_s > 0");
+    }
+  }
+}
+
+std::string FaultPlan::to_json() const {
+  telemetry::JsonValue root = telemetry::JsonValue::object();
+  root.set("seed", seed).set("name", name);
+  telemetry::JsonValue list = telemetry::JsonValue::array();
+  for (const FaultSpec& spec : faults) {
+    telemetry::JsonValue entry = telemetry::JsonValue::object();
+    entry.set("kind", to_string(spec.kind))
+        .set("start_s", spec.start_s)
+        .set("duration_s", spec.duration_s)
+        .set("period_s", spec.period_s)
+        .set("magnitude", spec.magnitude)
+        .set("probability", spec.probability)
+        .set("client", spec.client);
+    list.push_back(std::move(entry));
+  }
+  root.set("faults", std::move(list));
+  return root.dump();
+}
+
+FaultPlan FaultPlan::from_json(const std::string& text) {
+  JsonParser parser(text);
+  const JsonNode root = parser.parse();
+  BOFL_REQUIRE(root.type == JsonNode::Type::kObject,
+               "a fault plan must be a JSON object");
+  FaultPlan plan;
+  plan.seed = static_cast<std::uint64_t>(number_field(root, "seed", 0.0));
+  if (const JsonNode* name = root.find("name")) {
+    BOFL_REQUIRE(name->type == JsonNode::Type::kString,
+                 "fault plan 'name' must be a string");
+    plan.name = name->string;
+  }
+  if (const JsonNode* list = root.find("faults")) {
+    BOFL_REQUIRE(list->type == JsonNode::Type::kArray,
+                 "fault plan 'faults' must be an array");
+    for (const JsonNode& entry : list->array) {
+      BOFL_REQUIRE(entry.type == JsonNode::Type::kObject,
+                   "each fault must be a JSON object");
+      const JsonNode* kind = entry.find("kind");
+      BOFL_REQUIRE(kind != nullptr && kind->type == JsonNode::Type::kString,
+                   "each fault needs a string 'kind'");
+      const std::optional<FaultKind> parsed =
+          fault_kind_from_string(kind->string);
+      BOFL_REQUIRE(parsed.has_value(), "unknown fault kind: " + kind->string);
+      FaultSpec spec;
+      spec.kind = *parsed;
+      spec.start_s = number_field(entry, "start_s", 0.0);
+      spec.duration_s = number_field(entry, "duration_s", 0.0);
+      spec.period_s = number_field(entry, "period_s", 0.0);
+      spec.magnitude = number_field(entry, "magnitude", 1.0);
+      spec.probability = number_field(entry, "probability", 1.0);
+      spec.client =
+          static_cast<std::int64_t>(number_field(entry, "client", -1.0));
+      plan.faults.push_back(spec);
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+FaultPlan FaultPlan::from_json_file(const std::string& path) {
+  std::ifstream in(path);
+  BOFL_REQUIRE(in.is_open(), "cannot open fault plan: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_json(buffer.str());
+}
+
+}  // namespace bofl::faults

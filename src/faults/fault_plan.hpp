@@ -1,0 +1,104 @@
+// Declarative fault plans: what goes wrong, when, and how badly.
+//
+// A FaultPlan is a seed plus a list of FaultSpec generators.  Device-level
+// kinds (thermal-storm, co-runner, dvfs-clamp, sensor-dropout) describe
+// episodes on the owning client's simulated clock; FL-level kinds
+// (straggler, client-dropout, deadline-jitter) describe per-round
+// perturbations drawn by the server loop.  Plans serialize to/from a small
+// JSON dialect so `bofl_sim --faults plan.json` and the scenario harness
+// share one format.
+//
+// Determinism contract: every decision a plan induces is a pure function of
+// (plan seed, spec index, round, client, episode/draw counter) — see
+// fault_injector.hpp.  Re-running any plan with the same seed reproduces
+// bit-identical fault sequences for any worker count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bofl::faults {
+
+enum class FaultKind {
+  /// Device: sustained slowdown episode (transparent throttling storm);
+  /// latency multiplied by `magnitude`, energy by the same factor (the
+  /// device is busy for the whole stretched job).
+  kThermalStorm,
+  /// Device: co-running load steals cycles; latency multiplied by
+  /// `magnitude`, energy by sqrt(magnitude) (the co-runner pays part of
+  /// the joint power bill).
+  kCoRunner,
+  /// Device: the platform governor rejects requested DVFS points and caps
+  /// every axis index at `magnitude` * (steps - 1) during the episode.
+  kDvfsClamp,
+  /// Device: each measurement read inside the episode fails independently
+  /// with `probability`; a failed read multiplies the *measured* latency
+  /// and energy by `magnitude` (or 1/magnitude — the draw picks a side).
+  kSensorDropout,
+  /// FL: with `probability` per (round, client), the client's report is
+  /// delayed by (magnitude - 1) x the round deadline.
+  kStraggler,
+  /// FL: with `probability` per (round, client), the client vanishes
+  /// before training starts.
+  kClientDropout,
+  /// FL: with `probability` per round, the server's assigned deadline is
+  /// multiplied by a factor uniform in [1 - magnitude, 1 + magnitude].
+  kDeadlineJitter,
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+[[nodiscard]] std::optional<FaultKind> fault_kind_from_string(
+    std::string_view name);
+
+/// Is this kind consumed through the per-client device channel (as opposed
+/// to the server round loop)?
+[[nodiscard]] bool is_device_fault(FaultKind kind);
+
+/// One fault generator.  Windowed (device) kinds produce episodes
+/// [start_s + k * period_s, + duration_s) for k = 0, 1, ... on the owning
+/// client's SimClock; period_s == 0 means a single episode.  FL-level kinds
+/// reuse the same window arithmetic with ROUNDS as the unit (start_s = first
+/// affected round index), and duration_s == 0 with period_s == 0 means
+/// open-ended from start_s on.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kThermalStorm;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double period_s = 0.0;
+  /// Strength; meaning depends on the kind (see FaultKind docs).
+  double magnitude = 1.0;
+  /// Per-draw probability for probabilistic kinds; windowed multiplier
+  /// kinds ignore it.
+  double probability = 1.0;
+  /// Restrict to one client id; -1 (default) applies to every client.
+  std::int64_t client = -1;
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
+struct FaultPlan {
+  /// Base seed for every derived fault stream.  The effective seed of a
+  /// run combines this with the run's own seed (see FaultInjector).
+  std::uint64_t seed = 0;
+  std::string name;  ///< optional label (scenario name), carried into events
+  std::vector<FaultSpec> faults;
+
+  [[nodiscard]] bool empty() const { return faults.empty(); }
+  [[nodiscard]] bool has_device_faults() const;
+  [[nodiscard]] bool has_fl_faults() const;
+
+  /// Throws std::invalid_argument on out-of-range fields.
+  void validate() const;
+
+  /// Compact JSON: {"seed":..,"name":..,"faults":[{...},...]}.
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] static FaultPlan from_json(const std::string& text);
+  [[nodiscard]] static FaultPlan from_json_file(const std::string& path);
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+}  // namespace bofl::faults

@@ -1,0 +1,85 @@
+#include "faults/scenarios.hpp"
+
+#include "common/error.hpp"
+
+namespace bofl::faults {
+
+namespace {
+
+FaultSpec windowed(FaultKind kind, double start_s, double duration_s,
+                   double period_s, double magnitude) {
+  FaultSpec spec;
+  spec.kind = kind;
+  spec.start_s = start_s;
+  spec.duration_s = duration_s;
+  spec.period_s = period_s;
+  spec.magnitude = magnitude;
+  return spec;
+}
+
+FaultSpec per_round(FaultKind kind, double magnitude, double probability) {
+  FaultSpec spec;
+  spec.kind = kind;
+  spec.magnitude = magnitude;
+  spec.probability = probability;
+  return spec;  // start 0, duration 0, period 0: every round
+}
+
+}  // namespace
+
+const std::vector<std::string>& scenario_names() {
+  static const std::vector<std::string> names = {
+      "clean",           "thermal-storm",      "flaky-sysfs",
+      "straggler-heavy", "mid-round-throttle",
+  };
+  return names;
+}
+
+FaultPlan make_scenario(const std::string& name, std::uint64_t seed,
+                        double horizon_s) {
+  BOFL_REQUIRE(horizon_s > 0.0, "scenario horizon must be positive");
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.name = name;
+  if (name == "clean") {
+    // Baseline: the plan exists (so the harness runs one code path) but
+    // perturbs nothing.
+  } else if (name == "thermal-storm") {
+    // Recurring fleet-wide storms: every storm slows jobs 1.6x and the
+    // governor clamps the top DVFS steps for the same window.
+    plan.faults.push_back(windowed(FaultKind::kThermalStorm,
+                                   0.20 * horizon_s, 0.12 * horizon_s,
+                                   0.35 * horizon_s, 1.6));
+    plan.faults.push_back(windowed(FaultKind::kDvfsClamp, 0.20 * horizon_s,
+                                   0.12 * horizon_s, 0.35 * horizon_s, 0.7));
+  } else if (name == "flaky-sysfs") {
+    // Sensor reads fail sporadically for the whole run: 15% of reads come
+    // back 4x off (either direction).
+    FaultSpec flaky = windowed(FaultKind::kSensorDropout, 0.0, horizon_s,
+                               0.0, 4.0);
+    flaky.probability = 0.15;
+    plan.faults.push_back(flaky);
+  } else if (name == "straggler-heavy") {
+    // A quarter of reports land half a deadline late; clients occasionally
+    // vanish outright.
+    plan.faults.push_back(
+        per_round(FaultKind::kStraggler, /*magnitude=*/1.5,
+                  /*probability=*/0.25));
+    plan.faults.push_back(per_round(FaultKind::kClientDropout,
+                                    /*magnitude=*/1.0, /*probability=*/0.10));
+  } else if (name == "mid-round-throttle") {
+    // One sustained mid-run episode: a co-runner steals cycles while the
+    // governor rejects the top half of every frequency table.  The
+    // controller has warmed up on clean rounds and must re-arm.
+    plan.faults.push_back(windowed(FaultKind::kCoRunner, 0.40 * horizon_s,
+                                   0.25 * horizon_s, 0.0, 1.4));
+    plan.faults.push_back(windowed(FaultKind::kDvfsClamp, 0.40 * horizon_s,
+                                   0.25 * horizon_s, 0.0, 0.5));
+  } else {
+    BOFL_REQUIRE(false, "unknown scenario: " + name);
+  }
+  plan.validate();
+  return plan;
+}
+
+}  // namespace bofl::faults

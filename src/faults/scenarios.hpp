@@ -1,0 +1,32 @@
+// Named fault scenarios: curated FaultPlans exercising the failure modes
+// the controller must survive.  Shared by `bofl_sim --scenario <name>`, the
+// scenario test harness (tests/scenarios/) and the nightly randomized CI
+// job, so all three agree on what "thermal-storm" means.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+
+namespace bofl::faults {
+
+/// All scenario names accepted by make_scenario, in a stable order
+/// ("clean" first).
+[[nodiscard]] const std::vector<std::string>& scenario_names();
+
+/// Build the named scenario.  Device episode windows scale with
+/// `horizon_s`, the approximate per-client simulated duration of the run
+/// (sum of round deadlines is a good estimate).  Throws
+/// std::invalid_argument for unknown names.
+///
+///   clean             no faults; the baseline every invariant compares to
+///   thermal-storm     periodic fleet-wide throttling storms + DVFS clamps
+///   flaky-sysfs       transient measurement-read failures all run long
+///   straggler-heavy   late reports and client dropouts every round
+///   mid-round-throttle one long co-runner + clamp episode mid-horizon
+[[nodiscard]] FaultPlan make_scenario(const std::string& name,
+                                      std::uint64_t seed, double horizon_s);
+
+}  // namespace bofl::faults

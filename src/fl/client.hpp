@@ -54,6 +54,12 @@ class Client {
     return *controller_;
   }
 
+  /// Forward a device fault model to the pace controller (src/faults).
+  /// Non-owning; `faults` must outlive the client.
+  void install_fault_model(device::JobFaultModel* faults) {
+    controller_->install_fault_model(faults);
+  }
+
  private:
   std::size_t id_;
   nn::Dataset shard_;

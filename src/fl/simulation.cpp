@@ -8,6 +8,7 @@
 #include "core/linear_controller.hpp"
 #include "core/oracle_controller.hpp"
 #include "core/performant_controller.hpp"
+#include "faults/fault_injector.hpp"
 #include "runtime/thread_pool.hpp"
 #include "telemetry/run_recorder.hpp"
 
@@ -111,6 +112,9 @@ FlSimulationResult FederatedSimulation::run() {
   BOFL_REQUIRE(config_.dropout_probability >= 0.0 &&
                    config_.dropout_probability < 1.0,
                "dropout probability must be in [0, 1)");
+  BOFL_REQUIRE(config_.straggler_timeout == 0.0 ||
+                   config_.straggler_timeout >= 1.0,
+               "straggler timeout is a deadline multiple (>= 1), or 0 = off");
   Rng rng(config_.seed);
   Rng dropout_rng(config_.seed ^ 0xD0D0ULL);
 
@@ -156,6 +160,28 @@ FlSimulationResult FederatedSimulation::run() {
   // Deadline floor when every client could be selected (used by the static
   // timeout policy, which cannot react per cohort).
   const Seconds t_min = fleet_deadline_floor(client_t_min);
+
+  // Fault injection: one injector per run, one device channel per client
+  // (owned here, consulted from that client's task only — see
+  // faults::DeviceFaultChannel for the determinism contract).
+  std::optional<faults::FaultInjector> injector;
+  std::vector<std::unique_ptr<faults::DeviceFaultChannel>> channels;
+  if (config_.fault_plan.has_value()) {
+    injector.emplace(*config_.fault_plan, config_.seed);
+    channels.reserve(config_.num_clients);
+    for (std::size_t c = 0; c < config_.num_clients; ++c) {
+      channels.push_back(
+          injector->make_device_channel(static_cast<std::int64_t>(c)));
+      clients[c]->install_fault_model(channels.back().get());
+    }
+    if (telemetry::RunRecorder* rec = telemetry::global_recorder()) {
+      telemetry::JsonValue fields = telemetry::JsonValue::object();
+      fields.set("name", injector->plan().name)
+          .set("faults", injector->plan().faults.size())
+          .set("plan_seed", injector->plan().seed);
+      rec->emit("fault_plan", std::move(fields));
+    }
+  }
 
   // Held-out IID test set for global evaluation.
   const nn::Dataset test =
@@ -214,7 +240,18 @@ FlSimulationResult FederatedSimulation::run() {
     const Seconds cohort_floor = cohort_deadline_floor(
         client_t_min, participants,
         Seconds{config_.upload_safety_factor * nominal_upload_seconds});
-    const Seconds server_deadline = policy->assign(round, cohort_floor);
+    Seconds server_deadline = policy->assign(round, cohort_floor);
+    if (injector) {
+      // Deadline jitter: the server's announcement reaches clients skewed.
+      // Applied after the policy so the jitter can push below the cohort
+      // floor — that is the fault being modeled.
+      const double jitter = injector->deadline_jitter(round);
+      if (jitter != 1.0) {
+        server_deadline = server_deadline * jitter;
+        faults::emit_fault_event({faults::FaultKind::kDeadlineJitter, round,
+                                  /*client=*/-1, /*time_s=*/0.0, jitter});
+      }
+    }
 
     FlRoundStats stats;
     stats.round = round;
@@ -223,13 +260,51 @@ FlSimulationResult FederatedSimulation::run() {
 
     // Serial pre-pass: every shared-RNG draw happens here, in participant
     // order, so the dropout stream is independent of the worker count.
+    // (Fault-plan dropouts are pure hash draws — order-free by design —
+    // but their events are emitted here, serially, for the same reason.)
     std::vector<std::size_t> active;
+    std::size_t dropped = 0;
     active.reserve(participants.size());
     for (std::size_t id : participants) {
       if (dropout_rng.bernoulli(config_.dropout_probability)) {
-        continue;  // the device vanished before training started
+        ++dropped;  // the device vanished before training started
+        continue;
+      }
+      if (injector &&
+          injector->client_drops(round, static_cast<std::int64_t>(id))) {
+        faults::emit_fault_event({faults::FaultKind::kClientDropout, round,
+                                  static_cast<std::int64_t>(id),
+                                  /*time_s=*/0.0, /*magnitude=*/1.0});
+        ++dropped;
+        continue;
       }
       active.push_back(id);
+    }
+    if (config_.backfill_dropouts && active.size() < participants.size()) {
+      // Cohort backfill: draw replacements from the unselected pool so the
+      // round keeps its planned parallelism.  Serial draws on the round
+      // loop's RNG; replacements are still subject to fault-plan dropouts
+      // (the outage does not spare them) but not to the baseline dropout
+      // roll, which already ran for this round.
+      std::vector<bool> considered(config_.num_clients, false);
+      for (std::size_t id : participants) {
+        considered[id] = true;
+      }
+      std::size_t attempts = 4 * config_.num_clients;
+      while (active.size() < participants.size() && attempts-- > 0) {
+        const std::size_t candidate =
+            dropout_rng.uniform_index(config_.num_clients);
+        if (considered[candidate]) {
+          continue;
+        }
+        considered[candidate] = true;
+        if (injector && injector->client_drops(
+                            round, static_cast<std::int64_t>(candidate))) {
+          continue;
+        }
+        active.push_back(candidate);
+        ++stats.backfilled;
+      }
     }
 
     // Parallel fan-out: local training (plus the simulated upload, whose
@@ -249,6 +324,20 @@ FlSimulationResult FederatedSimulation::run() {
       if (config_.reporting_deadline_mode) {
         update.upload_duration = uplinks[id].transfer_time(model_bits);
         adapters[id].record_upload(update.upload_duration);
+      }
+      // Straggler fault: the finished report lingers (flaky connectivity,
+      // app backgrounded) for (factor - 1) deadlines.  Pure hash draw, so
+      // querying it here in a worker is thread- and order-safe; the event
+      // is emitted later, serially, from the same draw.
+      const double straggle =
+          injector ? injector->straggler_factor(
+                         round, static_cast<std::int64_t>(id))
+                   : 1.0;
+      if (straggle > 1.0) {
+        update.upload_duration +=
+            Seconds{(straggle - 1.0) * server_deadline.value()};
+      }
+      if (config_.reporting_deadline_mode || straggle > 1.0) {
         update.reported_in_time =
             update.pace_trace.elapsed() + update.upload_duration <=
             server_deadline;
@@ -256,13 +345,46 @@ FlSimulationResult FederatedSimulation::run() {
       updates[k] = std::move(update);
     });
 
-    // Barrier: aggregation and round accounting are serial again.
+    // Barrier: aggregation and round accounting are serial again.  Device
+    // fault events queued inside the parallel section drain here, in
+    // participant order, so the telemetry stream stays byte-identical for
+    // every worker count.
+    if (injector) {
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        const auto id = static_cast<std::int64_t>(active[k]);
+        const double straggle = injector->straggler_factor(round, id);
+        if (straggle > 1.0) {
+          faults::emit_fault_event(
+              {faults::FaultKind::kStraggler, round, id,
+               updates[k].pace_trace.elapsed().value(), straggle});
+        }
+        for (const faults::FaultEvent& event :
+             channels[active[k]]->drain_events(round)) {
+          faults::emit_fault_event(event);
+        }
+      }
+    }
     bool all_met = true;
+    const double straggler_cutoff =
+        config_.straggler_timeout > 0.0
+            ? config_.straggler_timeout * server_deadline.value()
+            : 0.0;
+    double round_wall = 0.0;
     for (const LocalUpdate& update : updates) {
       all_met = all_met && update.pace_trace.deadline_met() &&
                 update.reported_in_time;
       stats.energy += update.pace_trace.energy() + update.pace_trace.mbo_energy;
+      const double arrival = update.pace_trace.elapsed().value() +
+                             update.upload_duration.value();
+      if (straggler_cutoff > 0.0 && arrival > straggler_cutoff) {
+        // The server stops waiting: the round closes without this report.
+        ++stats.timed_out;
+        round_wall = std::max(round_wall, straggler_cutoff);
+      } else {
+        round_wall = std::max(round_wall, arrival);
+      }
     }
+    stats.round_wall = Seconds{round_wall};
     policy->record_outcome(all_met);
     stats.accepted = server.aggregate(updates);
 
@@ -271,8 +393,7 @@ FlSimulationResult FederatedSimulation::run() {
         evaluate(eval_model, test, config_.minibatch_size);
     stats.global_loss = eval.loss;
     stats.global_accuracy = eval.accuracy;
-    record_round_telemetry(stats, participants.size() - active.size(),
-                           updates);
+    record_round_telemetry(stats, dropped, updates);
     result.rounds.push_back(stats);
   }
   return result;
@@ -299,7 +420,11 @@ void FederatedSimulation::record_round_telemetry(
     const Seconds slack = update.pace_trace.slack();
     min_slack = first ? slack : std::min(min_slack, slack);
     first = false;
-    reg->histogram("fl.round_slack_s").observe(slack.value());
+    // min_slack_s in the event below stays signed (negative = miss flag);
+    // the histogram takes the clamped value so misses don't read as
+    // headroom in percentile summaries.
+    reg->histogram("fl.round_slack_s")
+        .observe(update.pace_trace.safe_slack().value());
     // Phase occupancy across the fleet (paper Table 3's per-phase view).
     const char* phase_counter = "fl.client_rounds_phase3";
     if (update.pace_trace.phase == core::Phase::kSafeRandomExploration) {
@@ -326,6 +451,15 @@ void FederatedSimulation::record_round_telemetry(
                                             : min_slack.value())
         .set("loss", stats.global_loss)
         .set("accuracy", stats.global_accuracy);
+    if (stats.backfilled > 0) {
+      fields.set("backfilled", stats.backfilled);
+    }
+    if (stats.timed_out > 0) {
+      fields.set("timed_out", stats.timed_out);
+    }
+    if (config_.straggler_timeout > 0.0) {
+      fields.set("wall_s", stats.round_wall.value());
+    }
     if (config_.reporting_deadline_mode && !updates.empty()) {
       fields.set("mean_upload_s",
                  upload_total.value() / static_cast<double>(updates.size()));

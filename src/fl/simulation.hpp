@@ -6,9 +6,11 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "core/bofl_controller.hpp"
 #include "device/device_model.hpp"
+#include "faults/fault_plan.hpp"
 #include "fl/client.hpp"
 #include "fl/deadline_policy.hpp"
 #include "fl/network.hpp"
@@ -83,6 +85,20 @@ struct FlSimulationConfig {
   /// probability (battery died, user closed the app, ...).
   double dropout_probability = 0.0;
 
+  /// Fault injection (src/faults): device-level episodes run through each
+  /// client's controller observer, FL-level kinds (stragglers, dropouts,
+  /// deadline jitter) through the round loop.  All fault events land in the
+  /// telemetry stream.  Unset = clean run.
+  std::optional<faults::FaultPlan> fault_plan;
+  /// Server-side straggler handling: wait at most this multiple of the
+  /// round deadline for late reports before closing the round (bounds
+  /// FlRoundStats::round_wall; reports past the cutoff count as timed out).
+  /// 0 = wait for every report (seed behavior).
+  double straggler_timeout = 0.0;
+  /// Replace dropped-out participants with fresh draws from the remaining
+  /// pool (serial, round-loop RNG) so the cohort keeps its size.
+  bool backfill_dropouts = false;
+
   /// Reporting-deadline mode (§3.1 footnote 3): the server's deadline also
   /// covers the model upload; each client infers its training deadline
   /// through a bandwidth-measuring ReportingDeadlineAdapter.
@@ -108,6 +124,11 @@ struct FlRoundStats {
   std::size_t participants = 0;
   std::size_t accepted = 0;     ///< updates that met the deadline
   Seconds deadline{0.0};        ///< what the server assigned this round
+  std::size_t backfilled = 0;   ///< dropouts replaced by fresh draws
+  std::size_t timed_out = 0;    ///< reports past the straggler cutoff
+  /// Server wall time for the round: the last report's arrival, bounded by
+  /// the straggler cutoff when one is configured.
+  Seconds round_wall{0.0};
 };
 
 struct FlSimulationResult {

@@ -1,0 +1,117 @@
+// Eqn. 2 deadline-guardian boundary cases.  The guardian is the safety
+// property everything else leans on, so its edges get their own tests:
+// zero-job rounds, a round budget of exactly tau, and a believed T(x_max)
+// so large that no exploration can ever fit — each must refuse exploration
+// cleanly (no underflow, no crash, no exploratory run) and fall back to
+// x_max for the whole round.  import_state plants the beliefs, which is
+// exactly how a device resuming with stale profiles would hit these edges.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bofl_controller.hpp"
+#include "core/task.hpp"
+
+namespace bofl::core {
+namespace {
+
+BoflOptions fast_options(const std::string& device_name) {
+  BoflOptions options;
+  options.mbo_cost = mbo_cost_for_device(device_name);
+  options.mbo.hyperopt.num_restarts = 2;
+  options.mbo.hyperopt.max_iterations_per_start = 80;
+  return options;
+}
+
+/// x_max plus two extra points: enough observations for the MBO engine
+/// (propose_batch needs >= 3) but far below the exploitation coverage
+/// floor, so the resumed controller lands in Pareto construction and
+/// still *wants* to explore — the guardian is what must stop it.
+std::vector<BoflController::SavedObservation> planted_state(
+    const device::DeviceModel& model, double x_max_latency) {
+  const std::size_t x_max_flat =
+      model.space().to_flat(model.space().max_config());
+  return {{100, 10.0, 4.0, x_max_latency * 2.0},
+          {200, 10.0, 3.5, x_max_latency * 3.0},
+          {x_max_flat, 10.0, 5.0, x_max_latency}};
+}
+
+void expect_all_jobs_ran_at_x_max(const RoundTrace& trace,
+                                  const device::DeviceModel& model,
+                                  std::int64_t jobs) {
+  EXPECT_TRUE(trace.explored_flat_ids.empty());
+  EXPECT_EQ(trace.jobs(), jobs);
+  for (const ConfigRun& run : trace.runs) {
+    EXPECT_FALSE(run.exploratory);
+    EXPECT_EQ(run.config, model.space().max_config());
+  }
+}
+
+TEST(GuardianEdge, ZeroJobRoundIsRejected) {
+  const device::DeviceModel agx = device::jetson_agx();
+  const FlTaskSpec task = cifar10_vit_task(agx.name());
+  BoflController bofl(agx, task.profile, {}, fast_options(agx.name()), 1);
+  EXPECT_THROW((void)bofl.run_round({0, 0, Seconds{10.0}}),
+               std::invalid_argument);
+}
+
+TEST(GuardianEdge, HugeBelievedTxMaxRefusesExplorationWithoutUnderflow) {
+  const device::DeviceModel agx = device::jetson_agx();
+  const FlTaskSpec task = cifar10_vit_task(agx.name());
+  BoflController bofl(agx, task.profile, {}, fast_options(agx.name()), 2);
+  // Believed T(x_max) of 1e6 s/job: W_remain * T(x_max) dwarfs any
+  // deadline, so every guardian check must refuse.
+  bofl.import_state(planted_state(agx, 1e6));
+  ASSERT_EQ(bofl.phase(), Phase::kParetoConstruction);
+  ASSERT_TRUE(bofl.t_x_max().has_value());
+
+  const RoundTrace trace = bofl.run_round({0, 10, Seconds{100.0}});
+  expect_all_jobs_ran_at_x_max(trace, agx, 10);
+  // The *true* device is fast, so the fallback still lands in budget; the
+  // point is that the refusal arithmetic never underflowed or wrapped.
+  EXPECT_GT(trace.elapsed().value(), 0.0);
+  EXPECT_TRUE(std::isfinite(trace.slack().value()));
+  EXPECT_TRUE(trace.deadline_met());
+}
+
+TEST(GuardianEdge, DeadlineOfExactlyTauRefusesExploration) {
+  const device::DeviceModel agx = device::jetson_agx();
+  const FlTaskSpec task = cifar10_vit_task(agx.name());
+  BoflOptions options = fast_options(agx.name());
+  BoflController bofl(agx, task.profile, {}, options, 3);
+  const double true_t_x_max =
+      agx.latency(task.profile, agx.space().max_config()).value();
+  bofl.import_state(planted_state(agx, true_t_x_max));
+  ASSERT_EQ(bofl.phase(), Phase::kParetoConstruction);
+
+  // T_remain == tau exactly: the exploration budget alone consumes the
+  // whole round, so the guardian must refuse even before the rescue term.
+  const RoundTrace trace = bofl.run_round({0, 1, options.tau});
+  expect_all_jobs_ran_at_x_max(trace, agx, 1);
+  EXPECT_TRUE(std::isfinite(trace.slack().value()));
+}
+
+TEST(GuardianEdge, InfeasibleRoundRunsXmaxAndFlagsOverrun) {
+  const device::DeviceModel agx = device::jetson_agx();
+  const FlTaskSpec task = cifar10_vit_task(agx.name());
+  BoflController bofl(agx, task.profile, {}, fast_options(agx.name()), 4);
+  const double true_t_x_max =
+      agx.latency(task.profile, agx.space().max_config()).value();
+  bofl.import_state(planted_state(agx, true_t_x_max));
+
+  // Deadline below W * T(x_max): nothing can meet it.  The controller must
+  // still finish the round at x_max (damage control), and the trace's
+  // miss accounting must be consistent: signed slack negative, clamped
+  // slack zero, overrun positive and equal to -slack.
+  const std::int64_t jobs = 20;
+  const Seconds deadline{0.5 * static_cast<double>(jobs) * true_t_x_max};
+  const RoundTrace trace = bofl.run_round({0, jobs, deadline});
+  expect_all_jobs_ran_at_x_max(trace, agx, jobs);
+  EXPECT_FALSE(trace.deadline_met());
+  EXPECT_LT(trace.slack().value(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.safe_slack().value(), 0.0);
+  EXPECT_NEAR(trace.overrun().value(), -trace.slack().value(), 1e-12);
+}
+
+}  // namespace
+}  // namespace bofl::core

@@ -4,12 +4,22 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "core/harness.hpp"
 #include "core/oracle_controller.hpp"
+#include "faults/fault_injector.hpp"
 
 namespace bofl::core {
 namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
 
 BoflOptions fast_options(const std::string& device_name) {
   BoflOptions options;
@@ -61,6 +71,86 @@ TEST(StateIo, CsvRoundTripPreservesValues) {
     EXPECT_NEAR(loaded[i].mean_latency, original[i].mean_latency, 1e-9);
   }
   std::remove(path.c_str());
+}
+
+// Golden round trip: save -> load -> import -> save must reproduce the
+// first file byte for byte.  A one-ulp drift per save/load generation
+// would silently corrupt long-lived profiles (devices save and resume
+// hundreds of times over a task's 500-10000 rounds).
+void expect_byte_stable_round_trip(const BoflController& controller,
+                                   const device::DeviceModel& model,
+                                   const FlTaskSpec& task,
+                                   const std::string& tag) {
+  const std::string path_a =
+      ::testing::TempDir() + "/state_golden_" + tag + "_a.csv";
+  const std::string path_b =
+      ::testing::TempDir() + "/state_golden_" + tag + "_b.csv";
+  save_state(controller, path_a);
+  BoflController resumed(model, task.profile, {}, fast_options(model.name()),
+                         991);
+  resumed.import_state(load_state(path_a));
+  save_state(resumed, path_b);
+  EXPECT_EQ(slurp(path_a), slurp(path_b)) << "snapshot " << tag;
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(StateIo, GoldenRoundTripIsByteIdenticalAcrossPhases) {
+  const device::DeviceModel agx = device::jetson_agx();
+  FlTaskSpec task = cifar10_vit_task(agx.name());
+  task.num_rounds = 30;
+  const auto rounds = make_rounds(task, agx, 2.5, 71);
+
+  BoflController bofl(agx, task.profile, {}, fast_options(agx.name()), 72);
+  Phase seen_phase1 = Phase::kExploitation;
+  for (std::int64_t i = 0; i < task.num_rounds; ++i) {
+    if (i == 2) {
+      seen_phase1 = bofl.phase();
+      expect_byte_stable_round_trip(bofl, agx, task, "phase1");
+    } else if (bofl.phase() == Phase::kParetoConstruction && i > 2) {
+      expect_byte_stable_round_trip(bofl, agx, task, "phase2");
+    }
+    (void)bofl.run_round(rounds[i]);
+  }
+  EXPECT_EQ(seen_phase1, Phase::kSafeRandomExploration);
+  ASSERT_EQ(bofl.phase(), Phase::kExploitation);
+  expect_byte_stable_round_trip(bofl, agx, task, "phase3");
+}
+
+TEST(StateIo, GoldenRoundTripMidFaultEpisode) {
+  // Snapshot while a thermal storm is active and the sensor is flaky: the
+  // aggregates then hold demoted / winsorized values — exactly the state a
+  // device rebooting mid-incident would persist.
+  const device::DeviceModel agx = device::jetson_agx();
+  FlTaskSpec task = cifar10_vit_task(agx.name());
+  task.num_rounds = 8;
+  const auto rounds = make_rounds(task, agx, 2.5, 73);
+
+  faults::FaultPlan plan;
+  plan.seed = 9;
+  faults::FaultSpec storm;
+  storm.kind = faults::FaultKind::kThermalStorm;
+  storm.start_s = 0.0;
+  storm.duration_s = 1e9;  // active for the whole run
+  storm.magnitude = 1.4;
+  plan.faults.push_back(storm);
+  faults::FaultSpec flaky;
+  flaky.kind = faults::FaultKind::kSensorDropout;
+  flaky.start_s = 0.0;
+  flaky.duration_s = 1e9;
+  flaky.magnitude = 4.0;
+  flaky.probability = 0.3;
+  plan.faults.push_back(flaky);
+  const faults::FaultInjector injector(plan, 74);
+  const auto channel = injector.make_device_channel(0);
+
+  BoflController bofl(agx, task.profile, {}, fast_options(agx.name()), 74);
+  bofl.install_fault_model(channel.get());
+  for (const RoundSpec& spec : rounds) {
+    (void)bofl.run_round(spec);
+  }
+  EXPECT_FALSE(bofl.export_state().empty());
+  expect_byte_stable_round_trip(bofl, agx, task, "mid_fault");
 }
 
 TEST(StateIo, LoadRejectsMissingFile) {

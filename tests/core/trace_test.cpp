@@ -37,6 +37,30 @@ TEST(RoundTrace, ExactBoundaryCounts) {
   EXPECT_TRUE(trace.deadline_met());
 }
 
+TEST(RoundTrace, SlackSignedButSafeSlackClamped) {
+  RoundTrace trace = sample_trace();  // elapsed 8.0
+  trace.deadline = Seconds{10.0};
+  EXPECT_DOUBLE_EQ(trace.slack().value(), 2.0);
+  EXPECT_DOUBLE_EQ(trace.safe_slack().value(), 2.0);
+  EXPECT_DOUBLE_EQ(trace.overrun().value(), 0.0);
+
+  trace.deadline = Seconds{6.5};  // missed by 1.5 s
+  EXPECT_DOUBLE_EQ(trace.slack().value(), -1.5);
+  EXPECT_DOUBLE_EQ(trace.safe_slack().value(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.overrun().value(), 1.5);
+}
+
+TEST(RoundTrace, OverrunRespectsDeadlineTolerance) {
+  // elapsed lands a hair past the deadline but inside deadline_met()'s
+  // float tolerance: the round is met, so overrun must be exactly zero
+  // even though raw slack is (barely) negative.
+  RoundTrace trace = sample_trace();
+  trace.deadline = Seconds{8.0 - 1e-10};
+  EXPECT_TRUE(trace.deadline_met());
+  EXPECT_DOUBLE_EQ(trace.overrun().value(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.safe_slack().value(), 0.0);
+}
+
 TEST(RoundTrace, EmptyTraceIsZero) {
   const RoundTrace trace;
   EXPECT_DOUBLE_EQ(trace.elapsed().value(), 0.0);

@@ -40,6 +40,32 @@ TEST(UniformSlack, RejectsBadArguments) {
   EXPECT_THROW((void)policy.assign(0, Seconds{0.0}), std::invalid_argument);
 }
 
+TEST(UniformSlack, RatioOfExactlyOnePinsDeadlineToTmin) {
+  // Boundary of the §6.1 band: ratio 1.0 leaves zero slack — every
+  // deadline must equal T_min exactly, never a hair below it.
+  UniformSlackPolicy policy(1.0, 3);
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_DOUBLE_EQ(policy.assign(round, Seconds{17.25}).value(), 17.25);
+  }
+}
+
+TEST(CohortFloor, TracksSlowestParticipantPlusOverhead) {
+  const std::vector<Seconds> t_min{Seconds{5.0}, Seconds{9.0}, Seconds{7.0}};
+  EXPECT_DOUBLE_EQ(cohort_deadline_floor(t_min, {0, 2}).value(), 7.0);
+  EXPECT_DOUBLE_EQ(cohort_deadline_floor(t_min, {1}).value(), 9.0);
+  EXPECT_DOUBLE_EQ(
+      cohort_deadline_floor(t_min, {0, 1, 2}, Seconds{1.5}).value(), 10.5);
+  // The fleet-wide floor is the cohort floor of "everyone".
+  EXPECT_DOUBLE_EQ(fleet_deadline_floor(t_min).value(), 9.0);
+}
+
+TEST(CohortFloor, RejectsDegenerateCohorts) {
+  const std::vector<Seconds> t_min{Seconds{5.0}};
+  EXPECT_THROW((void)cohort_deadline_floor(t_min, {}), std::invalid_argument);
+  EXPECT_THROW((void)cohort_deadline_floor({}, {0}), std::invalid_argument);
+  EXPECT_THROW((void)fleet_deadline_floor({}), std::invalid_argument);
+}
+
 TEST(AdaptiveSlack, TightensOnSuccess) {
   AdaptiveSlackPolicy policy;
   const double first = policy.assign(0, Seconds{10.0}).value();

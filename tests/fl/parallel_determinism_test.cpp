@@ -34,7 +34,10 @@ void expect_identical(const FlSimulationResult& serial,
     EXPECT_EQ(a.round, b.round);
     EXPECT_EQ(a.participants, b.participants);
     EXPECT_EQ(a.accepted, b.accepted);
+    EXPECT_EQ(a.backfilled, b.backfilled);
+    EXPECT_EQ(a.timed_out, b.timed_out);
     EXPECT_EQ(a.deadline.value(), b.deadline.value());
+    EXPECT_EQ(a.round_wall.value(), b.round_wall.value());
     EXPECT_EQ(a.energy.value(), b.energy.value());
     EXPECT_EQ(a.global_loss, b.global_loss);
     EXPECT_EQ(a.global_accuracy, b.global_accuracy);
@@ -77,6 +80,54 @@ TEST(ParallelDeterminism, ReportingModeAdaptersStayPerClient) {
   FlSimulationConfig parallel = serial;
   parallel.threads = 8;
   expect_identical(run_with(serial), run_with(parallel));
+}
+
+faults::FaultPlan storm_and_stragglers() {
+  faults::FaultPlan plan;
+  plan.seed = 31;
+  plan.name = "determinism-mix";
+  faults::FaultSpec storm;
+  storm.kind = faults::FaultKind::kThermalStorm;
+  storm.start_s = 0.0;
+  storm.duration_s = 1e9;
+  storm.magnitude = 1.3;
+  plan.faults.push_back(storm);
+  faults::FaultSpec straggler;
+  straggler.kind = faults::FaultKind::kStraggler;
+  straggler.start_s = 0.0;
+  straggler.duration_s = 1e9;
+  straggler.magnitude = 3.0;
+  straggler.probability = 0.3;
+  plan.faults.push_back(straggler);
+  faults::FaultSpec dropout;
+  dropout.kind = faults::FaultKind::kClientDropout;
+  dropout.start_s = 0.0;
+  dropout.duration_s = 1e9;
+  dropout.probability = 0.2;
+  plan.faults.push_back(dropout);
+  return plan;
+}
+
+TEST(ParallelDeterminism, FaultedRunIsThreadCountInvariant) {
+  // Fault draws are pure hashes of (plan seed, spec, round, client) and
+  // device events drain on the round loop's thread, so an injected run must
+  // stay bit-identical — including the straggler / backfill accounting —
+  // for any worker count.
+  FlSimulationConfig serial = fleet_config(1);
+  serial.fault_plan = storm_and_stragglers();
+  serial.straggler_timeout = 2.0;
+  serial.backfill_dropouts = true;
+  FlSimulationConfig parallel = serial;
+  parallel.threads = 8;
+  const FlSimulationResult a = run_with(serial);
+  const FlSimulationResult b = run_with(parallel);
+  expect_identical(a, b);
+  // Non-vacuity: the plan above must actually bite somewhere.
+  std::size_t disrupted = 0;
+  for (const FlRoundStats& round : a.rounds) {
+    disrupted += round.backfilled + round.timed_out;
+  }
+  EXPECT_GT(disrupted, 0u);
 }
 
 TEST(ParallelDeterminism, HeterogeneousFleetIsThreadCountInvariant) {

@@ -1,0 +1,126 @@
+// Property-based invariants for the Pareto layer: randomized point clouds
+// (seeded, hence reproducible) checked against the definitional properties
+// every caller relies on — the controller's front construction, the HVI
+// stopping rule and the scenario harness's monotone-hypervolume invariant
+// all reduce to these.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "pareto/hypervolume.hpp"
+#include "pareto/pareto.hpp"
+
+namespace bofl::pareto {
+namespace {
+
+std::vector<Point2> random_cloud(Rng& rng, std::size_t n) {
+  std::vector<Point2> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({rng.uniform(0.1, 10.0), rng.uniform(0.1, 10.0)});
+  }
+  return points;
+}
+
+constexpr Point2 kRef{12.0, 12.0};
+
+TEST(ParetoProperty, FrontContainsNoDominatedPoint) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<Point2> cloud =
+        random_cloud(rng, 1 + rng.uniform_index(40));
+    const std::vector<Point2> front = pareto_front(cloud);
+    ASSERT_FALSE(front.empty());
+    for (const Point2& member : front) {
+      // Front members come from the cloud...
+      EXPECT_NE(std::find(cloud.begin(), cloud.end(), member), cloud.end());
+      // ...and nothing in the cloud dominates any of them.
+      for (const Point2& other : cloud) {
+        EXPECT_FALSE(dominates(other, member))
+            << "(" << other.f1 << "," << other.f2 << ") dominates front "
+            << "member (" << member.f1 << "," << member.f2 << ")";
+      }
+    }
+    // Front members don't dominate each other either.
+    for (const Point2& a : front) {
+      for (const Point2& b : front) {
+        EXPECT_FALSE(dominates(a, b));
+      }
+    }
+  }
+}
+
+TEST(ParetoProperty, NonDominatedIndicesAgreeWithFront) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<Point2> cloud =
+        random_cloud(rng, 1 + rng.uniform_index(30));
+    for (const std::size_t index : non_dominated_indices(cloud)) {
+      ASSERT_LT(index, cloud.size());
+      for (const Point2& other : cloud) {
+        EXPECT_FALSE(dominates(other, cloud[index]));
+      }
+    }
+  }
+}
+
+TEST(ParetoProperty, FrontIsPermutationInvariant) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Point2> cloud = random_cloud(rng, 2 + rng.uniform_index(30));
+    const std::vector<Point2> front = pareto_front(cloud);
+    std::vector<Point2> shuffled = cloud;
+    rng.shuffle(shuffled);
+    // pareto_front sorts its output, so equal fronts must be byte-equal.
+    EXPECT_EQ(pareto_front(shuffled), front);
+    EXPECT_EQ(hypervolume_2d(pareto_front(shuffled), kRef),
+              hypervolume_2d(front, kRef));
+  }
+}
+
+TEST(ParetoProperty, HypervolumeIsMonotoneUnderInsertion) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Point2> accumulated;
+    double previous = 0.0;
+    for (int step = 0; step < 60; ++step) {
+      accumulated.push_back(
+          {rng.uniform(0.1, 14.0), rng.uniform(0.1, 14.0)});
+      const double hv = hypervolume_2d(accumulated, kRef);
+      EXPECT_GE(hv, previous) << "insertion shrank the hypervolume";
+      previous = hv;
+    }
+  }
+}
+
+TEST(ParetoProperty, HypervolumeOfFrontEqualsHypervolumeOfCloud) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<Point2> cloud =
+        random_cloud(rng, 1 + rng.uniform_index(40));
+    EXPECT_DOUBLE_EQ(hypervolume_2d(pareto_front(cloud), kRef),
+                     hypervolume_2d(cloud, kRef));
+  }
+}
+
+TEST(ParetoProperty, HypervolumeImprovementMatchesDefinition) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<Point2> front =
+        pareto_front(random_cloud(rng, 1 + rng.uniform_index(20)));
+    const std::vector<Point2> candidates =
+        random_cloud(rng, 1 + rng.uniform_index(10));
+    const double hvi = hypervolume_improvement(front, candidates, kRef);
+    EXPECT_GE(hvi, 0.0);
+    std::vector<Point2> merged = front;
+    merged.insert(merged.end(), candidates.begin(), candidates.end());
+    EXPECT_NEAR(hvi,
+                hypervolume_2d(merged, kRef) - hypervolume_2d(front, kRef),
+                1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace bofl::pareto

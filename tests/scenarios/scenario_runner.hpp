@@ -1,0 +1,101 @@
+// ScenarioRunner: run the full BoFL stack under a fault plan and collect
+// everything the robustness invariants are judged on.
+//
+// Two modes mirror the repo's two integration layers:
+//   * Device mode drives one BoflController through a round schedule (the
+//     core harness path used by bofl_sim and the paper's §6 single-device
+//     experiments), with a DeviceFaultChannel installed on its observer.
+//     Each round records a pessimistic feasibility verdict computed BEFORE
+//     the round runs (Eqn. 2 with the worst fault effect the window can
+//     contain) plus the observed Pareto front's hypervolume against a
+//     fixed reference — the raw material for the two core invariants:
+//       - no round that was pessimistically feasible at its start may miss
+//         its deadline, and
+//       - hypervolume is non-decreasing round over round (observations
+//         only accumulate; a fixed reference keeps the areas comparable).
+//   * Fleet mode runs a small FederatedSimulation with the plan attached
+//     (stragglers, dropouts, deadline jitter flow through the server loop).
+//
+// Lives under tests/ because it links core + fl + faults together; the
+// production libraries stay acyclic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/fault_plan.hpp"
+#include "fl/simulation.hpp"
+
+namespace bofl::scenarios {
+
+struct DeviceScenarioOptions {
+  std::string device = "agx";  ///< "agx" or "tx2"
+  std::string task = "vit";    ///< "vit", "resnet50" or "lstm"
+  double ratio = 2.5;          ///< deadline T_max / T_min
+  std::int64_t rounds = 30;
+  std::uint64_t seed = 1;
+  Seconds tau{5.0};
+};
+
+/// Per-round robustness record (one per RoundTrace, same order).
+struct DeviceRoundReport {
+  std::int64_t index = 0;
+  /// Eqn. 2 held at round start under the worst fault effect any job in
+  /// the round window could see (x_max capped by the tightest overlapping
+  /// DVFS clamp, latency inflated by the largest overlapping slowdown):
+  ///   W * T_pess * (1 + margin) <= deadline - tau - allowance * T_pess.
+  /// The allowance term reserves the guardian's first-job budget, so the
+  /// bound is sufficient for the controller to finish no matter how it
+  /// splits the round between exploration and the x_max fallback.
+  bool feasible_at_start = false;
+  double t_pessimistic_s = 0.0;  ///< faulted per-job latency bound used
+  /// Hypervolume of the controller's observed front after the round,
+  /// against a fixed reference (1.5x the true worst per-job point).
+  double hypervolume = 0.0;
+};
+
+struct DeviceScenarioResult {
+  faults::FaultPlan plan;
+  core::TaskResult task;
+  std::vector<DeviceRoundReport> rounds;
+  /// All fault events, drained serially per round (round-stamped).
+  std::vector<faults::FaultEvent> events;
+
+  /// Training + MBO energy of the whole run.
+  [[nodiscard]] Joules total_energy() const;
+
+  // Invariant checks: empty string = holds, otherwise a human-readable
+  // description of the first violation (gtest-friendly:
+  // EXPECT_EQ(result.check_...(), "")).
+  [[nodiscard]] std::string check_no_feasible_miss() const;
+  [[nodiscard]] std::string check_monotone_hypervolume() const;
+};
+
+/// Run one BoflController through `plan`.  Deterministic in (plan, opts).
+[[nodiscard]] DeviceScenarioResult run_device_scenario(
+    const faults::FaultPlan& plan, const DeviceScenarioOptions& opts);
+
+/// Same, with a named scenario (faults::make_scenario) scaled to the round
+/// schedule's total deadline budget — the horizon bofl_sim uses.
+[[nodiscard]] DeviceScenarioResult run_named_device_scenario(
+    const std::string& name, const DeviceScenarioOptions& opts);
+
+struct FleetScenarioOptions {
+  std::size_t num_clients = 8;
+  std::size_t clients_per_round = 3;
+  std::int64_t rounds = 6;
+  std::uint64_t seed = 7;
+  std::size_t threads = 1;
+  double straggler_timeout = 2.0;  ///< 0 = wait for every report
+  bool backfill_dropouts = true;
+};
+
+/// Run a small fleet under the named scenario.  Deterministic in
+/// (name, opts) for any thread count.
+[[nodiscard]] fl::FlSimulationResult run_fleet_scenario(
+    const std::string& name, const FleetScenarioOptions& opts);
+
+}  // namespace bofl::scenarios

@@ -4,6 +4,7 @@
 //            [--controller bofl|performant|oracle|linear]
 //            [--ratio 2.0] [--rounds 100] [--seed 1] [--tau 5.0]
 //            [--spike-prob 0] [--spike-mag 3] [--thermal]
+//            [--faults PLAN.json | --scenario NAME]
 //            [--threads N] [--csv PATH] [--quiet]
 //            [--metrics-out PATH] [--metrics-summary]
 //
@@ -11,10 +12,14 @@
 // prints the per-round trace plus summary metrics; optionally exports the
 // trace as CSV.  --metrics-out streams structured telemetry (JSON Lines
 // events + a final summary line) to PATH; --metrics-summary prints the
-// summary table to stdout.  Everything a downstream user needs to poke at
-// the system without writing C++.
+// summary table to stdout.  --faults injects a fault plan (src/faults JSON
+// dialect); --scenario runs a named curated plan (clean, thermal-storm,
+// flaky-sysfs, straggler-heavy, mid-round-throttle) scaled to the round
+// schedule.  Everything a downstream user needs to poke at the system
+// without writing C++.
 #include <cstdio>
 #include <memory>
+#include <optional>
 
 #include "common/csv.hpp"
 #include "common/flags.hpp"
@@ -24,6 +29,8 @@
 #include "core/oracle_controller.hpp"
 #include "core/performant_controller.hpp"
 #include "core/state_io.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/scenarios.hpp"
 #include "runtime/thread_pool.hpp"
 #include "telemetry/run_recorder.hpp"
 
@@ -38,6 +45,7 @@ int usage(const char* argv0) {
       "          [--controller bofl|performant|oracle|linear]\n"
       "          [--ratio R] [--rounds N] [--seed S] [--tau SECONDS]\n"
       "          [--spike-prob P] [--spike-mag K] [--thermal]\n"
+      "          [--faults PLAN.json | --scenario NAME]\n"
       "          [--threads N] [--csv PATH] [--save-state PATH]\n"
       "          [--load-state PATH] [--quiet]\n"
       "          [--metrics-out PATH] [--metrics-summary]\n",
@@ -82,6 +90,31 @@ int main(int argc, char** argv) {
   noise.spike_magnitude = flags.get_double("spike-mag", 3.0);
   if (flags.get_bool("thermal")) {
     noise.thermal = device::ThermalParams{};
+  }
+
+  // Fault plan: explicit JSON (--faults) or a named scenario scaled to the
+  // round schedule's total deadline budget (--scenario).
+  const std::string faults_path = flags.get("faults", "");
+  const std::string scenario_name = flags.get("scenario", "");
+  if (!faults_path.empty() && !scenario_name.empty()) {
+    std::fprintf(stderr, "--faults and --scenario are mutually exclusive\n");
+    return usage(argv[0]);
+  }
+  std::optional<faults::FaultPlan> plan;
+  if (!faults_path.empty()) {
+    plan = faults::FaultPlan::from_json_file(faults_path);
+  } else if (!scenario_name.empty()) {
+    double horizon = 0.0;
+    for (const core::RoundSpec& r : rounds) {
+      horizon += r.deadline.value();
+    }
+    plan = faults::make_scenario(scenario_name, seed ^ 0xFA17ULL, horizon);
+  }
+  std::optional<faults::FaultInjector> injector;
+  std::unique_ptr<faults::DeviceFaultChannel> channel;
+  if (plan) {
+    injector.emplace(*plan, seed);
+    channel = injector->make_device_channel(0);
   }
 
   // Telemetry must be installed before any instrumented component (the
@@ -144,6 +177,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown controller: %s\n", controller_name.c_str());
       return usage(argv[0]);
     }
+    if (channel) {
+      controller->install_fault_model(channel.get());
+      std::printf("fault plan: %s (%zu faults, seed %llu)\n",
+                  plan->name.empty() ? faults_path.c_str() : plan->name.c_str(),
+                  plan->faults.size(),
+                  static_cast<unsigned long long>(plan->seed));
+    }
 
     std::printf("device=%s task=%s controller=%s ratio=%.2f rounds=%lld "
                 "seed=%llu jobs/round=%lld\n",
@@ -153,7 +193,22 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(seed),
                 static_cast<long long>(task.jobs_per_round()));
 
-    result = core::run_task(*controller, rounds);
+    // Fault events queue inside the channel during each round; the hook
+    // drains them serially, per round, into the telemetry stream.
+    std::size_t fault_events = 0;
+    const core::RoundHook drain =
+        channel ? core::RoundHook([&](const core::RoundTrace& trace) {
+          for (const faults::FaultEvent& event :
+               channel->drain_events(trace.index)) {
+            faults::emit_fault_event(event);
+            ++fault_events;
+          }
+        })
+                : core::RoundHook{};
+    result = core::run_task(*controller, rounds, drain);
+    if (channel) {
+      std::printf("fault events: %zu\n", fault_events);
+    }
 
     const bool quiet = flags.get_bool("quiet");
     if (!quiet) {
