@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/fast_normal.hpp"
 #include "common/stats.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace bofl::bo {
 
@@ -33,6 +36,20 @@ double expected_clamped_width(double u, double v, double mu, double sigma) {
          (psi_ei(v, v, mu, sigma) - psi_ei(v, u, mu, sigma));
 }
 
+/// Filter to the reference box and reduce to the sorted Pareto front —
+/// the exact cleaning sequence ehvi_2d has always used.
+std::vector<pareto::Point2> clean_front(const std::vector<pareto::Point2>& front,
+                                        const pareto::Point2& ref) {
+  std::vector<pareto::Point2> sorted;
+  sorted.reserve(front.size());
+  for (const pareto::Point2& p : front) {
+    if (p.f1 < ref.f1 && p.f2 < ref.f2) {
+      sorted.push_back(p);
+    }
+  }
+  return pareto::pareto_front(std::move(sorted));
+}
+
 }  // namespace
 
 double ehvi_2d(const GaussianPair& belief,
@@ -42,14 +59,7 @@ double ehvi_2d(const GaussianPair& belief,
                "EHVI needs non-negative standard deviations");
   // Clean front: non-dominated, sorted ascending in f1 (descending f2),
   // restricted to points that dominate some part of the reference box.
-  std::vector<pareto::Point2> sorted;
-  sorted.reserve(front.size());
-  for (const pareto::Point2& p : front) {
-    if (p.f1 < ref.f1 && p.f2 < ref.f2) {
-      sorted.push_back(p);
-    }
-  }
-  sorted = pareto::pareto_front(std::move(sorted));
+  const std::vector<pareto::Point2> sorted = clean_front(front, ref);
 
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
   double total = 0.0;
@@ -73,16 +83,186 @@ double ehvi_2d(const GaussianPair& belief,
   return std::max(total, 0.0);
 }
 
+CompiledFront::CompiledFront(const std::vector<pareto::Point2>& front,
+                             const pareto::Point2& ref, EhviMode mode)
+    : sorted_(clean_front(front, ref)), ref_(ref), mode_(mode) {
+  // Same cleaning as hypervolume_2d's internal reduction, so this sum is
+  // bit-identical to hypervolume_2d(front, ref) on the raw input.
+  base_hv_ = pareto::hypervolume_2d(sorted_, ref_);
+  const std::size_t n = sorted_.size();
+  bound1_.reserve(n + 1);
+  ceiling2_.reserve(n + 1);
+  ceiling2_.push_back(ref_.f2);
+  for (std::size_t i = 0; i < n; ++i) {
+    bound1_.push_back(sorted_[i].f1);
+    ceiling2_.push_back(sorted_[i].f2);
+  }
+  bound1_.push_back(ref_.f1);
+  if (telemetry::Registry* reg = telemetry::global_registry()) {
+    reg->counter("ehvi.front_compilations").add(1);
+  }
+}
+
+double CompiledFront::ehvi_exact(const GaussianPair& belief) const {
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  const std::size_t n = sorted_.size();
+  for (std::size_t k = 0; k <= n; ++k) {
+    const double u = (k == 0) ? kNegInf : bound1_[k - 1];
+    const double v = bound1_[k];
+    const double width =
+        expected_clamped_width(u, v, belief.mu1, belief.sigma1);
+    if (width <= 0.0) {
+      continue;
+    }
+    const double height =
+        psi_ei(ceiling2_[k], ceiling2_[k], belief.mu2, belief.sigma2);
+    total += width * height;
+  }
+  return std::max(total, 0.0);
+}
+
+double CompiledFront::ehvi(const GaussianPair& belief) const {
+  double out = 0.0;
+  ehvi_block(&belief, 1, &out);
+  return out;
+}
+
+void CompiledFront::ehvi_block(const GaussianPair* beliefs, std::size_t count,
+                               double* out) const {
+  for (std::size_t i = 0; i < count; ++i) {
+    BOFL_REQUIRE(beliefs[i].sigma1 >= 0.0 && beliefs[i].sigma2 >= 0.0,
+                 "EHVI needs non-negative standard deviations");
+  }
+  const std::size_t m = sorted_.size() + 1;  // strips / boundaries per axis
+  if (mode_ == EhviMode::kExact) {
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = ehvi_exact(beliefs[i]);
+    }
+    return;
+  }
+  // Fast path: gather every boundary's standardized coordinate, run one
+  // batched pdf/cdf pass, then combine per candidate.  A candidate's slice
+  // of the arrays depends only on its own belief, so block size never
+  // changes any output bit.
+  std::vector<double> scratch(6 * m * count);
+  double* t = scratch.data();
+  double* pdf = t + 2 * m * count;
+  double* cdf = pdf + 2 * m * count;
+  for (std::size_t i = 0; i < count; ++i) {
+    const GaussianPair& b = beliefs[i];
+    double* t1 = t + 2 * m * i;
+    double* t2 = t1 + m;
+    if (b.sigma1 == 0.0 || b.sigma2 == 0.0) {
+      // Degenerate marginal: scored on the exact scalar path below.
+      std::fill(t1, t1 + 2 * m, 0.0);
+      continue;
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      t1[k] = (bound1_[k] - b.mu1) / b.sigma1;
+      t2[k] = (ceiling2_[k] - b.mu2) / b.sigma2;
+    }
+  }
+  normal_pdf_cdf_batch(t, 2 * m * count, pdf, cdf);
+  for (std::size_t i = 0; i < count; ++i) {
+    const GaussianPair& b = beliefs[i];
+    if (b.sigma1 == 0.0 || b.sigma2 == 0.0) {
+      out[i] = ehvi_exact(b);
+      continue;
+    }
+    const double* pdf1 = pdf + 2 * m * i;
+    const double* cdf1 = cdf + 2 * m * i;
+    const double* pdf2 = pdf1 + m;
+    const double* cdf2 = cdf1 + m;
+    double total = 0.0;
+    // psi_ei(v, v, mu, sigma) = sigma * pdf(t_v) + (v - mu) * cdf(t_v).
+    double psi_prev = b.sigma1 * pdf1[0] + (bound1_[0] - b.mu1) * cdf1[0];
+    {
+      // Strip 0: u = -inf, width = E[(v - Y1)^+] = psi(v, v).
+      const double width = psi_prev;
+      if (width > 0.0) {
+        const double height =
+            b.sigma2 * pdf2[0] + (ceiling2_[0] - b.mu2) * cdf2[0];
+        total += width * height;
+      }
+    }
+    for (std::size_t k = 1; k < m; ++k) {
+      const double u = bound1_[k - 1];
+      const double v = bound1_[k];
+      const double psi_vv =
+          b.sigma1 * pdf1[k] + (v - b.mu1) * cdf1[k];
+      const double psi_vu =
+          b.sigma1 * pdf1[k - 1] + (v - b.mu1) * cdf1[k - 1];
+      const double width = (v - u) * cdf1[k - 1] + (psi_vv - psi_vu);
+      if (width > 0.0) {
+        const double height =
+            b.sigma2 * pdf2[k] + (ceiling2_[k] - b.mu2) * cdf2[k];
+        total += width * height;
+      }
+      psi_prev = psi_vv;
+    }
+    out[i] = std::max(total, 0.0);
+  }
+}
+
+double CompiledFront::hvi(const pareto::Point2& y) const {
+  // Mirrors hypervolume_improvement(front, {y}, ref) term for term: the
+  // merged Pareto front's left-to-right area sweep minus base_hv_, clamped
+  // at zero.  Points y cannot improve return the same exact 0.0.
+  if (!(y.f1 < ref_.f1 && y.f2 < ref_.f2)) {
+    return 0.0;
+  }
+  const std::size_t n = sorted_.size();
+  // First front point with f1 >= y.f1: insertion point (front f1s are
+  // strictly increasing).
+  std::size_t lo = 0;
+  while (lo < n && sorted_[lo].f1 < y.f1) {
+    ++lo;
+  }
+  if (lo > 0 && sorted_[lo - 1].f2 <= y.f2) {
+    return 0.0;  // dominated by the left neighbour
+  }
+  // Points y dominates form the contiguous run [lo, hi) (f1 >= y.f1 and,
+  // since front f2s descend, f2 >= y.f2 is a prefix of that suffix).
+  std::size_t hi = lo;
+  while (hi < n && sorted_[hi].f2 >= y.f2) {
+    if (sorted_[hi] == y) {
+      return 0.0;  // duplicate: the merged front is unchanged
+    }
+    ++hi;
+  }
+  if (hi < n && sorted_[hi].f1 == y.f1) {
+    return 0.0;  // same f1, strictly better f2 dominates y
+  }
+  // Merged front: sorted_[0..lo), y, sorted_[hi..n) — swept left to right
+  // exactly like hypervolume_2d.
+  double area = 0.0;
+  for (std::size_t i = 0; i < lo; ++i) {
+    const double right = (i + 1 < lo) ? sorted_[i + 1].f1 : y.f1;
+    area += (right - sorted_[i].f1) * (ref_.f2 - sorted_[i].f2);
+  }
+  {
+    const double right = (hi < n) ? sorted_[hi].f1 : ref_.f1;
+    area += (right - y.f1) * (ref_.f2 - y.f2);
+  }
+  for (std::size_t i = hi; i < n; ++i) {
+    const double right = (i + 1 < n) ? sorted_[i + 1].f1 : ref_.f1;
+    area += (right - sorted_[i].f1) * (ref_.f2 - sorted_[i].f2);
+  }
+  return std::max(area - base_hv_, 0.0);
+}
+
 double ehvi_2d_monte_carlo(
     const GaussianPair& belief, const std::vector<pareto::Point2>& front,
     const pareto::Point2& ref,
     const std::vector<std::pair<double, double>>& normal_samples) {
   BOFL_REQUIRE(!normal_samples.empty(), "MC estimator needs samples");
+  const CompiledFront compiled(front, ref, EhviMode::kExact);
   double sum = 0.0;
   for (const auto& [z1, z2] : normal_samples) {
     const pareto::Point2 y{belief.mu1 + belief.sigma1 * z1,
                            belief.mu2 + belief.sigma2 * z2};
-    sum += pareto::hypervolume_improvement(front, {y}, ref);
+    sum += compiled.hvi(y);
   }
   return sum / static_cast<double>(normal_samples.size());
 }

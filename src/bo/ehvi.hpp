@@ -10,6 +10,16 @@
 // each expectation a one-dimensional truncated-Gaussian moment expressed
 // through psi_ei (common/stats).  O(n) per candidate after an O(n log n)
 // front sort; the paper cites the same complexity class [76].
+//
+// Two evaluation surfaces:
+//   * ehvi_2d — the reference: re-cleans (filter, non-dominate, sort) the
+//     front on every call.  Kept as the differential-testing baseline.
+//   * CompiledFront — the hot path: cleans the front and precomputes the
+//     strip boundaries ONCE (per Kriging-believer pick), then scores any
+//     number of candidates against the frozen geometry.  In kExact mode
+//     each score is bit-identical to ehvi_2d; kFast mode swaps libm's
+//     pdf/cdf pair for the batched polynomial kernel (common/fast_normal),
+//     trading ~3e-9 relative accuracy for ~6x throughput.
 #pragma once
 
 #include "pareto/hypervolume.hpp"
@@ -33,9 +43,72 @@ struct GaussianPair {
                              const std::vector<pareto::Point2>& front,
                              const pareto::Point2& ref);
 
+/// How CompiledFront evaluates the truncated-Gaussian moments.
+enum class EhviMode {
+  /// Batched polynomial pdf/cdf (common/fast_normal): ~6x faster, relative
+  /// error ~3e-9 — far below the posterior's own uncertainty.  Candidates
+  /// with a zero sigma fall back to the exact scalar path, so degenerate
+  /// beliefs still match ehvi_2d bit-for-bit.
+  kFast,
+  /// libm erfc/exp throughout: every score is bit-identical to ehvi_2d.
+  kExact,
+};
+
+/// A Pareto front compiled for repeated EHVI / HVI scoring: the prune,
+/// non-dominated filter, sort and strip-boundary extraction run once in
+/// the constructor instead of once per candidate.  Immutable after
+/// construction; all scoring methods are const and allocate only local
+/// scratch, so one CompiledFront may be scored from many threads at once.
+class CompiledFront {
+ public:
+  /// `front` need not be filtered or sorted (same contract as ehvi_2d).
+  CompiledFront(const std::vector<pareto::Point2>& front,
+                const pareto::Point2& ref, EhviMode mode = EhviMode::kFast);
+
+  /// EHVI of one belief.  kExact: bit-identical to ehvi_2d on the
+  /// constructor's inputs.  Equals ehvi_block on a single element.
+  [[nodiscard]] double ehvi(const GaussianPair& belief) const;
+
+  /// Score `count` beliefs into `out` (block entry point for the engine's
+  /// candidate sweep).  Elementwise identical to calling ehvi() per belief
+  /// — blocking never changes bits.
+  void ehvi_block(const GaussianPair* beliefs, std::size_t count,
+                  double* out) const;
+
+  /// Deterministic hypervolume improvement of adding `y`, bit-identical to
+  /// pareto::hypervolume_improvement(front, {y}, ref) on the constructor's
+  /// inputs, but O(n) with no allocation (the MC estimator and Thompson
+  /// scoring call this per sample).  Mode-independent (no special
+  /// functions involved).
+  [[nodiscard]] double hvi(const pareto::Point2& y) const;
+
+  /// The cleaned front: non-dominated, ascending f1, inside the ref box.
+  [[nodiscard]] const std::vector<pareto::Point2>& front() const {
+    return sorted_;
+  }
+  [[nodiscard]] const pareto::Point2& reference() const { return ref_; }
+  [[nodiscard]] EhviMode mode() const { return mode_; }
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+
+ private:
+  [[nodiscard]] double ehvi_exact(const GaussianPair& belief) const;
+
+  std::vector<pareto::Point2> sorted_;
+  pareto::Point2 ref_;
+  EhviMode mode_;
+  double base_hv_ = 0.0;  ///< hypervolume_2d(sorted_, ref_), for hvi()
+  /// Strip geometry, hoisted out of the per-candidate loop (n = |sorted_|):
+  /// bound1_[i] = f1 of the i-th strip's right edge (a_1..a_n, then r1);
+  /// ceiling2_[k] = the k-th strip's f2 ceiling (r2, then b_1..b_n).
+  std::vector<double> bound1_;
+  std::vector<double> ceiling2_;
+};
+
 /// Monte-Carlo EHVI estimator (used by tests and the micro-benchmarks to
 /// validate ehvi_2d).  `normal_samples` holds pairs of standard-normal
-/// deviates consumed as (z1, z2).
+/// deviates consumed as (z1, z2).  Internally scores every sample against
+/// one CompiledFront (bit-identical to the historical per-sample
+/// hypervolume_improvement formulation, but O(n) per sample).
 [[nodiscard]] double ehvi_2d_monte_carlo(
     const GaussianPair& belief, const std::vector<pareto::Point2>& front,
     const pareto::Point2& ref,

@@ -197,6 +197,8 @@ std::vector<std::size_t> MboEngine::propose_batch(std::size_t batch_size) {
   // --- 4. Sequential-greedy (Kriging believer) selection. -----------------
   const bool thompson =
       options_.acquisition == AcquisitionKind::kThompsonMarginal;
+  const EhviMode ehvi_mode =
+      options_.exact_ehvi ? EhviMode::kExact : EhviMode::kFast;
   std::vector<bool> taken = observed_;
   std::vector<std::size_t> batch;
   last_best_ehvi_.reset();
@@ -231,6 +233,11 @@ std::vector<std::size_t> MboEngine::propose_batch(std::size_t batch_size) {
         }
       }
     }
+    // Compile the frozen working front once per pick: the prune/sort/strip
+    // preprocessing moves out of the per-candidate loop, and every scoring
+    // path below — EHVI, Thompson HVI, serial or blocked — reads the same
+    // compiled geometry, so all paths agree bit-for-bit.
+    const CompiledFront compiled(front, ref, ehvi_mode);
     // Per-candidate acquisition against the frozen working front.
     auto score_candidate = [&](std::size_t c, const gp::Prediction& p1,
                                const gp::Prediction& p2) {
@@ -242,9 +249,9 @@ std::vector<std::size_t> MboEngine::propose_batch(std::size_t batch_size) {
         const pareto::Point2 sample{
             belief.mu1 + belief.sigma1 * thompson_draws[2 * c],
             belief.mu2 + belief.sigma2 * thompson_draws[2 * c + 1]};
-        value = pareto::hypervolume_improvement(front, {sample}, ref);
+        value = compiled.hvi(sample);
       } else {
-        value = ehvi_2d(belief, front, ref);
+        value = compiled.ehvi(belief);
       }
       beliefs[c] = belief;
       values[c] = value;
@@ -314,8 +321,27 @@ std::vector<std::size_t> MboEngine::propose_batch(std::size_t batch_size) {
                           p1.data());
         gp2.predict_block(kstar2, block_indices.data() + begin, count,
                           p2.data());
-        for (std::size_t j = 0; j < count; ++j) {
-          score_candidate(block_indices[begin + j], p1[j], p2[j]);
+        if (thompson) {
+          for (std::size_t j = 0; j < count; ++j) {
+            score_candidate(block_indices[begin + j], p1[j], p2[j]);
+          }
+        } else {
+          // Whole-block EHVI: one batched pdf/cdf pass scores the block.
+          // ehvi_block is elementwise — identical bits to per-candidate
+          // compiled.ehvi() calls, so serial and blocked paths agree.
+          std::vector<GaussianPair> blk_beliefs(count);
+          std::vector<double> blk_values(count);
+          for (std::size_t j = 0; j < count; ++j) {
+            blk_beliefs[j] = {p1[j].mean, p1[j].stddev(), p2[j].mean,
+                              p2[j].stddev()};
+          }
+          compiled.ehvi_block(blk_beliefs.data(), count, blk_values.data());
+          for (std::size_t j = 0; j < count; ++j) {
+            const std::size_t c = block_indices[begin + j];
+            beliefs[c] = blk_beliefs[j];
+            values[c] = blk_values[j];
+            uncertainties[c] = p1[j].variance + p2[j].variance;
+          }
         }
       });
     }

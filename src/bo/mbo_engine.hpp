@@ -50,6 +50,11 @@ struct MboOptions {
   /// reorders floating-point work.  Used by the differential tests and the
   /// fig. 13 overhead benchmark baseline.
   bool full_refit = false;
+  /// Escape hatch: score candidates with libm-exact EHVI (bit-identical to
+  /// the reference ehvi_2d) instead of the default batched polynomial
+  /// kernel (CompiledFront kFast, ~3e-9 relative error).  Differential
+  /// tests pin the two modes against each other.
+  bool exact_ehvi = false;
   /// Hyperparameter-fit cadence.  Every Nth propose_batch runs the full
   /// multi-restart marginal-likelihood search; the fits in between are
   /// warm-started from the previous optimum (a short local polish, an order

@@ -151,6 +151,7 @@ device::Measurement BoflController::run_config(RoundState& state,
   agg.jobs += jobs_d;
   agg.latency_weighted += fresh_latency * jobs_d;
   agg.energy_weighted += m.measured_energy.value() * jobs_d;
+  ++profiles_version_;
   if (flat == x_max_flat_) {
     t_x_max_ = Seconds{agg.mean_latency()};
   }
@@ -241,16 +242,20 @@ void BoflController::exploit_remaining(RoundState& state) {
     const double time_left =
         std::max(0.0, state.trace.deadline.value() -
                           state.trace.elapsed().value());
-    const std::vector<ilp::ConfigProfile> profiles = observed_profiles();
+    const std::vector<ilp::ConfigProfile>& profiles = exploitation_profiles();
     ilp::Schedule schedule;
     if (!profiles.empty()) {
       // While the guardian is armed (drift_factor_ > 1) the aggregates the
       // solver runs on are suspect by the same factor, so shrink its time
       // budget accordingly; infeasible mixes then fall through to x_max.
-      schedule = ilp::solve_round_schedule(
-          profiles, state.remaining,
+      const double budget =
           time_left /
-              ((1.0 + options_.deadline_safety_margin) * drift_factor_));
+          ((1.0 + options_.deadline_safety_margin) * drift_factor_);
+      schedule = schedule_cache_ != nullptr
+                     ? schedule_cache_->solve_pruned(profiles, state.remaining,
+                                                     budget, options_.ilp)
+                     : ilp::solve_round_schedule_pruned(
+                           profiles, state.remaining, budget, options_.ilp);
     }
     if (!schedule.feasible) {
       // No observations yet or no feasible mix: play safe at x_max.
@@ -442,6 +447,7 @@ void BoflController::import_state(
       t_x_max_ = Seconds{obs.mean_latency};
     }
   }
+  ++profiles_version_;
   if (!t_x_max_) {
     // Without the guardian anchor, exploration must restart from scratch —
     // keep the sampled phase-1 plan as is.
@@ -457,6 +463,18 @@ void BoflController::import_state(
           static_cast<double>(engine_.num_candidates());
   phase_ = explored_enough ? Phase::kExploitation
                            : Phase::kParetoConstruction;
+}
+
+const std::vector<ilp::ConfigProfile>& BoflController::exploitation_profiles() {
+  if (pruned_version_ != profiles_version_) {
+    pruned_profiles_ =
+        ilp::prune_dominated_profiles(observed_profiles()).profiles;
+    pruned_version_ = profiles_version_;
+    if (telemetry::Registry* reg = telemetry::global_registry()) {
+      reg->counter("bofl.profile_prunes").add(1);
+    }
+  }
+  return pruned_profiles_;
 }
 
 std::vector<ilp::ConfigProfile> BoflController::observed_profiles() const {

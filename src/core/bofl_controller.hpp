@@ -18,7 +18,9 @@
 // jobs run at x_max (Fig. 7's guardian path).
 #pragma once
 
+#include <cstdint>
 #include <deque>
+#include <limits>
 #include <optional>
 #include <unordered_map>
 
@@ -26,6 +28,7 @@
 #include "core/mbo_cost.hpp"
 #include "core/pace_controller.hpp"
 #include "device/observer.hpp"
+#include "ilp/schedule_cache.hpp"
 #include "ilp/schedule_solver.hpp"
 
 namespace bofl::core {
@@ -68,6 +71,11 @@ struct BoflOptions {
   double drift_guard_cap = 3.0;
   bo::MboOptions mbo{};
   MboCostModel mbo_cost{};
+  /// Branch-and-bound options forwarded to every exploitation solve.  The
+  /// ilp.disable_cache escape hatch makes an attached ScheduleCache (see
+  /// set_schedule_cache) pass every solve through uncached — used by the
+  /// cache-on/off bit-identity tests.
+  ilp::IlpOptions ilp{};
 };
 
 class BoflController final : public PaceController {
@@ -96,6 +104,14 @@ class BoflController final : public PaceController {
   /// Deterministic for any pool size — see bo::MboEngine::set_parallel_pool.
   void set_parallel_pool(runtime::ThreadPool* pool) {
     engine_.set_parallel_pool(pool);
+  }
+
+  /// Route exploitation solves through `cache` (non-owning; nullptr =
+  /// solve directly, the default).  fl::Simulation shares one cache across
+  /// a fleet so cohorts with identical round problems solve each once.
+  /// Bit-identical to uncached solving — see ScheduleCache.
+  void set_schedule_cache(ilp::ScheduleCache* cache) {
+    schedule_cache_ = cache;
   }
 
   /// Measured per-job (energy, latency) profile of every explored
@@ -157,6 +173,11 @@ class BoflController final : public PaceController {
   void explore_candidate(RoundState& state, std::size_t flat);
   /// Finish the round's remaining jobs with the best observed schedule.
   void exploit_remaining(RoundState& state);
+  /// Dominance-pruned observed_profiles(), recomputed only when a
+  /// measurement has changed the aggregate table since the last call (the
+  /// O(k^2) prune used to run on every ILP re-solve; now it runs once per
+  /// profile-table version).
+  [[nodiscard]] const std::vector<ilp::ConfigProfile>& exploitation_profiles();
   /// Run the MBO update between rounds (phase 2), charging its cost.
   void mbo_update(RoundState& state);
   void finish_round_bookkeeping(const RoundSpec& spec);
@@ -173,6 +194,11 @@ class BoflController final : public PaceController {
   std::optional<Seconds> t_x_max_;  ///< measured per-job latency at x_max
   double drift_factor_ = 1.0;       ///< guardian inflation while drifted
   std::unordered_map<std::size_t, Aggregate> aggregates_;
+  /// Bumped on every aggregate mutation; invalidates pruned_profiles_.
+  std::uint64_t profiles_version_ = 0;
+  std::uint64_t pruned_version_ = std::numeric_limits<std::uint64_t>::max();
+  std::vector<ilp::ConfigProfile> pruned_profiles_;
+  ilp::ScheduleCache* schedule_cache_ = nullptr;  ///< non-owning, optional
   std::vector<double> phase1_deadlines_;
   double t_avg_seconds_ = 0.0;
   double hv_prev_ = 0.0;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace bofl::device {
 
@@ -78,6 +79,25 @@ Seconds DeviceModel::round_t_min(const WorkloadProfile& profile,
   BOFL_REQUIRE(num_jobs >= 0, "job count must be non-negative");
   return latency(profile, space_.max_config()) *
          static_cast<double>(num_jobs);
+}
+
+FlatPerfTable FlatPerfTable::build(const DeviceModel& model,
+                                   const WorkloadProfile& profile) {
+  const DvfsSpace& space = model.space();
+  FlatPerfTable table;
+  table.latency_s.reserve(space.size());
+  table.energy_j.reserve(space.size());
+  table.power_w.reserve(space.size());
+  for (std::size_t flat = 0; flat < space.size(); ++flat) {
+    const DvfsConfig config = space.from_flat(flat);
+    table.latency_s.push_back(model.latency(profile, config).value());
+    table.power_w.push_back(model.average_power(profile, config).value());
+    table.energy_j.push_back(model.energy(profile, config).value());
+  }
+  if (telemetry::Registry* reg = telemetry::global_registry()) {
+    reg->counter("device.flat_table_builds").add(1);
+  }
+  return table;
 }
 
 DeviceModel jetson_agx() {

@@ -103,6 +103,28 @@ class DeviceModel {
   DvfsSpace space_;
 };
 
+/// Flat config-indexed SoA snapshot of one (device, workload) pair's exact
+/// per-job cost surface: entry `f` holds the latency / energy / average
+/// power of DvfsSpace::from_flat(f).  The simulation inner loop (the
+/// PerformanceObserver's per-job path) indexes these arrays instead of
+/// re-walking the analytical model — which hides a std::map lookup
+/// (gpu_class_scale) plus pow/voltage arithmetic behind every call.  Each
+/// value is produced by the corresponding DeviceModel method, so table
+/// reads are bit-identical to direct model calls by construction.
+struct FlatPerfTable {
+  std::vector<double> latency_s;  ///< T(x) per job [s]
+  std::vector<double> energy_j;   ///< E(x) per job [J]
+  std::vector<double> power_w;    ///< P(x) average draw [W]
+
+  [[nodiscard]] std::size_t size() const { return latency_s.size(); }
+
+  /// Sweep every flat configuration of `model` under `profile`.  O(|space|)
+  /// model evaluations — ~2100 for the AGX — paid once per (device,
+  /// workload) pair instead of once per job.
+  [[nodiscard]] static FlatPerfTable build(const DeviceModel& model,
+                                           const WorkloadProfile& profile);
+};
+
 /// The Jetson AGX Xavier testbed (Table 1): CPU 0.42–2.26 GHz × 25 steps,
 /// GPU 0.11–1.38 GHz × 14 steps, MEM 0.20–2.13 GHz × 6 steps; 2100 configs.
 [[nodiscard]] DeviceModel jetson_agx();

@@ -75,6 +75,15 @@ void PerformanceObserver::enable_thermal(const ThermalParams& params) {
   thermal_.emplace(params);
 }
 
+const FlatPerfTable& PerformanceObserver::flat_table_for(
+    const WorkloadProfile& profile) {
+  if (!flat_profile_ || !(*flat_profile_ == profile)) {
+    flat_table_ = FlatPerfTable::build(model_, profile);
+    flat_profile_ = profile;
+  }
+  return flat_table_;
+}
+
 Measurement PerformanceObserver::run_jobs(const WorkloadProfile& profile,
                                           const DvfsConfig& config,
                                           std::int64_t count,
@@ -83,12 +92,24 @@ Measurement PerformanceObserver::run_jobs(const WorkloadProfile& profile,
   Measurement m;
   m.jobs = count;
 
+  // Per-job costs come from the flat SoA table (three array reads per
+  // config) unless the escape hatch routes them through the analytical
+  // model; the two are bit-identical (see FlatPerfTable).
+  const FlatPerfTable* table =
+      use_flat_tables_ ? &flat_table_for(profile) : nullptr;
+  const DvfsSpace& space = model_.space();
+
   const bool job_level = noise_.spike_probability > 0.0 ||
                          thermal_.has_value() || faults_ != nullptr;
   if (!job_level) {
     // Fast path: every job is identical.
-    const Seconds per_job_latency = model_.latency(profile, config);
-    const Joules per_job_energy = model_.energy(profile, config);
+    const std::size_t flat = space.to_flat(config);
+    const Seconds per_job_latency =
+        table != nullptr ? Seconds{table->latency_s[flat]}
+                         : model_.latency(profile, config);
+    const Joules per_job_energy = table != nullptr
+                                      ? Joules{table->energy_j[flat]}
+                                      : model_.energy(profile, config);
     const auto jobs = static_cast<double>(count);
     m.true_duration = per_job_latency * jobs;
     m.true_energy = per_job_energy * jobs;
@@ -109,19 +130,23 @@ Measurement PerformanceObserver::run_jobs(const WorkloadProfile& profile,
       DvfsConfig effective = config;
       if (effect.config_cap < 1.0) {
         // The platform governor rejects the requested point (fault seam).
-        effective = clamp_config(model_.space(), effective, effect.config_cap);
+        effective = clamp_config(space, effective, effect.config_cap);
       }
       if (thermal_) {
-        effective = thermal_->effective_config(model_.space(), effective);
+        effective = thermal_->effective_config(space, effective);
         if (thermal_->throttled()) {
           ++throttled_jobs;
         }
       }
-      double latency =
-          model_.latency(profile, effective).value() *
-          effect.latency_multiplier;
-      double energy =
-          model_.energy(profile, effective).value() * effect.energy_multiplier;
+      const std::size_t effective_flat = space.to_flat(effective);
+      const double base_latency =
+          table != nullptr ? table->latency_s[effective_flat]
+                           : model_.latency(profile, effective).value();
+      const double base_energy =
+          table != nullptr ? table->energy_j[effective_flat]
+                           : model_.energy(profile, effective).value();
+      double latency = base_latency * effect.latency_multiplier;
+      double energy = base_energy * effect.energy_multiplier;
       if (effect.latency_multiplier != 1.0 || effect.energy_multiplier != 1.0 ||
           effect.config_cap < 1.0) {
         ++faulted_jobs;

@@ -174,15 +174,32 @@ class PerformanceObserver {
   void set_fault_model(JobFaultModel* faults) { faults_ = faults; }
   [[nodiscard]] JobFaultModel* fault_model() const { return faults_; }
 
+  /// Escape hatch: false routes every job cost through the analytical
+  /// DeviceModel calls instead of the flat config-indexed tables (the
+  /// default).  Table reads are bit-identical to model calls by
+  /// construction — the differential tests assert it — so this only exists
+  /// for those tests and for debugging.
+  void set_use_flat_tables(bool use) { use_flat_tables_ = use; }
+  [[nodiscard]] bool use_flat_tables() const { return use_flat_tables_; }
+
   [[nodiscard]] const DeviceModel& model() const { return model_; }
 
  private:
+  /// The SoA cost table for `profile`, rebuilt only when the profile
+  /// changes (each controller drives one workload, so in practice this
+  /// builds once and then every job is three array reads).
+  [[nodiscard]] const FlatPerfTable& flat_table_for(
+      const WorkloadProfile& profile);
+
   const DeviceModel& model_;
   NoiseModel noise_;
   Rng rng_;
   PowerSensor sensor_;
   std::optional<ThermalState> thermal_;
   JobFaultModel* faults_ = nullptr;
+  bool use_flat_tables_ = true;
+  std::optional<WorkloadProfile> flat_profile_;  ///< profile flat_table_ is for
+  FlatPerfTable flat_table_;
 };
 
 }  // namespace bofl::device

@@ -43,6 +43,11 @@ struct WorkloadProfile {
   /// Power drawn per CPU cycle relative to a compute-dense workload; the
   /// LSTM's host loop is memory-stall heavy and burns less per cycle.
   double cpu_power_intensity = 1.0;
+
+  /// Memberwise equality (exact doubles) — lets FlatPerfTable caches detect
+  /// a profile switch.
+  [[nodiscard]] friend bool operator==(const WorkloadProfile&,
+                                       const WorkloadProfile&) = default;
 };
 
 /// CIFAR10-ViT (minibatch 32): attention-heavy, GPU bound with a visible

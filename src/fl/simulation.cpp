@@ -76,6 +76,10 @@ FederatedSimulation::FederatedSimulation(
                    config_.clients_per_round <= config_.num_clients,
                "participants per round must be in [1, num_clients]");
   BOFL_REQUIRE(config_.rounds >= 1, "need at least one round");
+  if (config_.share_schedule_cache &&
+      config_.controller == ControllerKind::kBofl) {
+    schedule_cache_ = std::make_unique<ilp::ScheduleCache>();
+  }
 }
 
 std::unique_ptr<core::PaceController> FederatedSimulation::make_controller(
@@ -92,8 +96,11 @@ std::unique_ptr<core::PaceController> FederatedSimulation::make_controller(
         options.tau = Seconds{std::min(options.tau.value(),
                                        round_t_min.value() / 8.0)};
       }
-      return std::make_unique<core::BoflController>(model, config_.profile,
-                                                    noise, options, seed);
+      auto controller = std::make_unique<core::BoflController>(
+          model, config_.profile, noise, options, seed);
+      // Fleet-shared exploitation memo (bit-identical; see config docs).
+      controller->set_schedule_cache(schedule_cache_.get());
+      return controller;
     }
     case ControllerKind::kPerformant:
       return std::make_unique<core::PerformantController>(

@@ -107,6 +107,15 @@ struct FlSimulationConfig {
   double uplink_cv = 0.25;
   double upload_safety_factor = 1.25;
 
+  /// Share one ilp::ScheduleCache across the fleet's BoFL controllers so a
+  /// cohort of clients facing the same round problem (identical Pareto
+  /// set, job count, deadline) runs branch-and-bound once instead of once
+  /// per client.  Bit-identical on or off, for any `threads` value (the
+  /// cache keys on exact bits and the solver is deterministic); the
+  /// bofl_options.ilp.disable_cache escape hatch additionally bypasses an
+  /// attached cache per solve.  Ignored for non-BoFL controllers.
+  bool share_schedule_cache = true;
+
   /// Worker threads for the per-round client fan-out (runtime subsystem);
   /// 0 = one per hardware thread, 1 = fully serial.  Results are
   /// bit-identical for every value — clients within a round are independent
@@ -169,6 +178,9 @@ class FederatedSimulation {
 
   std::vector<const device::DeviceModel*> devices_;
   FlSimulationConfig config_;
+  /// Fleet-wide exploitation-ILP memo (share_schedule_cache); thread-safe,
+  /// handed to every BoFL controller as a non-owning pointer.
+  std::unique_ptr<ilp::ScheduleCache> schedule_cache_;
 };
 
 }  // namespace bofl::fl

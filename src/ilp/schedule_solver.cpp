@@ -58,9 +58,21 @@ Schedule finalize(const std::vector<ConfigProfile>& profiles,
 
 }  // namespace
 
+PrunedProfiles prune_dominated_profiles(
+    const std::vector<ConfigProfile>& profiles) {
+  PrunedProfiles pruned;
+  pruned.kept = efficient_profiles(profiles);
+  pruned.profiles.reserve(pruned.kept.size());
+  for (std::size_t i : pruned.kept) {
+    pruned.profiles.push_back(profiles[i]);
+  }
+  return pruned;
+}
+
 Schedule solve_round_schedule(const std::vector<ConfigProfile>& profiles,
                               std::int64_t num_jobs, double deadline_seconds,
                               const IlpOptions& options) {
+  // Validate the full input (including profiles the prune would discard).
   BOFL_REQUIRE(!profiles.empty(), "need at least one configuration profile");
   BOFL_REQUIRE(num_jobs >= 0, "job count must be non-negative");
   BOFL_REQUIRE(deadline_seconds >= 0.0, "deadline must be non-negative");
@@ -73,15 +85,40 @@ Schedule solve_round_schedule(const std::vector<ConfigProfile>& profiles,
     empty.feasible = true;
     return empty;
   }
+  const PrunedProfiles pruned = prune_dominated_profiles(profiles);
+  Schedule schedule = solve_round_schedule_pruned(pruned.profiles, num_jobs,
+                                                  deadline_seconds, options);
+  for (auto& assignment : schedule.assignments) {
+    assignment.first = pruned.kept[assignment.first];
+  }
+  return schedule;
+}
 
-  const std::vector<std::size_t> kept = efficient_profiles(profiles);
-  const std::size_t k = kept.size();
+Schedule solve_round_schedule_pruned(const std::vector<ConfigProfile>& pruned,
+                                     std::int64_t num_jobs,
+                                     double deadline_seconds,
+                                     const IlpOptions& options) {
+  BOFL_REQUIRE(!pruned.empty(), "need at least one configuration profile");
+  BOFL_REQUIRE(num_jobs >= 0, "job count must be non-negative");
+  BOFL_REQUIRE(deadline_seconds >= 0.0, "deadline must be non-negative");
+  for (const ConfigProfile& p : pruned) {
+    BOFL_REQUIRE(p.energy_per_job >= 0.0 && p.latency_per_job > 0.0,
+                 "profiles need non-negative energy and positive latency");
+  }
+  if (num_jobs == 0) {
+    Schedule empty;
+    empty.feasible = true;
+    return empty;
+  }
 
-  // Quick feasibility check: the fastest surviving profile bounds what any
-  // schedule can achieve.
+  const std::vector<ConfigProfile>& profiles = pruned;
+  const std::size_t k = profiles.size();
+
+  // Quick feasibility check: the fastest profile bounds what any schedule
+  // can achieve.
   double fastest = std::numeric_limits<double>::infinity();
-  for (std::size_t i : kept) {
-    fastest = std::min(fastest, profiles[i].latency_per_job);
+  for (const ConfigProfile& p : profiles) {
+    fastest = std::min(fastest, p.latency_per_job);
   }
   if (fastest * static_cast<double>(num_jobs) > deadline_seconds + 1e-9) {
     return {};
@@ -90,7 +127,7 @@ Schedule solve_round_schedule(const std::vector<ConfigProfile>& profiles,
   LpProblem problem;
   problem.objective.resize(k);
   for (std::size_t i = 0; i < k; ++i) {
-    problem.objective[i] = profiles[kept[i]].energy_per_job;
+    problem.objective[i] = profiles[i].energy_per_job;
   }
   LpConstraint all_jobs;
   all_jobs.coefficients.assign(k, 1.0);
@@ -100,7 +137,7 @@ Schedule solve_round_schedule(const std::vector<ConfigProfile>& profiles,
   LpConstraint deadline;
   deadline.coefficients.resize(k);
   for (std::size_t i = 0; i < k; ++i) {
-    deadline.coefficients[i] = profiles[kept[i]].latency_per_job;
+    deadline.coefficients[i] = profiles[i].latency_per_job;
   }
   deadline.relation = Relation::kLessEqual;
   deadline.rhs = deadline_seconds;
@@ -126,10 +163,10 @@ Schedule solve_round_schedule(const std::vector<ConfigProfile>& profiles,
     const auto jobs = static_cast<double>(num_jobs);
     for (std::size_t i = 0; i < k; ++i) {
       for (std::size_t j = 0; j < k; ++j) {
-        const double ti = profiles[kept[i]].latency_per_job;
-        const double tj = profiles[kept[j]].latency_per_job;
-        const double ei = profiles[kept[i]].energy_per_job;
-        const double ej = profiles[kept[j]].energy_per_job;
+        const double ti = profiles[i].latency_per_job;
+        const double tj = profiles[j].latency_per_job;
+        const double ei = profiles[i].energy_per_job;
+        const double ej = profiles[j].energy_per_job;
         // n jobs at profile i, the rest at j; the deadline needs
         //   n * ti + (W - n) * tj <= D.
         std::int64_t n = 0;
@@ -173,7 +210,11 @@ Schedule solve_round_schedule(const std::vector<ConfigProfile>& profiles,
   if (ilp.status != IlpStatus::kOptimal) {
     return {};
   }
-  return finalize(profiles, kept, ilp.x);
+  std::vector<std::size_t> identity(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    identity[i] = i;
+  }
+  return finalize(profiles, identity, ilp.x);
 }
 
 Schedule solve_round_schedule_exhaustive(

@@ -34,12 +34,39 @@ struct Schedule {
   double total_latency = 0.0;
 };
 
+/// A profile set with Pareto-dominated entries removed, plus the mapping
+/// back to the caller's indexing.  `profiles[i]` is a copy of the input's
+/// `kept[i]`-th entry; input order is preserved among survivors.
+struct PrunedProfiles {
+  std::vector<ConfigProfile> profiles;
+  std::vector<std::size_t> kept;
+};
+
+/// Remove profiles Pareto-dominated in (energy, latency); exact duplicates
+/// keep only the lowest-index copy.  O(k^2).  Idempotent: pruning an
+/// already-pruned set returns it unchanged with the identity mapping —
+/// which is what lets callers (BoflController) hoist this out of the
+/// per-round loop and re-run it only when the observed Pareto set changes.
+[[nodiscard]] PrunedProfiles prune_dominated_profiles(
+    const std::vector<ConfigProfile>& profiles);
+
 /// Solve the round problem over `profiles`.  Dominated profiles are pruned
 /// before the ILP (a dominated configuration can never appear in an optimal
 /// schedule; §3.2).  Returns feasible == false when even the fastest
 /// profile cannot meet the deadline.
 [[nodiscard]] Schedule solve_round_schedule(
     const std::vector<ConfigProfile>& profiles, std::int64_t num_jobs,
+    double deadline_seconds, const IlpOptions& options = {});
+
+/// Same round problem, but `pruned` MUST already be dominance-free (the
+/// output of prune_dominated_profiles).  Skips the O(k^2) prune; returned
+/// assignment indices refer to `pruned` itself.  With the prune hoisted,
+/// solve_round_schedule(P, ...) is bit-identical to solving
+/// prune_dominated_profiles(P).profiles here and mapping indices through
+/// .kept — the per-profile doubles, constraint build order, warm-start
+/// search and branch-and-bound trajectory are all unchanged.
+[[nodiscard]] Schedule solve_round_schedule_pruned(
+    const std::vector<ConfigProfile>& pruned, std::int64_t num_jobs,
     double deadline_seconds, const IlpOptions& options = {});
 
 /// Exhaustive reference solver (exponential; tests only).  Enumerates all

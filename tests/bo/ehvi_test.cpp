@@ -83,6 +83,162 @@ TEST(Ehvi, RejectsNegativeSigma) {
       std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// CompiledFront: the strip-compiled scorer introduced by the steady-state
+// hot-path work.  kExact must be bitwise-equal to the ehvi_2d reference;
+// kFast trades libm for the batched polynomial kernel and is pinned to a
+// tight relative tolerance instead.
+// ---------------------------------------------------------------------------
+
+std::vector<pareto::Point2> random_front(Rng& rng, const pareto::Point2& ref,
+                                         std::size_t max_points) {
+  std::vector<pareto::Point2> front;
+  const std::size_t n = rng.uniform_index(max_points + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mostly inside the reference box, occasionally outside to exercise the
+    // clipping path the reference applies.
+    front.push_back({rng.uniform(0.0, ref.f1 * 1.2),
+                     rng.uniform(0.0, ref.f2 * 1.2)});
+  }
+  return front;
+}
+
+GaussianPair random_belief(Rng& rng, const pareto::Point2& ref) {
+  // sigma == 0 shows up with probability ~1/4 per axis: degenerate beliefs
+  // are common in practice (repeat measurements collapse the posterior).
+  const double s1 = rng.uniform() < 0.25 ? 0.0 : rng.uniform(0.05, 1.5);
+  const double s2 = rng.uniform() < 0.25 ? 0.0 : rng.uniform(0.05, 1.5);
+  return {rng.uniform(-0.5, ref.f1 * 1.1), s1,
+          rng.uniform(-0.5, ref.f2 * 1.1), s2};
+}
+
+TEST(CompiledFront, ExactModeIsBitwiseEqualToReference) {
+  Rng rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    const pareto::Point2 ref{rng.uniform(2.0, 6.0), rng.uniform(2.0, 6.0)};
+    const std::vector<pareto::Point2> front = random_front(rng, ref, 8);
+    const CompiledFront compiled(front, ref, EhviMode::kExact);
+    for (int b = 0; b < 5; ++b) {
+      const GaussianPair belief = random_belief(rng, ref);
+      EXPECT_EQ(compiled.ehvi(belief), ehvi_2d(belief, front, ref))
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(CompiledFront, FastModeTracksReferenceTightly) {
+  Rng rng(202);
+  for (int trial = 0; trial < 200; ++trial) {
+    const pareto::Point2 ref{rng.uniform(2.0, 6.0), rng.uniform(2.0, 6.0)};
+    const std::vector<pareto::Point2> front = random_front(rng, ref, 8);
+    const CompiledFront compiled(front, ref, EhviMode::kFast);
+    for (int b = 0; b < 5; ++b) {
+      const GaussianPair belief = random_belief(rng, ref);
+      const double exact = ehvi_2d(belief, front, ref);
+      const double fast = compiled.ehvi(belief);
+      EXPECT_NEAR(fast, exact, 1e-6 * std::max(1.0, std::abs(exact)))
+          << "trial " << trial;
+      if (belief.sigma1 == 0.0 && belief.sigma2 == 0.0) {
+        // Fully degenerate beliefs take the exact scalar path even in kFast.
+        EXPECT_EQ(fast, exact);
+      }
+    }
+  }
+}
+
+TEST(CompiledFront, DegenerateCasesMatchReferenceExactly) {
+  const pareto::Point2 ref{4.0, 4.0};
+  const std::vector<pareto::Point2> front{{1.0, 3.0}, {2.0, 1.0}};
+  for (const EhviMode mode : {EhviMode::kExact, EhviMode::kFast}) {
+    // Empty front.
+    const CompiledFront empty({}, ref, mode);
+    const GaussianPair belief{1.0, 0.5, 1.0, 0.5};
+    if (mode == EhviMode::kExact) {
+      EXPECT_EQ(empty.ehvi(belief), ehvi_2d(belief, {}, ref));
+    } else {
+      EXPECT_NEAR(empty.ehvi(belief), ehvi_2d(belief, {}, ref), 1e-8);
+    }
+    const CompiledFront compiled(front, ref, mode);
+    // Both sigmas zero: the EHVI is the deterministic HVI, exactly.
+    const GaussianPair deterministic{0.5, 0.0, 0.5, 0.0};
+    EXPECT_EQ(compiled.ehvi(deterministic),
+              ehvi_2d(deterministic, front, ref));
+    // Deterministic mean exactly on the reference boundary: zero both ways.
+    const GaussianPair on_boundary{ref.f1, 0.0, 1.0, 0.0};
+    EXPECT_EQ(compiled.ehvi(on_boundary), 0.0);
+    EXPECT_EQ(ehvi_2d(on_boundary, front, ref), 0.0);
+    // Mean exactly on a front point with zero sigma: no improvement.
+    const GaussianPair on_front{1.0, 0.0, 3.0, 0.0};
+    EXPECT_EQ(compiled.ehvi(on_front), ehvi_2d(on_front, front, ref));
+  }
+}
+
+TEST(CompiledFront, BlockScoringEqualsPerCandidateScoring) {
+  Rng rng(303);
+  for (const EhviMode mode : {EhviMode::kExact, EhviMode::kFast}) {
+    const pareto::Point2 ref{5.0, 5.0};
+    const std::vector<pareto::Point2> front = random_front(rng, ref, 6);
+    const CompiledFront compiled(front, ref, mode);
+    std::vector<GaussianPair> beliefs;
+    for (int i = 0; i < 37; ++i) {
+      beliefs.push_back(random_belief(rng, ref));
+    }
+    std::vector<double> block(beliefs.size());
+    compiled.ehvi_block(beliefs.data(), beliefs.size(), block.data());
+    for (std::size_t i = 0; i < beliefs.size(); ++i) {
+      // Block size must never change an element's bits (this is what makes
+      // batched scoring safe inside the deterministic parallel engine).
+      EXPECT_EQ(block[i], compiled.ehvi(beliefs[i])) << "i = " << i;
+    }
+  }
+}
+
+TEST(CompiledFront, RejectsNegativeSigma) {
+  const CompiledFront compiled({}, {1.0, 1.0}, EhviMode::kFast);
+  EXPECT_THROW((void)compiled.ehvi({0.0, 1.0, 0.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(CompiledFront, HviMatchesParetoHypervolumeImprovement) {
+  Rng rng(404);
+  for (int trial = 0; trial < 300; ++trial) {
+    const pareto::Point2 ref{rng.uniform(2.0, 6.0), rng.uniform(2.0, 6.0)};
+    const std::vector<pareto::Point2> front = random_front(rng, ref, 8);
+    const CompiledFront compiled(front, ref, EhviMode::kFast);
+    pareto::Point2 y{rng.uniform(-0.5, ref.f1 * 1.2),
+                     rng.uniform(-0.5, ref.f2 * 1.2)};
+    if (!front.empty() && trial % 3 == 0) {
+      // Force duplicates and shared coordinates — the sharp edges of the
+      // O(n) incremental derivation.
+      y = front[rng.uniform_index(front.size())];
+      if (trial % 6 == 0) {
+        y.f2 = rng.uniform(0.0, ref.f2);
+      }
+    }
+    EXPECT_EQ(compiled.hvi(y),
+              pareto::hypervolume_improvement(front, {y}, ref))
+        << "trial " << trial << " y = (" << y.f1 << ", " << y.f2 << ")";
+  }
+}
+
+TEST(CompiledFront, MonteCarloEstimatorUnchangedByCompilation) {
+  // The MC estimator now routes through CompiledFront::hvi; it must return
+  // the same bits as the direct hypervolume_improvement loop it replaced.
+  const pareto::Point2 ref{4.0, 4.0};
+  const std::vector<pareto::Point2> front{{1.0, 3.0}, {2.5, 0.7}};
+  const GaussianPair belief{1.5, 0.6, 1.5, 0.8};
+  const auto samples = normal_samples(5000, 99);
+  double sum = 0.0;
+  for (const auto& [z1, z2] : samples) {
+    sum += pareto::hypervolume_improvement(
+        front,
+        {{belief.mu1 + belief.sigma1 * z1, belief.mu2 + belief.sigma2 * z2}},
+        ref);
+  }
+  const double manual = sum / static_cast<double>(samples.size());
+  EXPECT_EQ(ehvi_2d_monte_carlo(belief, front, ref, samples), manual);
+}
+
 // The heavyweight property: exact EHVI matches Monte-Carlo estimates over
 // randomized fronts, beliefs and reference points.
 class EhviMonteCarlo : public ::testing::TestWithParam<std::uint64_t> {};

@@ -392,6 +392,39 @@ TEST(MboEngine, RefreshPeriodZeroAlwaysRunsFullSearch) {
   EXPECT_FALSE(a.empty());
 }
 
+TEST(MboEngine, ExactEhviEscapeHatchPicksTheSameBatches) {
+  // The default acquisition scores candidates with the fast polynomial
+  // normal kernel; exact_ehvi routes through the libm reference.  The
+  // kernel's relative error (~1e-8) is far below the EHVI gaps between
+  // distinct grid candidates here, so both modes must select identical
+  // batches over several warm rounds.
+  SyntheticProblem problem;
+  MboOptions fast_options;
+  fast_options.hyperopt.num_restarts = 2;
+  fast_options.hyperopt.max_iterations_per_start = 80;
+  MboOptions exact_options = fast_options;
+  exact_options.exact_ehvi = true;
+  auto run_rounds = [&](const MboOptions& opts) {
+    MboEngine engine(problem.candidates, opts, 13);
+    Rng rng(13 * 31);
+    for (std::size_t i = 0; i < 8; ++i) {
+      const std::size_t c = rng.uniform_index(problem.candidates.size());
+      engine.add_observation({c, problem.values[c].f1, problem.values[c].f2});
+    }
+    std::vector<std::size_t> trace;
+    for (int round = 0; round < 3; ++round) {
+      const std::vector<std::size_t> batch = engine.propose_batch(4);
+      trace.insert(trace.end(), batch.begin(), batch.end());
+      for (const std::size_t c : batch) {
+        engine.add_observation(
+            {c, problem.values[c].f1, problem.values[c].f2});
+      }
+    }
+    return trace;
+  };
+  EXPECT_EQ(run_rounds(fast_options), run_rounds(exact_options));
+}
+
 TEST(MboEngine, NumObservedCandidatesCountsDistinct) {
   SyntheticProblem problem;
   MboEngine engine(problem.candidates, {}, 1);

@@ -1,0 +1,115 @@
+#include "common/fast_normal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace bofl {
+namespace {
+
+// Evaluate the batch kernel at a single point.
+void fast_pair(double t, double* pdf, double* cdf) {
+  normal_pdf_cdf_batch(&t, 1, pdf, cdf);
+}
+
+TEST(FastNormal, PdfMatchesReferenceAcrossTheRealLine) {
+  for (double t = -37.0; t <= 37.0; t += 0.0137) {
+    double pdf = 0.0;
+    double cdf = 0.0;
+    fast_pair(t, &pdf, &cdf);
+    const double ref = normal_pdf(t);
+    EXPECT_NEAR(pdf, ref, 5e-15) << "t = " << t;
+    if (ref > 0.0) {
+      EXPECT_NEAR(pdf / ref, 1.0, 1e-8) << "t = " << t;
+    }
+  }
+}
+
+TEST(FastNormal, CdfAbsoluteErrorTiny) {
+  for (double t = -37.0; t <= 37.0; t += 0.0137) {
+    double pdf = 0.0;
+    double cdf = 0.0;
+    fast_pair(t, &pdf, &cdf);
+    EXPECT_NEAR(cdf, normal_cdf(t), 5e-15) << "t = " << t;
+  }
+}
+
+TEST(FastNormal, CdfRelativeErrorInTheBody) {
+  // Main rational branch: |t| below the series seam at 5/sqrt(2) ~ 7.07.
+  for (double t = -7.0; t <= 7.0; t += 0.0041) {
+    double pdf = 0.0;
+    double cdf = 0.0;
+    fast_pair(t, &pdf, &cdf);
+    EXPECT_NEAR(cdf / normal_cdf(t), 1.0, 1e-8) << "t = " << t;
+  }
+}
+
+TEST(FastNormal, CdfRelativeErrorAcrossTheTailSeam) {
+  // The Mills-ratio series takes over past the seam; the hand-off region
+  // is the least accurate part of the kernel.
+  for (double t = -9.0; t <= -7.0; t += 0.0013) {
+    double pdf = 0.0;
+    double cdf = 0.0;
+    fast_pair(t, &pdf, &cdf);
+    const double ref = normal_cdf(t);
+    ASSERT_GT(ref, 0.0);
+    EXPECT_NEAR(cdf / ref, 1.0, 5e-6) << "t = " << t;
+  }
+}
+
+TEST(FastNormal, SaturatesExactlyLikeLibm) {
+  // Upper saturation: erfc underflows, cdf is exactly 1.
+  double pdf = 0.0;
+  double cdf = 0.0;
+  fast_pair(8.4, &pdf, &cdf);
+  EXPECT_EQ(cdf, 1.0);
+  // Deep lower tail: both pdf and cdf flush to exact 0.0 (preserving
+  // exact-zero acquisition ties with the libm path).
+  fast_pair(-38.0, &pdf, &cdf);
+  EXPECT_EQ(cdf, 0.0);
+  EXPECT_EQ(pdf, 0.0);
+  fast_pair(-1e300, &pdf, &cdf);
+  EXPECT_EQ(cdf, 0.0);
+  EXPECT_EQ(pdf, 0.0);
+}
+
+TEST(FastNormal, BatchBitwiseEqualsPerElement) {
+  // Determinism contract: an element's output bits must not depend on the
+  // batch size or its position (guards against divergent vectorized vs
+  // scalar-epilogue code paths, e.g. FMA contraction differences).
+  Rng rng(20260806);
+  std::vector<double> t(1031);
+  for (double& v : t) {
+    v = rng.normal() * 8.0;
+  }
+  std::vector<double> pdf_batch(t.size());
+  std::vector<double> cdf_batch(t.size());
+  normal_pdf_cdf_batch(t.data(), t.size(), pdf_batch.data(), cdf_batch.data());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    double pdf = 0.0;
+    double cdf = 0.0;
+    fast_pair(t[i], &pdf, &cdf);
+    EXPECT_EQ(pdf, pdf_batch[i]) << "i = " << i << " t = " << t[i];
+    EXPECT_EQ(cdf, cdf_batch[i]) << "i = " << i << " t = " << t[i];
+  }
+}
+
+TEST(FastNormal, SymmetryHolds) {
+  for (double t = 0.0; t <= 8.0; t += 0.017) {
+    double pdf_p = 0.0;
+    double cdf_p = 0.0;
+    double pdf_n = 0.0;
+    double cdf_n = 0.0;
+    fast_pair(t, &pdf_p, &cdf_p);
+    fast_pair(-t, &pdf_n, &cdf_n);
+    EXPECT_EQ(pdf_p, pdf_n) << "t = " << t;
+    EXPECT_NEAR(cdf_p + cdf_n, 1.0, 1e-14) << "t = " << t;
+  }
+}
+
+}  // namespace
+}  // namespace bofl

@@ -1,0 +1,103 @@
+// Flat SoA device tables (ISSUE 5): one latency/energy/power value per flat
+// config index, produced by the very DeviceModel calls they replace — so
+// every comparison here is exact (==, not near).
+#include <gtest/gtest.h>
+
+#include "device/device_model.hpp"
+#include "device/observer.hpp"
+#include "device/workload.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace bofl::device {
+namespace {
+
+TEST(FlatPerfTable, EveryEntryEqualsTheModelCall) {
+  for (const DeviceModel& model : {jetson_agx(), jetson_tx2()}) {
+    for (const WorkloadProfile& profile : paper_profiles()) {
+      const FlatPerfTable table = FlatPerfTable::build(model, profile);
+      const DvfsSpace& space = model.space();
+      ASSERT_EQ(table.size(), space.size());
+      for (std::size_t flat = 0; flat < space.size(); ++flat) {
+        const DvfsConfig config = space.from_flat(flat);
+        EXPECT_EQ(table.latency_s[flat],
+                  model.latency(profile, config).value());
+        EXPECT_EQ(table.energy_j[flat], model.energy(profile, config).value());
+        EXPECT_EQ(table.power_w[flat],
+                  model.average_power(profile, config).value());
+      }
+    }
+  }
+}
+
+Measurement run_batch(PerformanceObserver& observer,
+                      const WorkloadProfile& profile, const DvfsConfig& config,
+                      std::int64_t jobs) {
+  SimClock clock;
+  return observer.run_jobs(profile, config, jobs, clock);
+}
+
+void expect_identical(const Measurement& a, const Measurement& b) {
+  EXPECT_EQ(a.jobs, b.jobs);
+  EXPECT_EQ(a.true_duration.value(), b.true_duration.value());
+  EXPECT_EQ(a.true_energy.value(), b.true_energy.value());
+  EXPECT_EQ(a.measured_latency.value(), b.measured_latency.value());
+  EXPECT_EQ(a.measured_energy.value(), b.measured_energy.value());
+}
+
+TEST(FlatPerfTable, ObserverFastPathIsBitIdenticalWithTablesOff) {
+  const DeviceModel agx = jetson_agx();
+  const WorkloadProfile profile = vit_profile();
+  const DvfsSpace& space = agx.space();
+  NoiseModel noise;
+  PerformanceObserver with_tables(agx, noise, 99);
+  PerformanceObserver without_tables(agx, noise, 99);
+  without_tables.set_use_flat_tables(false);
+  ASSERT_TRUE(with_tables.use_flat_tables());
+  ASSERT_FALSE(without_tables.use_flat_tables());
+  for (std::size_t flat = 0; flat < space.size(); flat += 7) {
+    const DvfsConfig config = space.from_flat(flat);
+    expect_identical(run_batch(with_tables, profile, config, 5),
+                     run_batch(without_tables, profile, config, 5));
+  }
+}
+
+TEST(FlatPerfTable, DisturbedPathIsBitIdenticalWithTablesOff) {
+  // Spikes + thermal throttling exercise the per-job table lookups with a
+  // clamped effective config — the seam where an indexing bug would hide.
+  const DeviceModel agx = jetson_agx();
+  const WorkloadProfile profile = resnet50_profile();
+  NoiseModel noise;
+  noise.spike_probability = 0.2;
+  noise.thermal = ThermalParams{};
+  noise.thermal->throttle_temp_c = 40.0;  // throttle early and often
+  PerformanceObserver with_tables(agx, noise, 7);
+  PerformanceObserver without_tables(agx, noise, 7);
+  without_tables.set_use_flat_tables(false);
+  const DvfsConfig hot = agx.space().max_config();
+  for (int batch = 0; batch < 4; ++batch) {
+    expect_identical(run_batch(with_tables, profile, hot, 20),
+                     run_batch(without_tables, profile, hot, 20));
+  }
+}
+
+TEST(FlatPerfTable, RebuildsOnlyWhenTheProfileChanges) {
+  const DeviceModel agx = jetson_agx();
+  PerformanceObserver observer(agx, NoiseModel{}, 3);
+  const DvfsConfig config = agx.space().max_config();
+  telemetry::Registry registry;
+  telemetry::set_global_registry(&registry);
+  (void)run_batch(observer, vit_profile(), config, 2);
+  (void)run_batch(observer, vit_profile(), config, 2);   // cached
+  (void)run_batch(observer, lstm_profile(), config, 2);  // rebuild
+  telemetry::set_global_registry(nullptr);
+  for (const auto& counter : registry.snapshot().counters) {
+    if (counter.name == "device.flat_table_builds") {
+      EXPECT_EQ(counter.value, 2u);
+      return;
+    }
+  }
+  FAIL() << "device.flat_table_builds counter never ticked";
+}
+
+}  // namespace
+}  // namespace bofl::device
