@@ -1,13 +1,27 @@
-// Fleet-scaling benchmark for the runtime subsystem: sweep fleet size x
-// worker count over the federated simulation and report per-round wall
-// time, speedup over the serial run, and parallel efficiency.  Also checks
-// the runtime's determinism contract as it goes: every thread count must
-// reproduce the serial run's total energy and final accuracy bit-for-bit.
+// Fleet-scaling benchmark, two engines:
+//
+//   1. Per-object engine (fl::Simulation): sweep fleet size x worker count
+//      and report per-round wall time, speedup over the serial run, and
+//      parallel efficiency.  Checks the runtime's determinism contract as
+//      it goes: every thread count must reproduce the serial run's total
+//      energy and final accuracy bit-for-bit.
+//   2. Sharded fleet engine (src/fleet): sweep fleet sizes into the 10^5–
+//      10^6 range and report per-round wall time, microseconds per
+//      client-round, SoA bytes per client (must stay flat), and peak RSS.
+//      Each size re-runs re-sharded + parallel and compares trace hashes —
+//      the engine's bit-identity contract.
 //
 //   bench_fleet_scaling [--threads N] [--rounds R] [--clients-list 16,64]
+//                       [--ratio 8.0] [--fleet-clients-list 1000,...]
+//                       [--fleet-rounds N] [--million]
 //
 // --threads caps the sweep's largest worker count (0 / absent = one worker
 // per hardware thread; the sweep always includes 1, 2, 4 when they fit).
+// --ratio is the deadline ratio for BOTH engines: the default 8 keeps
+// steady-state rounds in exploitation so the ILP/cache hot path is what's
+// measured (a ratio of 2 pins clients in exploration and measures the wrong
+// regime).  --million appends the 10^6-client x 100-round cell to the fleet
+// sweep (minutes, off by default).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -19,14 +33,16 @@
 #include "device/device_model.hpp"
 #include "figure_common.hpp"
 #include "fl/simulation.hpp"
+#include "fleet/fleet_engine.hpp"
 #include "runtime/thread_pool.hpp"
+#include "telemetry/process.hpp"
 
 namespace {
 
 using namespace bofl;
 
 fl::FlSimulationConfig base_config(std::size_t clients, std::int64_t rounds,
-                                   std::size_t threads) {
+                                   std::size_t threads, double ratio) {
   fl::FlSimulationConfig config;
   config.num_clients = clients;
   config.clients_per_round = std::max<std::size_t>(1, clients / 2);
@@ -34,6 +50,7 @@ fl::FlSimulationConfig base_config(std::size_t clients, std::int64_t rounds,
   config.shard_examples = 128;
   config.seed = 7;
   config.threads = threads;
+  config.deadline_ratio = ratio;
   return config;
 }
 
@@ -57,11 +74,26 @@ std::vector<std::size_t> parse_list(const std::string& csv,
   return out;
 }
 
+fleet::FleetConfig fleet_config(std::size_t clients, std::int64_t rounds,
+                                double ratio, std::size_t shards,
+                                std::size_t threads) {
+  fleet::FleetConfig config;
+  config.num_clients = clients;
+  config.rounds = rounds;
+  config.cohort_fraction = 0.01;
+  config.deadline_ratio = ratio;
+  config.seed = 7;
+  config.shards = shards;
+  config.threads = threads;
+  return config;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const FlagParser flags(argc, argv);
   const auto rounds = flags.get_int("rounds", 3);
+  const double ratio = flags.get_double("ratio", 8.0);
   const std::size_t max_threads =
       flags.get_int("threads", 0) > 0
           ? static_cast<std::size_t>(flags.get_int("threads", 0))
@@ -91,8 +123,8 @@ int main(int argc, char** argv) {
   bool deterministic = true;
   telemetry::JsonValue cells = telemetry::JsonValue::array();
   for (const std::size_t clients : fleets) {
-    std::printf("\n%zu clients, %zu/round, %lld rounds:\n", clients,
-                std::max<std::size_t>(1, clients / 2),
+    std::printf("\n%zu clients, %zu/round, %lld rounds (per-object engine):\n",
+                clients, std::max<std::size_t>(1, clients / 2),
                 static_cast<long long>(rounds));
     std::printf("  %8s %14s %10s %12s\n", "threads", "round [ms]", "speedup",
                 "efficiency");
@@ -100,8 +132,8 @@ int main(int argc, char** argv) {
     Joules serial_energy{0.0};
     double serial_accuracy = 0.0;
     for (const std::size_t threads : thread_counts) {
-      fl::FederatedSimulation sim(devices,
-                                  base_config(clients, rounds, threads));
+      fl::FederatedSimulation sim(
+          devices, base_config(clients, rounds, threads, ratio));
       const auto start = std::chrono::steady_clock::now();
       const fl::FlSimulationResult result = sim.run();
       const auto stop = std::chrono::steady_clock::now();
@@ -122,7 +154,8 @@ int main(int argc, char** argv) {
                   100.0 * speedup / static_cast<double>(threads),
                   same ? "" : "  [MISMATCH vs threads=1]");
       telemetry::JsonValue cell = telemetry::JsonValue::object();
-      cell.set("clients", clients)
+      cell.set("engine", "per-object")
+          .set("clients", clients)
           .set("threads", threads)
           .set("round_ms", ms)
           .set("speedup", speedup)
@@ -133,10 +166,72 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Sharded fleet engine: size sweep with bit-identity re-check. -------
+  const auto fleet_rounds = flags.get_int("fleet-rounds", 20);
+  std::vector<std::size_t> fleet_sizes = parse_list(
+      flags.get("fleet-clients-list", ""), {1'000, 10'000, 100'000});
+  std::int64_t million_rounds = 0;
+  if (flags.get_bool("million")) {
+    fleet_sizes.push_back(1'000'000);
+    million_rounds = 100;  // the full paper-scale curve
+  }
+
+  std::printf("\nsharded fleet engine (cohort 1%%, ratio %.1f, "
+              "%lld rounds/size):\n", ratio,
+              static_cast<long long>(fleet_rounds));
+  std::printf("  %10s %12s %16s %10s %10s %10s\n", "clients", "round [ms]",
+              "us/client-round", "B/client", "RSS [MB]", "queue");
+  for (const std::size_t clients : fleet_sizes) {
+    const std::int64_t size_rounds =
+        clients >= 1'000'000 && million_rounds > 0 ? million_rounds
+                                                   : fleet_rounds;
+    // Reference trace: serial, single shard.
+    fleet::FleetEngine reference(
+        fleet_config(clients, size_rounds, ratio, 1, 1));
+    const fleet::FleetResult ref_result = reference.run();
+    // Measured run: auto shards, full worker pool.
+    fleet::FleetEngine engine(
+        fleet_config(clients, size_rounds, ratio, 0, max_threads));
+    const auto start = std::chrono::steady_clock::now();
+    const fleet::FleetResult result = engine.run();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count() /
+        static_cast<double>(size_rounds);
+    const bool same = result.trace_hash == ref_result.trace_hash;
+    deterministic = deterministic && same;
+    const double us_per_client_round =
+        1000.0 * ms / static_cast<double>(clients);
+    const double rss_mb =
+        static_cast<double>(result.peak_rss_bytes) / (1024.0 * 1024.0);
+    std::printf("  %10zu %12.1f %16.3f %10.1f %10.1f %10llu%s\n", clients, ms,
+                us_per_client_round, result.bytes_per_client(), rss_mb,
+                static_cast<unsigned long long>(result.max_queue_depth),
+                same ? "" : "  [MISMATCH vs shards=1/threads=1]");
+    telemetry::JsonValue cell = telemetry::JsonValue::object();
+    cell.set("engine", "fleet")
+        .set("clients", clients)
+        .set("rounds", size_rounds)
+        .set("shards", result.num_shards)
+        .set("threads", max_threads)
+        .set("round_ms", ms)
+        .set("us_per_client_round", us_per_client_round)
+        .set("bytes_per_client", result.bytes_per_client())
+        .set("peak_rss_bytes", static_cast<double>(result.peak_rss_bytes))
+        .set("max_queue_depth",
+             static_cast<double>(result.max_queue_depth))
+        .set("miss_rate", result.miss_rate())
+        .set("phase3_fraction", result.phase3_fraction())
+        .set("deterministic", same);
+    cells.push_back(std::move(cell));
+  }
+
   std::printf("\ndeterminism across thread counts: %s\n",
               deterministic ? "ok (bit-identical)" : "VIOLATED");
   telemetry::JsonValue metrics = telemetry::JsonValue::object();
   metrics.set("rounds", rounds)
+      .set("fleet_rounds", fleet_rounds)
+      .set("deadline_ratio", ratio)
       .set("deterministic", deterministic)
       .set("cells", std::move(cells));
   bench::write_bench_json("fleet_scaling", std::move(metrics));

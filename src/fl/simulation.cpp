@@ -1,9 +1,12 @@
 #include "fl/simulation.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <optional>
 #include <utility>
 
 #include "common/error.hpp"
+#include "fleet/event_queue.hpp"
 #include "core/bofl_controller.hpp"
 #include "core/linear_controller.hpp"
 #include "core/oracle_controller.hpp"
@@ -372,26 +375,29 @@ FlSimulationResult FederatedSimulation::run() {
       }
     }
     bool all_met = true;
-    const double straggler_cutoff =
+    // Round close is event-driven: arrivals drain from a completion queue in
+    // (time, participant) order, and the drain stops counting at the
+    // straggler cutoff — same accounting as the polling loop this replaced
+    // (max + counts are order-independent), bit for bit.
+    const std::optional<double> straggler_cutoff =
         config_.straggler_timeout > 0.0
-            ? config_.straggler_timeout * server_deadline.value()
-            : 0.0;
-    double round_wall = 0.0;
-    for (const LocalUpdate& update : updates) {
+            ? std::optional<double>(config_.straggler_timeout *
+                                    server_deadline.value())
+            : std::nullopt;
+    fleet::CompletionQueue<double> arrivals;
+    for (std::size_t k = 0; k < updates.size(); ++k) {
+      const LocalUpdate& update = updates[k];
       all_met = all_met && update.pace_trace.deadline_met() &&
                 update.reported_in_time;
       stats.energy += update.pace_trace.energy() + update.pace_trace.mbo_energy;
-      const double arrival = update.pace_trace.elapsed().value() +
-                             update.upload_duration.value();
-      if (straggler_cutoff > 0.0 && arrival > straggler_cutoff) {
-        // The server stops waiting: the round closes without this report.
-        ++stats.timed_out;
-        round_wall = std::max(round_wall, straggler_cutoff);
-      } else {
-        round_wall = std::max(round_wall, arrival);
-      }
+      arrivals.push({update.pace_trace.elapsed().value() +
+                         update.upload_duration.value(),
+                     static_cast<std::uint64_t>(k)});
     }
-    stats.round_wall = Seconds{round_wall};
+    const fleet::RoundClose<double> close =
+        fleet::close_round(arrivals, straggler_cutoff);
+    stats.timed_out += close.timed_out;
+    stats.round_wall = Seconds{close.wall};
     policy->record_outcome(all_met);
     stats.accepted = server.aggregate(updates);
 

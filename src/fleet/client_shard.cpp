@@ -1,0 +1,51 @@
+#include "fleet/client_shard.hpp"
+
+#include <algorithm>
+
+namespace bofl::fleet {
+
+void ShardRoundStats::merge(const ShardRoundStats& other) {
+  energy_uj += other.energy_uj;
+  mbo_energy_uj += other.mbo_energy_uj;
+  busy_us += other.busy_us;
+  wall_us = std::max(wall_us, other.wall_us);
+  max_deadline_us = std::max(max_deadline_us, other.max_deadline_us);
+  queue_peak = std::max(queue_peak, other.queue_peak);
+  participants += other.participants;
+  dropped += other.dropped;
+  missed += other.missed;
+  stragglers += other.stragglers;
+  timed_out += other.timed_out;
+  phase1 += other.phase1;
+  phase2 += other.phase2;
+  phase3 += other.phase3;
+}
+
+void ShardTelemetry::merge(const ShardTelemetry& other) {
+  events_pushed += other.events_pushed;
+  selections += other.selections;
+  dropouts += other.dropouts;
+  deadline_misses += other.deadline_misses;
+}
+
+ClientShard::ClientShard(runtime::ShardRange range) : range_(range) {
+  const std::size_t n = range_.size();
+  cluster.resize(n, 0);
+  participations.resize(n, 0);
+  rng_cursor.resize(n, 0);
+  energy_uj.resize(n, 0);
+  busy_us.resize(n, 0);
+  misses.resize(n, 0);
+}
+
+std::uint64_t ClientShard::soa_bytes() const {
+  return static_cast<std::uint64_t>(
+      cluster.capacity() * sizeof(std::uint16_t) +
+      participations.capacity() * sizeof(std::uint32_t) +
+      rng_cursor.capacity() * sizeof(std::uint32_t) +
+      energy_uj.capacity() * sizeof(std::uint64_t) +
+      busy_us.capacity() * sizeof(std::uint64_t) +
+      misses.capacity() * sizeof(std::uint32_t));
+}
+
+}  // namespace bofl::fleet

@@ -1,0 +1,175 @@
+#include "fleet/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/mbo_cost.hpp"
+#include "ilp/schedule_solver.hpp"
+
+namespace bofl::fleet {
+
+namespace {
+
+/// RNG domain tags: each cluster derives independent streams for its
+/// deadline schedule and its canonical controller from the fleet seed via
+/// stream_seed, so adding clusters (or re-sharding clients) never shifts an
+/// existing cluster's draws.
+constexpr std::uint64_t kDeadlineDomain = 0xF1EE7'DEAD'11E5ULL;
+constexpr std::uint64_t kCanonicalDomain = 0xF1EE7'C0DE'C7F1ULL;
+
+}  // namespace
+
+std::uint64_t to_micros(Seconds s) {
+  const double v = s.value();
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(v * 1e6));
+}
+
+std::uint64_t to_microjoules(Joules j) {
+  const double v = j.value();
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(v * 1e6));
+}
+
+ClusterEngine::ClusterEngine(std::size_t index, const ClusterSpec& spec,
+                             const FleetConfig& config,
+                             ilp::ScheduleCache* cache,
+                             const faults::FaultInjector* injector)
+    : index_(index),
+      model_(spec.model),
+      profile_(spec.profile),
+      kind_(config.controller),
+      jobs_per_round_(config.jobs_per_round),
+      deadline_rng_(stream_seed(config.seed ^ kDeadlineDomain, index)),
+      deadline_ratio_(config.deadline_ratio),
+      cache_(cache) {
+  BOFL_REQUIRE(model_ != nullptr, "cluster needs a device model");
+  BOFL_REQUIRE(jobs_per_round_ >= 1, "cluster needs at least one job/round");
+  BOFL_REQUIRE(deadline_ratio_ >= 1.0, "deadline ratio must be >= 1");
+  t_min_ = model_->round_t_min(profile_, jobs_per_round_);
+  table_ = device::FlatPerfTable::build(*model_, profile_);
+  x_max_flat_ = model_->space().to_flat(model_->space().max_config());
+  if (kind_ == FleetControllerKind::kBofl) {
+    core::BoflOptions options = config.bofl_options;
+    options.mbo_cost = core::mbo_cost_for_device(model_->name());
+    if (config.auto_scale_tau) {
+      // Same rule as fl::Simulation: keep τ meaningfully smaller than a
+      // round so short fleet rounds can still explore.
+      options.tau =
+          Seconds{std::min(options.tau.value(), t_min_.value() / 8.0)};
+    }
+    controller_ = std::make_unique<core::BoflController>(
+        *model_, profile_, device::NoiseModel{}, options,
+        stream_seed(config.seed ^ kCanonicalDomain, index));
+    controller_->set_schedule_cache(cache_);
+    if (injector != nullptr && injector->plan().has_device_faults()) {
+      // The channel's "client" is the cluster index: the canonical device
+      // IS the cluster as far as device-level faults are concerned.
+      channel_ =
+          injector->make_device_channel(static_cast<std::int64_t>(index_));
+      controller_->install_fault_model(channel_.get());
+    }
+  } else {
+    // Reference policies schedule over the true cost surface: the
+    // dominance-pruned flat table is their (exact) Pareto front.
+    std::vector<ilp::ConfigProfile> all;
+    all.reserve(table_.size());
+    for (std::size_t flat = 0; flat < table_.size(); ++flat) {
+      all.push_back(ilp::ConfigProfile{flat, table_.energy_j[flat],
+                                       table_.latency_s[flat]});
+    }
+    true_front_ = ilp::prune_dominated_profiles(all).profiles;
+  }
+}
+
+void ClusterEngine::extend_to(std::size_t entries) {
+  while (trajectory_.size() < entries) {
+    append_entry();
+  }
+}
+
+void ClusterEngine::append_entry() {
+  const auto k = static_cast<std::int64_t>(trajectory_.size());
+  // The paper's §6.1 protocol per trajectory entry: uniform in
+  // [T_min, ratio * T_min].  Draws are strictly sequential in k, so lazy
+  // extension reproduces the eager schedule.
+  const Seconds deadline =
+      t_min_ * deadline_rng_.uniform(1.0, deadline_ratio_);
+  const core::RoundSpec spec{k, jobs_per_round_, deadline};
+  RoundEntry entry = kind_ == FleetControllerKind::kBofl
+                         ? bofl_entry(spec)
+                         : reference_entry(spec);
+  entry.deadline_us = to_micros(deadline);
+  trajectory_.push_back(entry);
+}
+
+ClusterEngine::RoundEntry ClusterEngine::bofl_entry(
+    const core::RoundSpec& spec) {
+  const core::RoundTrace trace = controller_->run_round(spec);
+  RoundEntry entry;
+  entry.elapsed_us = to_micros(trace.elapsed());
+  entry.energy_uj = to_microjoules(trace.energy());
+  entry.mbo_energy_uj = to_microjoules(trace.mbo_energy);
+  entry.phase = trace.phase;
+  if (channel_ != nullptr) {
+    // Extension runs serially from the round loop, so the canonical
+    // device's fault episodes land in the telemetry stream in entry order.
+    for (const faults::FaultEvent& event : channel_->drain_events(spec.index)) {
+      faults::emit_fault_event(event);
+    }
+  }
+  return entry;
+}
+
+ClusterEngine::RoundEntry ClusterEngine::reference_entry(
+    const core::RoundSpec& spec) {
+  RoundEntry entry;
+  entry.phase = core::Phase::kExploitation;
+  const double t_max_lat = table_.latency_s[x_max_flat_];
+  const double t_max_energy = table_.energy_j[x_max_flat_];
+  const auto jobs = static_cast<double>(spec.num_jobs);
+  if (kind_ == FleetControllerKind::kOracle) {
+    const ilp::IlpOptions ilp_options{};
+    const ilp::Schedule schedule =
+        cache_ != nullptr
+            ? cache_->solve_pruned(true_front_, spec.num_jobs,
+                                   spec.deadline.value(), ilp_options)
+            : ilp::solve_round_schedule_pruned(true_front_, spec.num_jobs,
+                                               spec.deadline.value(),
+                                               ilp_options);
+    if (schedule.feasible) {
+      entry.elapsed_us = to_micros(Seconds{schedule.total_latency});
+      entry.energy_uj = to_microjoules(Joules{schedule.total_energy});
+      return entry;
+    }
+    // Infeasible even for the oracle: run flat out and eat the miss.
+  }
+  entry.elapsed_us = to_micros(Seconds{jobs * t_max_lat});
+  entry.energy_uj = to_microjoules(Joules{jobs * t_max_energy});
+  return entry;
+}
+
+std::vector<std::size_t> ClusterEngine::pareto_flat_ids() const {
+  if (kind_ == FleetControllerKind::kBofl) {
+    return controller_->pareto_flat_ids();
+  }
+  std::vector<std::size_t> ids;
+  ids.reserve(true_front_.size());
+  for (const ilp::ConfigProfile& profile : true_front_) {
+    ids.push_back(profile.config_id);
+  }
+  return ids;
+}
+
+const char* to_string(FleetControllerKind kind) {
+  switch (kind) {
+    case FleetControllerKind::kBofl:
+      return "BoFL";
+    case FleetControllerKind::kPerformant:
+      return "Performant";
+    case FleetControllerKind::kOracle:
+      return "Oracle";
+  }
+  return "unknown";
+}
+
+}  // namespace bofl::fleet

@@ -1,0 +1,118 @@
+// Per-cluster canonical cost trajectories.
+//
+// At fleet scale most clients are near-duplicates: same SoC, same workload
+// class (ROADMAP item 2's observation).  The fleet engine therefore keeps
+// ONE canonical pace controller per cluster — a full BoflController (or the
+// Performant / Oracle reference policy) running on the cluster's device
+// model with the cluster's own deadline stream — and represents every
+// client in the cluster as a replay of the canonical per-participation
+// trajectory, scaled by that client's pure-hash heterogeneity and jitter
+// factors.  A client that has participated k times sits at trajectory entry
+// k; entries are extended lazily (and serially, in cluster-id order) to the
+// deepest cursor any participant of the upcoming round needs, so extension
+// is a pure function of the round's participant set and never depends on
+// shard or thread counts.
+//
+// Entries are quantized to integer microseconds / microjoules.  That is
+// what makes the whole engine's cross-shard arithmetic associative: every
+// downstream accumulation is integer addition or max, so fleet traces are
+// bit-identical at any shard count (see fleet_engine.hpp).
+//
+// The cluster also owns the cluster-level device::FlatPerfTable (the PR 5
+// SoA cost surface, built once per cluster instead of once per client) and
+// shares the fleet-wide ilp::ScheduleCache, so the steady-state exploitation
+// work of a million near-duplicate clients is paid once per distinct round
+// problem.  The cluster index is the "Pareto-front handle": clients carry
+// only the index; the front itself (pareto_flat_ids) lives here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/bofl_controller.hpp"
+#include "faults/fault_injector.hpp"
+#include "fleet/fleet_config.hpp"
+#include "ilp/schedule_cache.hpp"
+
+namespace bofl::fleet {
+
+/// Quantization helpers: the engine's integer units.
+[[nodiscard]] std::uint64_t to_micros(Seconds s);
+[[nodiscard]] std::uint64_t to_microjoules(Joules j);
+
+class ClusterEngine {
+ public:
+  /// `spec.model` and `cache` (nullable) must outlive the engine.  When
+  /// `injector` (nullable) carries device-level faults, the canonical
+  /// controller runs behind a DeviceFaultChannel keyed on the cluster
+  /// index, so storms / clamps / flaky reads hit the whole cluster's
+  /// trajectory exactly as they would a single device.
+  ClusterEngine(std::size_t index, const ClusterSpec& spec,
+                const FleetConfig& config, ilp::ScheduleCache* cache,
+                const faults::FaultInjector* injector);
+
+  /// One canonical participation: what a cluster-median client pays the
+  /// k-th time it is selected.
+  struct RoundEntry {
+    std::uint64_t deadline_us = 0;    ///< assigned round deadline
+    std::uint64_t elapsed_us = 0;     ///< training wall time
+    std::uint64_t energy_uj = 0;      ///< training energy
+    std::uint64_t mbo_energy_uj = 0;  ///< MBO update cost (phases 1–2)
+    core::Phase phase = core::Phase::kExploitation;
+  };
+
+  /// Ensure at least `entries` trajectory entries exist.  Serial only (the
+  /// engine calls this from the round loop before the shard fan-out).
+  void extend_to(std::size_t entries);
+
+  [[nodiscard]] const RoundEntry& entry(std::size_t k) const {
+    return trajectory_[k];
+  }
+  [[nodiscard]] std::size_t size() const { return trajectory_.size(); }
+
+  [[nodiscard]] std::size_t index() const { return index_; }
+  [[nodiscard]] const device::DeviceModel& model() const { return *model_; }
+  [[nodiscard]] const device::WorkloadProfile& profile() const {
+    return profile_;
+  }
+  /// Round T_min (Table 2 definition) of the cluster's device/workload.
+  [[nodiscard]] Seconds t_min() const { return t_min_; }
+  /// Cluster-level SoA cost surface (shared by reference policies and
+  /// reporting; clients never build their own).
+  [[nodiscard]] const device::FlatPerfTable& flat_table() const {
+    return table_;
+  }
+  /// The cluster's Pareto front, as flat config ids: the canonical BoFL
+  /// controller's constructed front, or the true front for the reference
+  /// policies.  This is what a client's "Pareto-front handle" (its cluster
+  /// index) dereferences to.
+  [[nodiscard]] std::vector<std::size_t> pareto_flat_ids() const;
+
+ private:
+  void append_entry();
+  [[nodiscard]] RoundEntry bofl_entry(const core::RoundSpec& spec);
+  [[nodiscard]] RoundEntry reference_entry(const core::RoundSpec& spec);
+
+  std::size_t index_ = 0;
+  const device::DeviceModel* model_ = nullptr;
+  device::WorkloadProfile profile_;
+  FleetControllerKind kind_ = FleetControllerKind::kBofl;
+  std::int64_t jobs_per_round_ = 0;
+  Seconds t_min_{0.0};
+  device::FlatPerfTable table_;
+  std::size_t x_max_flat_ = 0;
+  /// True-front profiles (dominance-pruned over the flat table), used by
+  /// the Oracle policy's per-entry ILP.
+  std::vector<ilp::ConfigProfile> true_front_;
+  Rng deadline_rng_;
+  double deadline_ratio_ = 8.0;
+  ilp::ScheduleCache* cache_ = nullptr;  ///< non-owning, optional
+  /// Canonical BoFL controller (kBofl only) and its fault channel.
+  std::unique_ptr<faults::DeviceFaultChannel> channel_;
+  std::unique_ptr<core::BoflController> controller_;
+  std::vector<RoundEntry> trajectory_;
+};
+
+}  // namespace bofl::fleet

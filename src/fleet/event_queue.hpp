@@ -1,0 +1,121 @@
+// Event-driven round scheduling: a priority queue of client-completion
+// events drained in deterministic (timestamp, client-id) order.
+//
+// This replaces per-client polling in the round loop.  A round pushes one
+// completion event per participating client (training elapsed + any
+// straggler delay) and then *drains* the queue in arrival order, which is
+// exactly what the server experiences: reports trickling in until either
+// everyone reported or the straggler cutoff fires.  The ordering rule —
+// ascending timestamp, ties broken by ascending client id — makes the drain
+// sequence a pure function of the event set, so any producer order (any
+// worker count, any shard layout) yields the same sequence.
+//
+// The queue is single-owner by design: one shard (or one fl::Simulation
+// round loop) owns one queue and touches it from one task at a time, so no
+// synchronization is needed — the same ownership discipline as
+// faults::DeviceFaultChannel.
+//
+// Time is a template parameter: fl::Simulation schedules in double seconds;
+// the fleet engine schedules in integer microseconds so cross-shard
+// reductions stay associative (see fleet_engine.hpp).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace bofl::fleet {
+
+/// One "client finished (and its report arrived)" event.
+template <typename Time>
+struct CompletionEvent {
+  Time time{};
+  std::uint64_t client = 0;
+
+  /// Drain order: earliest arrival first, client id breaking ties.
+  friend bool operator<(const CompletionEvent& a, const CompletionEvent& b) {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    return a.client < b.client;
+  }
+  friend bool operator==(const CompletionEvent&,
+                         const CompletionEvent&) = default;
+};
+
+/// Min-heap of completion events with peak-depth tracking (the
+/// `fleet.event_queue_depth` telemetry histogram samples peak_depth() once
+/// per shard per round).  pop_next() returns events in (time, client) order.
+template <typename Time>
+class CompletionQueue {
+ public:
+  void push(CompletionEvent<Time> event) {
+    heap_.push_back(event);
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    peak_depth_ = std::max(peak_depth_, heap_.size());
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Remove and return the earliest event (requires !empty()).
+  CompletionEvent<Time> pop_next() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    CompletionEvent<Time> event = heap_.back();
+    heap_.pop_back();
+    return event;
+  }
+
+  /// Largest size() ever seen (across rounds, until reset_peak()).
+  [[nodiscard]] std::size_t peak_depth() const { return peak_depth_; }
+  void reset_peak() { peak_depth_ = heap_.size(); }
+
+  /// Drop all events; keeps the heap's capacity for the next round.
+  void clear() { heap_.clear(); }
+
+ private:
+  struct Later {
+    bool operator()(const CompletionEvent<Time>& a,
+                    const CompletionEvent<Time>& b) const {
+      return b < a;  // min-heap
+    }
+  };
+  std::vector<CompletionEvent<Time>> heap_;
+  std::size_t peak_depth_ = 0;
+};
+
+/// Round-close accounting over a drained queue: the server waits for
+/// reports in arrival order and stops at `cutoff` when one is set.
+template <typename Time>
+struct RoundClose {
+  Time wall{};                ///< last counted arrival (bounded by cutoff)
+  std::size_t arrived = 0;    ///< reports within the cutoff
+  std::size_t timed_out = 0;  ///< reports past the cutoff
+};
+
+/// Drain `queue` to empty, folding each arrival into the round-close
+/// accounting: an arrival strictly past `cutoff` counts as timed out and
+/// bounds the wall at the cutoff (the server stopped waiting); otherwise the
+/// wall advances to the arrival.  With no cutoff the wall is simply the last
+/// arrival.  The result is order-independent (max + counts), so it equals
+/// the per-client polling loop it replaced, bit for bit.
+template <typename Time>
+[[nodiscard]] RoundClose<Time> close_round(CompletionQueue<Time>& queue,
+                                           std::optional<Time> cutoff) {
+  RoundClose<Time> close;
+  while (!queue.empty()) {
+    const CompletionEvent<Time> event = queue.pop_next();
+    if (cutoff.has_value() && event.time > *cutoff) {
+      ++close.timed_out;
+      close.wall = std::max(close.wall, *cutoff);
+    } else {
+      ++close.arrived;
+      close.wall = std::max(close.wall, event.time);
+    }
+  }
+  return close;
+}
+
+}  // namespace bofl::fleet

@@ -1,0 +1,455 @@
+#include "fleet/fleet_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "telemetry/process.hpp"
+
+namespace bofl::fleet {
+
+namespace {
+
+// RNG domain tags (DESIGN.md §6f).  Every stochastic fleet decision hashes
+// (seed ^ domain, ids) through stream_seed, so the domains are mutually
+// independent substreams of one fleet seed and none of them depends on the
+// shard layout or worker count.
+constexpr std::uint64_t kClusterDomain = 0xF1EE7'05A1'7ED5ULL;  // client→cluster
+constexpr std::uint64_t kSelectDomain = 0xF1EE7'5E1E'C7EDULL;   // cohort draw
+constexpr std::uint64_t kSpeedDomain = 0xF1EE7'5B33'D000ULL;    // heterogeneity
+constexpr std::uint64_t kJitterDomain = 0xF1EE7'01'77E2ULL;     // round noise
+
+/// Uniform double in [0, 1) from a pure hash — no generator state.
+[[nodiscard]] double hash_unit(std::uint64_t base, std::uint64_t stream) {
+  return static_cast<double>(stream_seed(base, stream) >> 11) * 0x1.0p-53;
+}
+
+[[nodiscard]] std::uint64_t scale_us(std::uint64_t quantized, double factor) {
+  return factor == 1.0 ? quantized
+                       : static_cast<std::uint64_t>(std::llround(
+                             static_cast<double>(quantized) * factor));
+}
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_fold(std::uint64_t& hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xFFU;
+    hash *= kFnvPrime;
+  }
+}
+
+void fold_round(std::uint64_t& hash, const FleetRoundStats& stats) {
+  fnv_fold(hash, static_cast<std::uint64_t>(stats.round));
+  fnv_fold(hash, stats.energy_uj);
+  fnv_fold(hash, stats.mbo_energy_uj);
+  fnv_fold(hash, stats.busy_us);
+  fnv_fold(hash, stats.wall_us);
+  fnv_fold(hash, stats.deadline_ref_us);
+  fnv_fold(hash, stats.participants);
+  fnv_fold(hash, stats.dropped);
+  fnv_fold(hash, stats.missed);
+  fnv_fold(hash, stats.stragglers);
+  fnv_fold(hash, stats.timed_out);
+  fnv_fold(hash, stats.phase1);
+  fnv_fold(hash, stats.phase2);
+  fnv_fold(hash, stats.phase3);
+}
+
+}  // namespace
+
+double FleetResult::total_energy_j() const {
+  double sum = 0.0;
+  for (const FleetRoundStats& stats : rounds) {
+    sum += stats.energy_j();
+  }
+  return sum;
+}
+
+double FleetResult::total_mbo_energy_j() const {
+  double sum = 0.0;
+  for (const FleetRoundStats& stats : rounds) {
+    sum += stats.mbo_energy_j();
+  }
+  return sum;
+}
+
+std::uint64_t FleetResult::total_participants() const {
+  std::uint64_t sum = 0;
+  for (const FleetRoundStats& stats : rounds) {
+    sum += stats.participants;
+  }
+  return sum;
+}
+
+double FleetResult::miss_rate() const {
+  std::uint64_t missed = 0;
+  for (const FleetRoundStats& stats : rounds) {
+    missed += stats.missed;
+  }
+  const std::uint64_t total = total_participants();
+  return total == 0 ? 0.0
+                    : static_cast<double>(missed) / static_cast<double>(total);
+}
+
+double FleetResult::timeout_rate() const {
+  std::uint64_t late = 0;
+  for (const FleetRoundStats& stats : rounds) {
+    late += stats.timed_out;
+  }
+  const std::uint64_t total = total_participants();
+  return total == 0 ? 0.0
+                    : static_cast<double>(late) / static_cast<double>(total);
+}
+
+double FleetResult::bytes_per_client() const {
+  return num_clients == 0 ? 0.0
+                          : static_cast<double>(soa_bytes) /
+                                static_cast<double>(num_clients);
+}
+
+double FleetResult::phase3_fraction() const {
+  std::uint64_t exploit = 0;
+  for (const FleetRoundStats& stats : rounds) {
+    exploit += stats.phase3;
+  }
+  const std::uint64_t total = total_participants();
+  return total == 0 ? 0.0
+                    : static_cast<double>(exploit) / static_cast<double>(total);
+}
+
+FleetEngine::FleetEngine(FleetConfig config) : config_(std::move(config)) {
+  BOFL_REQUIRE(config_.num_clients > 0, "fleet needs at least one client");
+  BOFL_REQUIRE(config_.rounds >= 0, "fleet round count must be >= 0");
+  BOFL_REQUIRE(
+      config_.cohort_fraction > 0.0 && config_.cohort_fraction <= 1.0,
+      "cohort fraction must be in (0, 1]");
+  BOFL_REQUIRE(config_.straggler_timeout >= 0.0,
+               "straggler timeout must be >= 0");
+  BOFL_REQUIRE(config_.heterogeneity_cv >= 0.0 && config_.round_noise_cv >= 0.0,
+               "noise CVs must be >= 0");
+
+  specs_ = config_.clusters;
+  if (specs_.empty()) {
+    owned_models_.push_back(device::jetson_agx());
+    specs_.push_back(
+        ClusterSpec{&owned_models_.front(), device::vit_profile(), 1.0});
+  }
+  BOFL_REQUIRE(specs_.size() <= 0xFFFF,
+               "cluster index must fit the SoA u16 column");
+  double total_weight = 0.0;
+  for (const ClusterSpec& spec : specs_) {
+    BOFL_REQUIRE(spec.weight > 0.0, "cluster weights must be positive");
+    total_weight += spec.weight;
+  }
+  double cumulative = 0.0;
+  cluster_cdf_.reserve(specs_.size());
+  for (const ClusterSpec& spec : specs_) {
+    cumulative += spec.weight / total_weight;
+    cluster_cdf_.push_back(cumulative);
+  }
+  cluster_cdf_.back() = 1.0;  // absorb rounding; hash_unit() is always < 1
+
+  if (config_.fault_plan.has_value()) {
+    injector_.emplace(*config_.fault_plan, config_.seed);
+  }
+  cache_ = std::make_unique<ilp::ScheduleCache>();
+  const faults::FaultInjector* injector =
+      injector_.has_value() ? &*injector_ : nullptr;
+  clusters_.reserve(specs_.size());
+  for (std::size_t c = 0; c < specs_.size(); ++c) {
+    clusters_.push_back(std::make_unique<ClusterEngine>(
+        c, specs_[c], config_, cache_.get(), injector));
+  }
+
+  const std::size_t num_shards =
+      runtime::resolve_shard_count(config_.num_clients, config_.shards);
+  shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    shards_.emplace_back(
+        runtime::shard_range(config_.num_clients, num_shards, s));
+  }
+  // Cluster assignment is a weighted pure-hash draw on the client id, so it
+  // is the same function of the id under every shard layout.
+  const std::uint64_t cluster_base = config_.seed ^ kClusterDomain;
+  for (ClientShard& shard : shards_) {
+    shard.needed_entries.assign(clusters_.size(), 0);
+    const std::size_t begin = shard.range().begin;
+    for (std::size_t i = 0; i < shard.size(); ++i) {
+      std::size_t c = 0;
+      if (cluster_cdf_.size() > 1) {
+        const double u = hash_unit(cluster_base, begin + i);
+        c = static_cast<std::size_t>(
+            std::upper_bound(cluster_cdf_.begin(), cluster_cdf_.end(), u) -
+            cluster_cdf_.begin());
+        c = std::min(c, cluster_cdf_.size() - 1);
+      }
+      shard.cluster[i] = static_cast<std::uint16_t>(c);
+    }
+  }
+
+  if (telemetry::Registry* reg = telemetry::global_registry()) {
+    tel_.rounds = &reg->counter("fleet.rounds");
+    tel_.participants = &reg->counter("fleet.participants");
+    tel_.dropouts = &reg->counter("fleet.dropouts");
+    tel_.misses = &reg->counter("fleet.deadline_misses");
+    tel_.stragglers = &reg->counter("fleet.stragglers");
+    tel_.timed_out = &reg->counter("fleet.timed_out");
+    tel_.events = &reg->counter("fleet.events_pushed");
+    tel_.clients = &reg->gauge("fleet.clients");
+    tel_.shards = &reg->gauge("fleet.shards");
+    tel_.soa_bytes = &reg->gauge("fleet.soa_bytes");
+    tel_.peak_rss = &reg->gauge("fleet.peak_rss_bytes");
+    tel_.queue_depth = &reg->histogram(
+        "fleet.event_queue_depth", telemetry::exponential_buckets(1.0, 2.0, 24));
+    tel_.round_energy = &reg->histogram("fleet.round_energy_j");
+    tel_.clients->set(static_cast<double>(config_.num_clients));
+    tel_.shards->set(static_cast<double>(shards_.size()));
+    tel_.soa_bytes->set(static_cast<double>(soa_bytes()));
+  }
+}
+
+FleetEngine::~FleetEngine() = default;
+
+std::uint64_t FleetEngine::soa_bytes() const {
+  std::uint64_t total = 0;
+  for (const ClientShard& shard : shards_) {
+    total += shard.soa_bytes();
+  }
+  return total;
+}
+
+FleetResult FleetEngine::run() {
+  runtime::ThreadPool pool(config_.threads);
+  FleetResult result;
+  result.num_clients = config_.num_clients;
+  result.num_shards = shards_.size();
+  result.num_clusters = clusters_.size();
+  result.rounds.reserve(static_cast<std::size_t>(config_.rounds));
+  std::uint64_t hash = kFnvOffset;
+  for (std::int64_t round = 0; round < config_.rounds; ++round) {
+    const FleetRoundStats stats = run_round(round, &pool);
+    fold_round(hash, stats);
+    publish_round(stats);
+    result.rounds.push_back(stats);
+    for (const ClientShard& shard : shards_) {
+      result.max_queue_depth =
+          std::max(result.max_queue_depth, shard.round_stats.queue_peak);
+    }
+  }
+  result.trace_hash = hash;
+  result.soa_bytes = soa_bytes();
+  result.peak_rss_bytes = telemetry::peak_rss_bytes();
+  for (const ClientShard& shard : shards_) {
+    result.telemetry.merge(shard.telemetry);
+  }
+  if (tel_.peak_rss != nullptr) {
+    tel_.soa_bytes->set(static_cast<double>(result.soa_bytes));
+    tel_.peak_rss->set(static_cast<double>(result.peak_rss_bytes));
+  }
+  return result;
+}
+
+FleetRoundStats FleetEngine::run_round(std::int64_t round,
+                                       runtime::ThreadPool* pool) {
+  const faults::FaultInjector* injector =
+      injector_.has_value() ? &*injector_ : nullptr;
+  const bool fl_faults =
+      injector != nullptr && injector->plan().has_fl_faults();
+  const std::uint64_t select_base = stream_seed(
+      config_.seed ^ kSelectDomain, static_cast<std::uint64_t>(round));
+  const double cohort_fraction = config_.cohort_fraction;
+
+  // Pass 1 (parallel): selection, dropout, needed trajectory depth.
+  runtime::parallel_for_each(pool, shards_.size(), [&](std::size_t s) {
+    ClientShard& shard = shards_[s];
+    shard.round_stats = ShardRoundStats{};
+    shard.cohort.clear();
+    std::fill(shard.needed_entries.begin(), shard.needed_entries.end(), 0U);
+    const std::size_t begin = shard.range().begin;
+    const std::size_t count = shard.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t client = begin + i;
+      if (hash_unit(select_base, client) >= cohort_fraction) {
+        continue;
+      }
+      if (fl_faults &&
+          injector->client_drops(round, static_cast<std::int64_t>(client))) {
+        ++shard.round_stats.dropped;
+        ++shard.telemetry.dropouts;
+        continue;
+      }
+      shard.cohort.push_back(static_cast<std::uint32_t>(i));
+      std::uint32_t& needed = shard.needed_entries[shard.cluster[i]];
+      needed = std::max(needed, shard.participations[i] + 1);
+    }
+  });
+
+  // Serial: extend canonical trajectories in cluster order, then draw the
+  // round's deadline jitter (one fleet-wide factor, as in fl::Simulation).
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    std::uint32_t needed = 0;
+    for (const ClientShard& shard : shards_) {
+      needed = std::max(needed, shard.needed_entries[c]);
+    }
+    clusters_[c]->extend_to(needed);
+  }
+  double deadline_jitter = 1.0;
+  if (fl_faults) {
+    deadline_jitter = injector->deadline_jitter(round);
+    if (deadline_jitter != 1.0) {
+      faults::emit_fault_event(
+          faults::FaultEvent{faults::FaultKind::kDeadlineJitter, round, -1,
+                             0.0, deadline_jitter});
+    }
+  }
+
+  // Pass 2 (parallel): per-client costs, event pushes, SoA accumulation.
+  const double het_cv = config_.heterogeneity_cv;
+  const double noise_cv = config_.round_noise_cv;
+  const std::uint64_t speed_base = config_.seed ^ kSpeedDomain;
+  const std::uint64_t jitter_base = config_.seed ^ kJitterDomain;
+  runtime::parallel_for_each(pool, shards_.size(), [&](std::size_t s) {
+    ClientShard& shard = shards_[s];
+    ShardRoundStats& stats = shard.round_stats;
+    const std::size_t begin = shard.range().begin;
+    for (const std::uint32_t i : shard.cohort) {
+      const std::uint64_t client = begin + i;
+      const ClusterEngine& cluster = *clusters_[shard.cluster[i]];
+      const ClusterEngine::RoundEntry& entry =
+          cluster.entry(shard.participations[i]);
+      // The client's silicon/binning factor (lifetime constant) and this
+      // participation's execution jitter — both pure functions of ids.
+      double speed = 1.0;
+      if (het_cv > 0.0) {
+        Rng rng(stream_seed(speed_base, client));
+        speed = rng.lognormal_mean1(het_cv);
+      }
+      double lat_jitter = 1.0;
+      double energy_jitter = 1.0;
+      if (noise_cv > 0.0) {
+        Rng rng(stream_seed(stream_seed(jitter_base, client),
+                            shard.rng_cursor[i]));
+        lat_jitter = rng.lognormal_mean1(noise_cv);
+        energy_jitter = rng.lognormal_mean1(noise_cv);
+      }
+      const std::uint64_t elapsed_us =
+          scale_us(entry.elapsed_us, speed * lat_jitter);
+      const std::uint64_t energy_uj =
+          scale_us(entry.energy_uj, speed * energy_jitter);
+      const std::uint64_t mbo_uj = scale_us(entry.mbo_energy_uj, speed);
+      const std::uint64_t deadline_us =
+          scale_us(entry.deadline_us, deadline_jitter);
+
+      std::uint64_t arrival_us = elapsed_us;
+      if (fl_faults) {
+        const double factor = injector->straggler_factor(
+            round, static_cast<std::int64_t>(client));
+        if (factor > 1.0) {
+          arrival_us += static_cast<std::uint64_t>(std::llround(
+              (factor - 1.0) * static_cast<double>(deadline_us)));
+          ++stats.stragglers;
+        }
+      }
+      shard.queue.push({arrival_us, client});
+      ++shard.telemetry.events_pushed;
+      ++shard.telemetry.selections;
+
+      const bool miss = elapsed_us > deadline_us;
+      stats.energy_uj += energy_uj;
+      stats.mbo_energy_uj += mbo_uj;
+      stats.busy_us += elapsed_us;
+      stats.max_deadline_us = std::max(stats.max_deadline_us, deadline_us);
+      ++stats.participants;
+      stats.missed += miss ? 1U : 0U;
+      shard.telemetry.deadline_misses += miss ? 1U : 0U;
+      switch (entry.phase) {
+        case core::Phase::kSafeRandomExploration:
+          ++stats.phase1;
+          break;
+        case core::Phase::kParetoConstruction:
+          ++stats.phase2;
+          break;
+        case core::Phase::kExploitation:
+          ++stats.phase3;
+          break;
+      }
+
+      shard.participations[i] += 1;
+      shard.rng_cursor[i] += 1;
+      shard.energy_uj[i] += energy_uj;
+      shard.busy_us[i] += elapsed_us;
+      shard.misses[i] += miss ? 1U : 0U;
+    }
+  });
+
+  // Serial: the straggler cutoff needs the fleet-wide reference deadline.
+  std::uint64_t deadline_ref_us = 0;
+  for (const ClientShard& shard : shards_) {
+    deadline_ref_us =
+        std::max(deadline_ref_us, shard.round_stats.max_deadline_us);
+  }
+  std::optional<std::uint64_t> cutoff_us;
+  if (config_.straggler_timeout > 0.0 && deadline_ref_us > 0) {
+    cutoff_us = static_cast<std::uint64_t>(
+        std::llround(config_.straggler_timeout *
+                     static_cast<double>(deadline_ref_us)));
+  }
+
+  // Pass 3 (parallel): drain each shard's event queue in (time, client)
+  // order; the round wall and timeout counts come out of the drain.
+  runtime::parallel_for_each(pool, shards_.size(), [&](std::size_t s) {
+    ClientShard& shard = shards_[s];
+    const RoundClose<std::uint64_t> close =
+        close_round(shard.queue, cutoff_us);
+    shard.round_stats.wall_us = close.wall;
+    shard.round_stats.timed_out = static_cast<std::uint32_t>(close.timed_out);
+    shard.round_stats.queue_peak = shard.queue.peak_depth();
+    shard.queue.reset_peak();
+  });
+
+  // Serial: merge in shard order (integer adds + maxes — layout-invariant).
+  ShardRoundStats merged;
+  for (const ClientShard& shard : shards_) {
+    merged.merge(shard.round_stats);
+  }
+  FleetRoundStats out;
+  out.round = round;
+  out.energy_uj = merged.energy_uj;
+  out.mbo_energy_uj = merged.mbo_energy_uj;
+  out.busy_us = merged.busy_us;
+  out.wall_us = merged.wall_us;
+  out.deadline_ref_us = deadline_ref_us;
+  out.participants = merged.participants;
+  out.dropped = merged.dropped;
+  out.missed = merged.missed;
+  out.stragglers = merged.stragglers;
+  out.timed_out = merged.timed_out;
+  out.phase1 = merged.phase1;
+  out.phase2 = merged.phase2;
+  out.phase3 = merged.phase3;
+  return out;
+}
+
+void FleetEngine::publish_round(const FleetRoundStats& stats) {
+  if (tel_.rounds == nullptr) {
+    return;
+  }
+  tel_.rounds->add(1);
+  tel_.participants->add(stats.participants);
+  tel_.dropouts->add(stats.dropped);
+  tel_.misses->add(stats.missed);
+  tel_.stragglers->add(stats.stragglers);
+  tel_.timed_out->add(stats.timed_out);
+  tel_.events->add(stats.participants);
+  for (const ClientShard& shard : shards_) {
+    tel_.queue_depth->observe(
+        static_cast<double>(shard.round_stats.queue_peak));
+  }
+  tel_.round_energy->observe(stats.energy_j());
+  tel_.peak_rss->set(static_cast<double>(telemetry::peak_rss_bytes()));
+}
+
+}  // namespace bofl::fleet

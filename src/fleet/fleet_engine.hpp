@@ -1,0 +1,160 @@
+// The sharded fleet engine: 10^5–10^6 BoFL clients on one machine.
+//
+// Architecture (DESIGN.md §6f):
+//   * Client state lives in struct-of-arrays shards (client_shard.hpp),
+//     ~30 bytes per client, one contiguous id range per shard.
+//   * Each cluster (device model × workload) runs ONE canonical pace
+//     controller whose per-participation trajectory all cluster members
+//     replay, scaled by pure-hash per-client heterogeneity and jitter
+//     (cluster.hpp).  Steady-state per-client cost is O(1); controller
+//     work is O(clusters), not O(clients).
+//   * Round progression is event-driven: every participant pushes one
+//     completion event into its shard's queue; the drain in (timestamp,
+//     client-id) order replaces per-client polling (event_queue.hpp).
+//   * Each round is three parallel shard passes with serial merges between:
+//       pass 1  selection + dropout + needed-trajectory-depth   (parallel)
+//       —— extend cluster trajectories, draw deadline jitter    (serial)
+//       pass 2  per-client costs, event pushes, SoA updates     (parallel)
+//       —— straggler cutoff from the fleet-wide max deadline    (serial)
+//       pass 3  queue drain → round wall / timed-out counts     (parallel)
+//       —— stats merge, trace hash, telemetry                   (serial)
+//
+// Determinism: every per-client draw is a pure hash of (seed, domain tag,
+// ids) — never of shard or thread identity — and every cross-shard
+// reduction is an integer add (modular, associative) or max, over values
+// quantized to whole microseconds / microjoules.  Fleet traces are
+// therefore bit-identical at any shard count and any --threads; the
+// fleet_determinism tests pin this down, TSan keeps it honest.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "device/device_model.hpp"
+#include "faults/fault_injector.hpp"
+#include "fleet/client_shard.hpp"
+#include "fleet/cluster.hpp"
+#include "fleet/fleet_config.hpp"
+#include "ilp/schedule_cache.hpp"
+#include "runtime/thread_pool.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace bofl::fleet {
+
+/// One fleet round, in the engine's exact integer units.  Equality is
+/// bitwise, so tests compare whole traces across shard/thread counts.
+struct FleetRoundStats {
+  std::int64_t round = 0;
+  std::uint64_t energy_uj = 0;        ///< cohort training energy
+  std::uint64_t mbo_energy_uj = 0;    ///< cohort MBO update energy
+  std::uint64_t busy_us = 0;          ///< summed cohort training time
+  std::uint64_t wall_us = 0;          ///< round wall (last counted arrival)
+  std::uint64_t deadline_ref_us = 0;  ///< largest effective cohort deadline
+  std::uint32_t participants = 0;
+  std::uint32_t dropped = 0;
+  std::uint32_t missed = 0;     ///< training exceeded the effective deadline
+  std::uint32_t stragglers = 0;
+  std::uint32_t timed_out = 0;  ///< reports past the straggler cutoff
+  std::uint32_t phase1 = 0;     ///< participants whose entry was explored…
+  std::uint32_t phase2 = 0;     ///< …under the canonical controller's phase
+  std::uint32_t phase3 = 0;
+
+  [[nodiscard]] double energy_j() const { return 1e-6 * double(energy_uj); }
+  [[nodiscard]] double mbo_energy_j() const {
+    return 1e-6 * double(mbo_energy_uj);
+  }
+  [[nodiscard]] double wall_s() const { return 1e-6 * double(wall_us); }
+
+  friend bool operator==(const FleetRoundStats&,
+                         const FleetRoundStats&) = default;
+};
+
+struct FleetResult {
+  std::vector<FleetRoundStats> rounds;
+  /// FNV-1a over every round's integer fields in round order — one number
+  /// that must match across shard/thread counts.
+  std::uint64_t trace_hash = 0;
+  std::uint64_t soa_bytes = 0;      ///< SoA footprint across all shards
+  std::uint64_t peak_rss_bytes = 0; ///< process VmHWM after the run
+  /// Deepest any shard's event queue ever got.  Observability only — queue
+  /// depth tracks per-shard cohort size, so unlike everything in `rounds`
+  /// it legitimately depends on the shard layout and is NOT in trace_hash.
+  std::uint64_t max_queue_depth = 0;
+  std::size_t num_clients = 0;
+  std::size_t num_shards = 0;
+  std::size_t num_clusters = 0;
+  ShardTelemetry telemetry;  ///< merged per-shard registries
+
+  [[nodiscard]] double total_energy_j() const;
+  [[nodiscard]] double total_mbo_energy_j() const;
+  [[nodiscard]] std::uint64_t total_participants() const;
+  [[nodiscard]] double miss_rate() const;     ///< misses / participations
+  [[nodiscard]] double timeout_rate() const;  ///< timed-out / participations
+  /// SoA bytes per client — the flat-memory figure the bench reports.
+  [[nodiscard]] double bytes_per_client() const;
+  /// Fraction of participations replaying an exploitation-phase entry.
+  [[nodiscard]] double phase3_fraction() const;
+};
+
+class FleetEngine {
+ public:
+  /// Builds shards, clusters and the shared schedule cache.  Throws on an
+  /// invalid config (no clients, zero-weight mix, > 65535 clusters).
+  explicit FleetEngine(FleetConfig config);
+  ~FleetEngine();
+
+  FleetEngine(const FleetEngine&) = delete;
+  FleetEngine& operator=(const FleetEngine&) = delete;
+
+  /// Run config.rounds rounds.  Reentrant across calls: a second run()
+  /// continues the fleet from its current state (cursors advance).
+  [[nodiscard]] FleetResult run();
+
+  [[nodiscard]] const FleetConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] std::size_t num_clusters() const { return clusters_.size(); }
+  [[nodiscard]] const ClusterEngine& cluster(std::size_t i) const {
+    return *clusters_[i];
+  }
+  /// Total SoA footprint (all shards).
+  [[nodiscard]] std::uint64_t soa_bytes() const;
+
+ private:
+  /// Metric handles resolved once from the global registry (all null when
+  /// telemetry is off).
+  struct Telemetry {
+    telemetry::Counter* rounds = nullptr;
+    telemetry::Counter* participants = nullptr;
+    telemetry::Counter* dropouts = nullptr;
+    telemetry::Counter* misses = nullptr;
+    telemetry::Counter* stragglers = nullptr;
+    telemetry::Counter* timed_out = nullptr;
+    telemetry::Counter* events = nullptr;
+    telemetry::Gauge* clients = nullptr;
+    telemetry::Gauge* shards = nullptr;
+    telemetry::Gauge* soa_bytes = nullptr;
+    telemetry::Gauge* peak_rss = nullptr;
+    telemetry::Histogram* queue_depth = nullptr;
+    telemetry::Histogram* round_energy = nullptr;
+  };
+
+  [[nodiscard]] FleetRoundStats run_round(std::int64_t round,
+                                          runtime::ThreadPool* pool);
+  void publish_round(const FleetRoundStats& stats);
+
+  FleetConfig config_;
+  /// Device models backing the default cluster mix (kept alive here when
+  /// the caller passed an empty `config.clusters`).
+  std::vector<device::DeviceModel> owned_models_;
+  std::vector<ClusterSpec> specs_;
+  std::vector<double> cluster_cdf_;  ///< cumulative normalized weights
+  std::unique_ptr<ilp::ScheduleCache> cache_;
+  std::optional<faults::FaultInjector> injector_;
+  std::vector<std::unique_ptr<ClusterEngine>> clusters_;
+  std::vector<ClientShard> shards_;
+  Telemetry tel_;
+};
+
+}  // namespace bofl::fleet

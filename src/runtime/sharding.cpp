@@ -1,0 +1,34 @@
+#include "runtime/sharding.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace bofl::runtime {
+
+std::size_t resolve_shard_count(std::size_t items, std::size_t requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  if (items == 0) {
+    return 1;
+  }
+  const std::size_t by_threads = 2 * hardware_threads();
+  const std::size_t by_items = (items + 4095) / 4096;
+  return std::max<std::size_t>(1, std::min(by_threads, by_items));
+}
+
+ShardRange shard_range(std::size_t items, std::size_t shards,
+                       std::size_t shard) {
+  BOFL_REQUIRE(shards > 0 && shard < shards,
+               "shard index must lie inside the shard count");
+  const std::size_t base = items / shards;
+  const std::size_t extra = items % shards;
+  const std::size_t begin =
+      shard * base + std::min(shard, extra);
+  const std::size_t size = base + (shard < extra ? 1 : 0);
+  return ShardRange{begin, begin + size};
+}
+
+}  // namespace bofl::runtime

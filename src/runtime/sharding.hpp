@@ -1,0 +1,37 @@
+// Shard partitioning for data-parallel engines (src/fleet): split N items
+// into contiguous, near-equal ranges so each shard owns an index interval
+// and cross-shard reductions can run in shard order — which, for
+// order-insensitive accumulators (integers, max), is bit-identical to the
+// unsharded loop at any shard count.
+//
+// The contiguity guarantee is load-bearing: per-item state derived from the
+// item id (hash-based RNG domains, cluster assignment) never depends on the
+// shard layout, so re-sharding a fleet moves *where* work runs but not
+// *what* it computes.
+#pragma once
+
+#include <cstddef>
+
+namespace bofl::runtime {
+
+/// Contiguous half-open index range owned by one shard.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+};
+
+/// Shards to use for `items` when the caller passed 0 ("pick for me"):
+/// enough to keep every hardware thread busy (2x oversubscription for load
+/// balance) without dropping below ~4096 items per shard, floored at 1.
+[[nodiscard]] std::size_t resolve_shard_count(std::size_t items,
+                                              std::size_t requested);
+
+/// The `shard`-th of `shards` contiguous ranges over [0, items): the first
+/// items % shards ranges get one extra item, so sizes differ by at most 1.
+/// Requires shard < shards.
+[[nodiscard]] ShardRange shard_range(std::size_t items, std::size_t shards,
+                                     std::size_t shard);
+
+}  // namespace bofl::runtime

@@ -1,0 +1,133 @@
+#include "fleet/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace bofl::fleet {
+namespace {
+
+TEST(CompletionQueue, DrainsInTimestampOrder) {
+  CompletionQueue<std::uint64_t> queue;
+  queue.push({30, 1});
+  queue.push({10, 2});
+  queue.push({20, 3});
+  std::vector<std::uint64_t> times;
+  while (!queue.empty()) {
+    times.push_back(queue.pop_next().time);
+  }
+  EXPECT_EQ(times, (std::vector<std::uint64_t>{10, 20, 30}));
+}
+
+TEST(CompletionQueue, BreaksTimestampTiesByClientId) {
+  CompletionQueue<std::uint64_t> queue;
+  queue.push({5, 42});
+  queue.push({5, 7});
+  queue.push({5, 19});
+  EXPECT_EQ(queue.pop_next().client, 7u);
+  EXPECT_EQ(queue.pop_next().client, 19u);
+  EXPECT_EQ(queue.pop_next().client, 42u);
+}
+
+TEST(CompletionQueue, DrainOrderIndependentOfPushOrder) {
+  const std::vector<CompletionEvent<std::uint64_t>> events{
+      {7, 3}, {1, 9}, {7, 1}, {4, 4}, {1, 2}};
+  std::vector<CompletionEvent<std::uint64_t>> forward;
+  std::vector<CompletionEvent<std::uint64_t>> backward;
+  CompletionQueue<std::uint64_t> queue;
+  for (const auto& e : events) {
+    queue.push(e);
+  }
+  while (!queue.empty()) {
+    forward.push_back(queue.pop_next());
+  }
+  for (auto it = events.rbegin(); it != events.rend(); ++it) {
+    queue.push(*it);
+  }
+  while (!queue.empty()) {
+    backward.push_back(queue.pop_next());
+  }
+  EXPECT_EQ(forward, backward);
+}
+
+TEST(CompletionQueue, TracksPeakDepthAcrossRounds) {
+  CompletionQueue<std::uint64_t> queue;
+  queue.push({1, 1});
+  queue.push({2, 2});
+  queue.push({3, 3});
+  EXPECT_EQ(queue.peak_depth(), 3u);
+  (void)queue.pop_next();
+  (void)queue.pop_next();
+  EXPECT_EQ(queue.peak_depth(), 3u);  // peak survives pops
+  queue.reset_peak();
+  EXPECT_EQ(queue.peak_depth(), 1u);  // reset to the current size
+  queue.clear();
+  queue.reset_peak();
+  EXPECT_EQ(queue.peak_depth(), 0u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(CloseRound, NoCutoffWaitsForLastArrival) {
+  CompletionQueue<std::uint64_t> queue;
+  queue.push({100, 1});
+  queue.push({250, 2});
+  queue.push({50, 3});
+  const RoundClose<std::uint64_t> close =
+      close_round(queue, std::optional<std::uint64_t>{});
+  EXPECT_EQ(close.wall, 250u);
+  EXPECT_EQ(close.arrived, 3u);
+  EXPECT_EQ(close.timed_out, 0u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(CloseRound, ArrivalPastCutoffTimesOutAndBoundsWall) {
+  CompletionQueue<std::uint64_t> queue;
+  queue.push({100, 1});
+  queue.push({900, 2});  // straggler: past the cutoff
+  queue.push({150, 3});
+  const RoundClose<std::uint64_t> close =
+      close_round(queue, std::optional<std::uint64_t>{200});
+  EXPECT_EQ(close.arrived, 2u);
+  EXPECT_EQ(close.timed_out, 1u);
+  EXPECT_EQ(close.wall, 200u);  // the server stopped waiting at the cutoff
+}
+
+TEST(CloseRound, ArrivalExactlyAtCutoffStillCounts) {
+  // The cutoff is inclusive: only strictly-later arrivals time out (same
+  // comparison as the fl::Simulation accounting this replaced).
+  CompletionQueue<std::uint64_t> queue;
+  queue.push({200, 1});
+  const RoundClose<std::uint64_t> close =
+      close_round(queue, std::optional<std::uint64_t>{200});
+  EXPECT_EQ(close.arrived, 1u);
+  EXPECT_EQ(close.timed_out, 0u);
+  EXPECT_EQ(close.wall, 200u);
+}
+
+TEST(CloseRound, EmptyQueueClosesAtZero) {
+  CompletionQueue<double> queue;
+  const RoundClose<double> close =
+      close_round(queue, std::optional<double>{1.5});
+  EXPECT_EQ(close.wall, 0.0);
+  EXPECT_EQ(close.arrived, 0u);
+  EXPECT_EQ(close.timed_out, 0u);
+}
+
+TEST(CloseRound, DoubleTimeMatchesPollingSemantics) {
+  // fl::Simulation's arrival loop, re-expressed: max over counted arrivals,
+  // strictly-late reports clamp the wall to the cutoff.
+  CompletionQueue<double> queue;
+  queue.push({1.25, 0});
+  queue.push({3.5, 1});
+  queue.push({2.0, 2});
+  const RoundClose<double> close =
+      close_round(queue, std::optional<double>{2.5});
+  EXPECT_DOUBLE_EQ(close.wall, 2.5);
+  EXPECT_EQ(close.arrived, 2u);
+  EXPECT_EQ(close.timed_out, 1u);
+}
+
+}  // namespace
+}  // namespace bofl::fleet

@@ -1,0 +1,62 @@
+#include "runtime/sharding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace bofl::runtime {
+namespace {
+
+TEST(Sharding, RangesPartitionTheIndexSpace) {
+  for (const std::size_t items : {1u, 7u, 4096u, 100'000u}) {
+    for (const std::size_t shards : {1u, 3u, 16u}) {
+      std::size_t expected_begin = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const ShardRange range = shard_range(items, shards, s);
+        EXPECT_EQ(range.begin, expected_begin);
+        expected_begin = range.end;
+      }
+      EXPECT_EQ(expected_begin, items);
+    }
+  }
+}
+
+TEST(Sharding, RangeSizesDifferByAtMostOne) {
+  const std::size_t items = 1003;
+  const std::size_t shards = 16;
+  std::size_t min_size = items;
+  std::size_t max_size = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t size = shard_range(items, shards, s).size();
+    min_size = std::min(min_size, size);
+    max_size = std::max(max_size, size);
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(Sharding, MoreShardsThanItemsLeavesTrailingRangesEmpty) {
+  const ShardRange first = shard_range(2, 4, 0);
+  const ShardRange last = shard_range(2, 4, 3);
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_EQ(last.size(), 0u);
+}
+
+TEST(Sharding, ResolveHonorsAnExplicitRequest) {
+  EXPECT_EQ(resolve_shard_count(100'000, 7), 7u);
+  EXPECT_EQ(resolve_shard_count(10, 3), 3u);
+}
+
+TEST(Sharding, ResolveAutoPicksAtLeastOneShard) {
+  EXPECT_GE(resolve_shard_count(1, 0), 1u);
+  EXPECT_GE(resolve_shard_count(1'000'000, 0), 1u);
+  // Tiny inputs must not be shredded into per-item shards.
+  EXPECT_LE(resolve_shard_count(100, 0), 100u);
+}
+
+TEST(Sharding, RejectsOutOfRangeShardIndex) {
+  EXPECT_THROW((void)shard_range(10, 2, 2), std::invalid_argument);
+  EXPECT_THROW((void)shard_range(10, 0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bofl::runtime

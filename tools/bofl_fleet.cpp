@@ -1,0 +1,247 @@
+// bofl_fleet — the command-line driver for fleet-scale experiments.
+//
+//   bofl_fleet [--clients N] [--rounds N] [--cohort F] [--jobs N]
+//              [--ratio R] [--seed S] [--controller bofl|performant|oracle]
+//              [--mix agx-vit|edge-mix] [--shards N] [--threads N]
+//              [--het-cv CV] [--noise-cv CV] [--straggler-timeout K]
+//              [--faults PLAN.json | --scenario NAME]
+//              [--json PATH] [--quiet]
+//              [--metrics-out PATH] [--metrics-summary]
+//              [--assert-wall-s S] [--assert-rss-mb MB]
+//
+// Runs the sharded fleet engine (src/fleet): 10^5–10^6 BoFL clients in
+// struct-of-arrays shards replaying per-cluster canonical trajectories, with
+// event-driven round closes.  Prints the per-round fleet trace plus a
+// summary (energy, phase occupancy, bytes/client, peak RSS, trace hash);
+// --json writes the summary as JSON.  --assert-wall-s / --assert-rss-mb turn
+// the run into a CI gate: exit nonzero when the measured wall time or peak
+// RSS exceeds the ceiling.
+//
+// A quick 100k-client example (see README "Fleet engine"):
+//
+//   bofl_fleet --clients 100000 --rounds 20 --cohort 0.01 --threads 8
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/flags.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/scenarios.hpp"
+#include "fleet/fleet_engine.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/process.hpp"
+#include "telemetry/run_recorder.hpp"
+
+namespace {
+
+using namespace bofl;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--clients N] [--rounds N] [--cohort F] [--jobs N]\n"
+      "          [--ratio R] [--seed S] [--controller bofl|performant|oracle]\n"
+      "          [--mix agx-vit|edge-mix] [--shards N] [--threads N]\n"
+      "          [--het-cv CV] [--noise-cv CV] [--straggler-timeout K]\n"
+      "          [--faults PLAN.json | --scenario NAME]\n"
+      "          [--json PATH] [--quiet]\n"
+      "          [--metrics-out PATH] [--metrics-summary]\n"
+      "          [--assert-wall-s S] [--assert-rss-mb MB]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FlagParser flags(argc, argv);
+  if (flags.has("help")) {
+    return usage(argv[0]);
+  }
+
+  fleet::FleetConfig config;
+  config.num_clients =
+      static_cast<std::size_t>(flags.get_int("clients", 100'000));
+  config.rounds = flags.get_int("rounds", 100);
+  config.cohort_fraction = flags.get_double("cohort", 0.01);
+  config.jobs_per_round = flags.get_int("jobs", 60);
+  config.deadline_ratio = flags.get_double("ratio", 8.0);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  config.shards = static_cast<std::size_t>(flags.get_int("shards", 0));
+  config.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  config.heterogeneity_cv = flags.get_double("het-cv", 0.08);
+  config.round_noise_cv = flags.get_double("noise-cv", 0.01);
+  config.straggler_timeout = flags.get_double("straggler-timeout", 0.0);
+
+  const std::string controller_name = flags.get("controller", "bofl");
+  if (controller_name == "bofl") {
+    config.controller = fleet::FleetControllerKind::kBofl;
+  } else if (controller_name == "performant") {
+    config.controller = fleet::FleetControllerKind::kPerformant;
+  } else if (controller_name == "oracle") {
+    config.controller = fleet::FleetControllerKind::kOracle;
+  } else {
+    std::fprintf(stderr, "unknown controller: %s\n", controller_name.c_str());
+    return usage(argv[0]);
+  }
+
+  // The population mix.  Models live here for the engine's lifetime.
+  const device::DeviceModel agx = device::jetson_agx();
+  const device::DeviceModel tx2 = device::jetson_tx2();
+  const std::string mix = flags.get("mix", "agx-vit");
+  if (mix == "agx-vit") {
+    config.clusters.push_back({&agx, device::vit_profile(), 1.0});
+  } else if (mix == "edge-mix") {
+    config.clusters.push_back({&agx, device::vit_profile(), 0.40});
+    config.clusters.push_back({&agx, device::resnet50_profile(), 0.20});
+    config.clusters.push_back({&tx2, device::lstm_profile(), 0.25});
+    config.clusters.push_back({&tx2, device::vit_profile(), 0.15});
+  } else {
+    std::fprintf(stderr, "unknown mix: %s\n", mix.c_str());
+    return usage(argv[0]);
+  }
+
+  // Fault plan: explicit JSON or a named scenario scaled to the canonical
+  // per-cluster horizon (rounds x mean deadline of the first cluster).
+  const std::string faults_path = flags.get("faults", "");
+  const std::string scenario_name = flags.get("scenario", "");
+  if (!faults_path.empty() && !scenario_name.empty()) {
+    std::fprintf(stderr, "--faults and --scenario are mutually exclusive\n");
+    return usage(argv[0]);
+  }
+  if (!faults_path.empty()) {
+    config.fault_plan = faults::FaultPlan::from_json_file(faults_path);
+  } else if (!scenario_name.empty()) {
+    const Seconds t_min = config.clusters.front().model->round_t_min(
+        config.clusters.front().profile, config.jobs_per_round);
+    const double horizon = static_cast<double>(config.rounds) *
+                           t_min.value() *
+                           (1.0 + config.deadline_ratio) / 2.0;
+    config.fault_plan =
+        faults::make_scenario(scenario_name, config.seed ^ 0xFA17ULL, horizon);
+  }
+
+  // Telemetry must be installed before the engine (it caches handles).
+  const std::string metrics_path = flags.get("metrics-out", "");
+  const bool metrics_summary = flags.get_bool("metrics-summary");
+  std::unique_ptr<telemetry::Registry> registry;
+  std::unique_ptr<telemetry::RunRecorder> recorder;
+  if (!metrics_path.empty() || metrics_summary) {
+    registry = std::make_unique<telemetry::Registry>();
+    recorder =
+        std::make_unique<telemetry::RunRecorder>(*registry, metrics_path);
+    telemetry::install_global_recorder(recorder.get());
+  }
+
+  std::printf(
+      "fleet: %zu clients, %lld rounds, cohort %.3f, controller=%s, mix=%s,\n"
+      "       ratio=%.1f seed=%llu shards=%zu threads=%zu%s%s\n",
+      config.num_clients, static_cast<long long>(config.rounds),
+      config.cohort_fraction, controller_name.c_str(), mix.c_str(),
+      config.deadline_ratio, static_cast<unsigned long long>(config.seed),
+      config.shards, config.threads,
+      config.fault_plan.has_value() ? " faults=" : "",
+      config.fault_plan.has_value() ? config.fault_plan->name.c_str() : "");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  fleet::FleetEngine engine(std::move(config));
+  const fleet::FleetResult result = engine.run();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (!flags.get_bool("quiet")) {
+    std::printf("%6s %9s %8s %8s %6s %6s %12s %10s %18s\n", "round", "cohort",
+                "dropped", "missed", "late", "strag", "energy[J]", "wall[s]",
+                "phase1/2/3");
+    for (const fleet::FleetRoundStats& round : result.rounds) {
+      std::printf("%6lld %9u %8u %8u %6u %6u %12.1f %10.2f %6u/%u/%u\n",
+                  static_cast<long long>(round.round + 1), round.participants,
+                  round.dropped, round.missed, round.timed_out,
+                  round.stragglers, round.energy_j(), round.wall_s(),
+                  round.phase1, round.phase2, round.phase3);
+    }
+  }
+
+  const double rss_mb =
+      static_cast<double>(result.peak_rss_bytes) / (1024.0 * 1024.0);
+  std::printf(
+      "\ntotal: training %.0f J + MBO %.0f J over %zu rounds, "
+      "%llu participations\n"
+      "rates: miss %.4f, timeout %.4f; phase-3 occupancy %.3f\n"
+      "scale: %zu shards, %zu clusters, %.1f B/client SoA, "
+      "peak RSS %.1f MB, wall %.2f s\n"
+      "trace hash: %016llx\n",
+      result.total_energy_j(), result.total_mbo_energy_j(),
+      result.rounds.size(),
+      static_cast<unsigned long long>(result.total_participants()),
+      result.miss_rate(), result.timeout_rate(), result.phase3_fraction(),
+      result.num_shards, result.num_clusters, result.bytes_per_client(),
+      rss_mb, wall_s,
+      static_cast<unsigned long long>(result.trace_hash));
+
+  const std::string json_path = flags.get("json", "");
+  if (!json_path.empty()) {
+    telemetry::JsonValue summary = telemetry::JsonValue::object();
+    summary.set("clients", static_cast<double>(result.num_clients))
+        .set("rounds", static_cast<double>(result.rounds.size()))
+        .set("shards", static_cast<double>(result.num_shards))
+        .set("clusters", static_cast<double>(result.num_clusters))
+        .set("controller", controller_name)
+        .set("mix", mix)
+        .set("training_energy_j", result.total_energy_j())
+        .set("mbo_energy_j", result.total_mbo_energy_j())
+        .set("participations", static_cast<double>(result.total_participants()))
+        .set("miss_rate", result.miss_rate())
+        .set("timeout_rate", result.timeout_rate())
+        .set("phase3_fraction", result.phase3_fraction())
+        .set("bytes_per_client", result.bytes_per_client())
+        .set("soa_bytes", static_cast<double>(result.soa_bytes))
+        .set("peak_rss_bytes", static_cast<double>(result.peak_rss_bytes))
+        .set("wall_s", wall_s);
+    char hash_hex[17];
+    std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
+                  static_cast<unsigned long long>(result.trace_hash));
+    summary.set("trace_hash", std::string(hash_hex));
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    const std::string text = summary.dump();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("summary written to %s\n", json_path.c_str());
+  }
+
+  if (recorder) {
+    recorder->emit_summary();
+    if (metrics_summary) {
+      recorder->print_summary(stdout);
+    }
+    if (!metrics_path.empty()) {
+      std::printf("metrics written to %s (%zu events)\n", metrics_path.c_str(),
+                  recorder->events_written());
+    }
+    telemetry::install_global_recorder(nullptr);
+  }
+
+  // CI ceilings: a fleet-smoke run fails loudly when it regresses.
+  int status = 0;
+  const double max_wall = flags.get_double("assert-wall-s", 0.0);
+  if (max_wall > 0.0 && wall_s > max_wall) {
+    std::fprintf(stderr, "FAIL: wall %.2f s exceeds ceiling %.2f s\n", wall_s,
+                 max_wall);
+    status = 1;
+  }
+  const double max_rss = flags.get_double("assert-rss-mb", 0.0);
+  if (max_rss > 0.0 && rss_mb > max_rss) {
+    std::fprintf(stderr, "FAIL: peak RSS %.1f MB exceeds ceiling %.1f MB\n",
+                 rss_mb, max_rss);
+    status = 1;
+  }
+  return status;
+}
