@@ -211,6 +211,7 @@ int main(int argc, char** argv) {
     telemetry::JsonValue cell = telemetry::JsonValue::object();
     cell.set("engine", "fleet")
         .set("clients", clients)
+        .set("deadline_ratio", ratio)
         .set("rounds", size_rounds)
         .set("shards", result.num_shards)
         .set("threads", max_threads)
@@ -229,9 +230,20 @@ int main(int argc, char** argv) {
   std::printf("\ndeterminism across thread counts: %s\n",
               deterministic ? "ok (bit-identical)" : "VIOLATED");
   telemetry::JsonValue metrics = telemetry::JsonValue::object();
+  // The fleet section carries its sweep parameters unconditionally —
+  // deadline_ratio used to ride only on the per-size cells, so a run whose
+  // size sweep was skipped (empty --fleet-clients-list without --million)
+  // wrote a fleet summary with no ratio and baseline diffs stopped lining
+  // up.  Emitting it here keeps the key present for every flag combination.
+  telemetry::JsonValue fleet_section = telemetry::JsonValue::object();
+  fleet_section.set("deadline_ratio", ratio)
+      .set("rounds", fleet_rounds)
+      .set("sizes", fleet_sizes.size())
+      .set("million", million_rounds > 0);
   metrics.set("rounds", rounds)
       .set("fleet_rounds", fleet_rounds)
       .set("deadline_ratio", ratio)
+      .set("fleet", std::move(fleet_section))
       .set("deterministic", deterministic)
       .set("cells", std::move(cells));
   bench::write_bench_json("fleet_scaling", std::move(metrics));

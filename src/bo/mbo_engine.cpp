@@ -83,6 +83,23 @@ bool MboEngine::is_observed(std::size_t candidate_index) const {
   return observed_[candidate_index];
 }
 
+bool MboEngine::seed_warm_start(const gp::HyperoptResult& fit1,
+                                const gp::HyperoptResult& fit2) {
+  BOFL_REQUIRE(!candidates_.empty(), "engine has no candidates");
+  const std::size_t dim = candidates_.front().size();
+  if (!gp::warm_start_compatible(fit1, options_.kernel_family, dim) ||
+      !gp::warm_start_compatible(fit2, options_.kernel_family, dim)) {
+    return false;
+  }
+  warm_fit1_ = fit1;
+  warm_fit2_ = fit2;
+  // Count the seed as a completed fit so the first propose_batch takes the
+  // warm-polish path instead of an immediate full search (fits % period ==
+  // 0 with zero fits would otherwise force the search and discard the seed).
+  hyperopt_fits_ = 1;
+  return true;
+}
+
 std::vector<pareto::Point2> MboEngine::observed_front() const {
   std::vector<pareto::Point2> points;
   points.reserve(observations_.size());

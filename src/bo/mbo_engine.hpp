@@ -128,6 +128,27 @@ class MboEngine {
     return observations_;
   }
 
+  /// The attached scoring pool (non-owning; nullptr = serial).  Lets a
+  /// consumer rebuild an engine (priors demotion) and re-attach the pool.
+  [[nodiscard]] runtime::ThreadPool* parallel_pool() const { return pool_; }
+
+  /// Last hyperparameter-fit optima per objective (unset before any fit, or
+  /// after construction without seeding).  The priors KnowledgeStore
+  /// distills these from converged controllers for cross-client reuse.
+  [[nodiscard]] const std::optional<gp::HyperoptResult>& warm_fit1() const {
+    return warm_fit1_;
+  }
+  [[nodiscard]] const std::optional<gp::HyperoptResult>& warm_fit2() const {
+    return warm_fit2_;
+  }
+
+  /// Seed the warm-start fit state from a cluster prior so the first
+  /// propose_batch runs the cheap local polish instead of the multi-restart
+  /// search.  Validates both fits against the engine's kernel family and
+  /// input dimension; on mismatch nothing changes and false is returned.
+  bool seed_warm_start(const gp::HyperoptResult& fit1,
+                       const gp::HyperoptResult& fit2);
+
  private:
   struct Standardizer {
     double mean = 0.0;

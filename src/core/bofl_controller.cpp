@@ -7,28 +7,13 @@
 #include "common/error.hpp"
 #include "common/quasirandom.hpp"
 #include "common/stats.hpp"
+#include "core/state_io.hpp"
 #include "pareto/pareto.hpp"
 #include "telemetry/run_recorder.hpp"
 
 namespace bofl::core {
 
 namespace {
-
-/// Weighted sum w such that w / jobs == mean bit-exactly.  mean * jobs is
-/// within an ulp or two of such a w (every saved mean was itself produced
-/// by a division by jobs), but the product alone can land on a neighbour
-/// whose quotient rounds elsewhere — which would make
-/// save -> load -> import -> save drift by one ulp per generation instead
-/// of being byte-stable.
-double quotient_exact_weighted(double mean, double jobs) {
-  double w = mean * jobs;
-  for (int step = 0; step < 4 && w / jobs != mean; ++step) {
-    w = std::nextafter(w, w / jobs < mean
-                              ? std::numeric_limits<double>::infinity()
-                              : -std::numeric_limits<double>::infinity());
-  }
-  return w;
-}
 
 /// Quasi-random starting points over the DVFS lattice (§4.2): Sobol points
 /// in the unit cube snapped to grid steps, deduplicated, x_max excluded
@@ -90,6 +75,7 @@ BoflController::BoflController(const device::DeviceModel& model,
                "drift guard cap must be >= 1");
   // x_max is the very first configuration ever measured (§4.2).
   pending_.push_front(x_max_flat_);
+  seed_ = seed;
 }
 
 device::Measurement BoflController::run_config(RoundState& state,
@@ -110,6 +96,33 @@ device::Measurement BoflController::run_config(RoundState& state,
   Aggregate& agg = aggregates_[flat];
   const auto jobs_d = static_cast<double>(jobs);
   double fresh_latency = m.measured_latency.value();
+  if (agg.jobs == 0.0 && !prior_overlay_.empty()) {
+    // First on-unit measurement of a config the cluster prior claims to
+    // know.  A reading outside the drift band in either direction means the
+    // prior does not describe this unit (degraded thermals, unit-to-unit
+    // variation): arm the guardian for the optimistic case — the rest of
+    // this round already runs under the inflated rescue arithmetic — and
+    // schedule the structural fallback to cold start for the round boundary.
+    const auto it = prior_overlay_.find(flat);
+    if (it != prior_overlay_.end()) {
+      const double believed = it->second.mean_latency();
+      const bool optimistic_prior =
+          fresh_latency > believed * options_.drift_demote_ratio;
+      const bool pessimistic_prior =
+          fresh_latency * options_.drift_demote_ratio < believed;
+      if (optimistic_prior) {
+        drift_factor_ =
+            std::min(options_.drift_guard_cap,
+                     std::max(drift_factor_, fresh_latency / believed));
+      }
+      if (optimistic_prior || pessimistic_prior) {
+        prior_demote_pending_ = true;
+        if (telemetry::Registry* reg = telemetry::global_registry()) {
+          reg->counter("bofl.prior_mispredictions").add(1);
+        }
+      }
+    }
+  }
   if (agg.jobs > 0.0) {
     const double prior = agg.mean_latency();
     if (fresh_latency > prior * options_.drift_demote_ratio) {
@@ -356,6 +369,10 @@ RoundTrace BoflController::run_round(const RoundSpec& spec) {
 
 void BoflController::finish_round_bookkeeping(const RoundSpec& spec) {
   const Phase entered = phase_;
+  if (prior_demote_pending_) {
+    prior_demote_pending_ = false;
+    demote_prior_to_cold();
+  }
   if (phase_ == Phase::kSafeRandomExploration) {
     phase1_deadlines_.push_back(spec.deadline.value());
     if (pending_.empty()) {
@@ -365,6 +382,28 @@ void BoflController::finish_round_bookkeeping(const RoundSpec& spec) {
       engine_.set_reference(engine_.reference());
       t_avg_seconds_ = mean_of(phase1_deadlines_);
       hv_prev_ = engine_.observed_hypervolume();
+      if (prior_state_ == PriorState::kVerifying) {
+        // The verification pass finished without tripping the misprediction
+        // check: the cluster prior holds on this unit.  With the prior's
+        // coverage already past the stopping rule's exploration floor the
+        // Pareto-construction phase has nothing left to add — jump straight
+        // to exploitation (the warm-start collapse the knowledge plane
+        // exists for).
+        prior_state_ = PriorState::kVerified;
+        if (telemetry::Registry* reg = telemetry::global_registry()) {
+          reg->counter("bofl.priors_verified").add(1);
+        }
+        if (feedback_) {
+          feedback_(prior_state_);
+        }
+        const bool explored_enough =
+            static_cast<double>(engine_.num_observed_candidates()) >=
+            options_.min_explored_fraction *
+                static_cast<double>(engine_.num_candidates());
+        if (explored_enough) {
+          phase_ = Phase::kExploitation;
+        }
+      }
     }
   } else if (phase_ == Phase::kParetoConstruction) {
     ++pareto_rounds_done_;
@@ -465,6 +504,113 @@ void BoflController::import_state(
                            : Phase::kParetoConstruction;
 }
 
+void BoflController::apply_prior(const PriorSeed& seed,
+                                 priors::PriorPolicy policy) {
+  BOFL_REQUIRE(aggregates_.empty() && prior_overlay_.empty() &&
+                   phase_ == Phase::kSafeRandomExploration && !t_x_max_,
+               "apply_prior requires a fresh controller");
+  if (policy == priors::PriorPolicy::kCold || seed.observations.empty()) {
+    // Differential guarantee: a kCold (or empty) seeding leaves the
+    // controller bit-identical to one never offered a prior.
+    return;
+  }
+  if (policy == priors::PriorPolicy::kTrust) {
+    import_state(seed.observations);
+    if (seed.warm_fit1 && seed.warm_fit2) {
+      engine_.seed_warm_start(*seed.warm_fit1, *seed.warm_fit2);
+    }
+    prior_state_ = PriorState::kAdopted;
+    if (telemetry::Registry* reg = telemetry::global_registry()) {
+      reg->counter("bofl.prior_seeded").add(1);
+    }
+    return;
+  }
+  // kVerify: adopt the cluster's knowledge provisionally.  Believed
+  // profiles overlay the ILP arithmetic and seed the GP surrogate, but
+  // nothing is trusted structurally until x_max plus the cluster's chosen
+  // representatives have been re-measured on this unit — t_x_max_ stays
+  // unset so the guardian anchors on a local reading, never a borrowed one.
+  for (const SavedObservation& obs : seed.observations) {
+    BOFL_REQUIRE(obs.config_flat < model_.space().size(),
+                 "prior observation out of range");
+    BOFL_REQUIRE(obs.jobs > 0.0 && obs.mean_energy > 0.0 &&
+                     obs.mean_latency > 0.0,
+                 "prior observation must be positive");
+    Aggregate overlay;
+    overlay.jobs = obs.jobs;
+    overlay.latency_weighted =
+        quotient_exact_weighted(obs.mean_latency, obs.jobs);
+    overlay.energy_weighted =
+        quotient_exact_weighted(obs.mean_energy, obs.jobs);
+    prior_overlay_.insert_or_assign(obs.config_flat, overlay);
+    engine_.add_observation(
+        {obs.config_flat, obs.mean_energy, obs.mean_latency});
+  }
+  prior_engine_obs_ = engine_.num_observations();
+  if (seed.warm_fit1 && seed.warm_fit2) {
+    engine_.seed_warm_start(*seed.warm_fit1, *seed.warm_fit2);
+  }
+  // The verification plan replaces the quasi-random phase-1 sample.
+  pending_.clear();
+  pending_.push_back(x_max_flat_);
+  for (const std::size_t flat : seed.verify_flat_ids) {
+    if (flat < model_.space().size() &&
+        std::find(pending_.begin(), pending_.end(), flat) == pending_.end()) {
+      pending_.push_back(flat);
+    }
+  }
+  prior_state_ = PriorState::kVerifying;
+  ++profiles_version_;
+  if (telemetry::Registry* reg = telemetry::global_registry()) {
+    reg->counter("bofl.prior_seeded").add(1);
+  }
+}
+
+void BoflController::demote_prior_to_cold() {
+  // Keep only what this unit measured itself: aggregates_ (local readings
+  // are never overlaid) and the engine observations appended after the
+  // seed.  The drift guardian stays armed from the misprediction.
+  prior_overlay_.clear();
+  const std::vector<bo::MboObservation> own(
+      engine_.observations().begin() +
+          static_cast<std::ptrdiff_t>(prior_engine_obs_),
+      engine_.observations().end());
+  runtime::ThreadPool* pool = engine_.parallel_pool();
+  engine_ = bo::MboEngine(model_.space().all_normalized(),
+                          make_engine_options(options_),
+                          seed_ ^ 0x9E3779B97F4A7C15ULL);
+  engine_.set_parallel_pool(pool);
+  for (const bo::MboObservation& obs : own) {
+    engine_.add_observation(obs);
+  }
+  prior_engine_obs_ = 0;
+  // Restart the cold phase-1 plan, minus configs already measured locally.
+  const std::deque<std::size_t> plan = sample_starting_points(
+      model_.space(), options_.initial_sample_fraction);
+  pending_.clear();
+  for (const std::size_t flat : plan) {
+    if (aggregates_.find(flat) == aggregates_.end()) {
+      pending_.push_back(flat);
+    }
+  }
+  if (!t_x_max_) {
+    pending_.push_front(x_max_flat_);
+  }
+  phase_ = Phase::kSafeRandomExploration;
+  phase1_deadlines_.clear();
+  t_avg_seconds_ = 0.0;
+  hv_prev_ = 0.0;
+  pareto_rounds_done_ = 0;
+  ++profiles_version_;
+  prior_state_ = PriorState::kDemoted;
+  if (telemetry::Registry* reg = telemetry::global_registry()) {
+    reg->counter("bofl.prior_demotions").add(1);
+  }
+  if (feedback_) {
+    feedback_(prior_state_);
+  }
+}
+
 const std::vector<ilp::ConfigProfile>& BoflController::exploitation_profiles() {
   if (pruned_version_ != profiles_version_) {
     pruned_profiles_ =
@@ -479,9 +625,16 @@ const std::vector<ilp::ConfigProfile>& BoflController::exploitation_profiles() {
 
 std::vector<ilp::ConfigProfile> BoflController::observed_profiles() const {
   std::vector<ilp::ConfigProfile> profiles;
-  profiles.reserve(aggregates_.size());
+  profiles.reserve(aggregates_.size() + prior_overlay_.size());
   for (const auto& [flat, agg] : aggregates_) {
     profiles.push_back({flat, agg.mean_energy(), agg.mean_latency()});
+  }
+  // Borrowed profiles count until this unit measures the config itself;
+  // the overlay map is ordered, so the merged listing is deterministic.
+  for (const auto& [flat, agg] : prior_overlay_) {
+    if (aggregates_.find(flat) == aggregates_.end()) {
+      profiles.push_back({flat, agg.mean_energy(), agg.mean_latency()});
+    }
   }
   return profiles;
 }

@@ -20,7 +20,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <limits>
+#include <map>
 #include <optional>
 #include <unordered_map>
 
@@ -30,6 +32,7 @@
 #include "device/observer.hpp"
 #include "ilp/schedule_cache.hpp"
 #include "ilp/schedule_solver.hpp"
+#include "priors/prior_policy.hpp"
 
 namespace bofl::core {
 
@@ -141,6 +144,49 @@ class BoflController final : public PaceController {
   /// otherwise to Pareto construction.  Throws if any round already ran.
   void import_state(const std::vector<SavedObservation>& saved);
 
+  // --- Cluster-prior warm start (the src/priors knowledge plane). ---------
+
+  /// Knowledge distilled from converged controllers of the same
+  /// (device model × workload profile) cluster: believed per-config
+  /// profiles, a short on-unit verification plan, and GP hyperparameter
+  /// optima to warm the surrogate's fits.
+  struct PriorSeed {
+    std::vector<SavedObservation> observations;
+    /// Flat ids the verification pass re-measures on this unit (x_max is
+    /// always prepended; these are the cluster's Pareto representatives).
+    std::vector<std::size_t> verify_flat_ids;
+    std::optional<gp::HyperoptResult> warm_fit1;
+    std::optional<gp::HyperoptResult> warm_fit2;
+  };
+
+  /// How the prior seeding resolved on this unit.
+  enum class PriorState {
+    kNone,       ///< cold start, no prior applied
+    kVerifying,  ///< prior adopted provisionally; verification pass running
+    kVerified,   ///< verification confirmed the prior on this unit
+    kAdopted,    ///< kTrust: imported without on-unit verification
+    kDemoted,    ///< prior mispredicted; controller fell back to cold start
+  };
+
+  /// Fired once when the prior resolves (kVerified, kAdopted or kDemoted) —
+  /// the knowledge plane's confidence feedback hook.
+  using PriorFeedback = std::function<void(PriorState)>;
+
+  /// Seed a *fresh* controller from a cluster prior under `policy`.
+  /// kCold (or an empty seed) is a guaranteed no-op: the controller stays
+  /// bit-identical to one never offered a prior.  kVerify overlays the
+  /// believed profiles and collapses phase 1 to x_max plus the seed's
+  /// verification ids; the Eqn. 2 guardian stays authoritative — a reading
+  /// off by more than drift_demote_ratio from the believed profile arms the
+  /// drift guard immediately and demotes back to cold start at the round
+  /// boundary.  kTrust imports the observations as if locally measured.
+  void apply_prior(const PriorSeed& seed, priors::PriorPolicy policy);
+
+  void set_prior_feedback(PriorFeedback feedback) {
+    feedback_ = std::move(feedback);
+  }
+  [[nodiscard]] PriorState prior_state() const { return prior_state_; }
+
  private:
   struct Aggregate {
     double jobs = 0.0;
@@ -181,6 +227,10 @@ class BoflController final : public PaceController {
   /// Run the MBO update between rounds (phase 2), charging its cost.
   void mbo_update(RoundState& state);
   void finish_round_bookkeeping(const RoundSpec& spec);
+  /// Structural fallback after a prior misprediction: drop the overlay,
+  /// rebuild the surrogate from this unit's own measurements and restart
+  /// the cold phase-1 plan (minus configs already measured locally).
+  void demote_prior_to_cold();
 
   const device::DeviceModel& model_;
   device::WorkloadProfile profile_;
@@ -203,6 +253,22 @@ class BoflController final : public PaceController {
   double t_avg_seconds_ = 0.0;
   double hv_prev_ = 0.0;
   std::size_t pareto_rounds_done_ = 0;
+  /// Construction seed, kept so demote_prior_to_cold can rebuild the MBO
+  /// engine on the exact stream a cold start would have used.
+  std::uint64_t seed_ = 0;
+  /// Believed per-config profiles borrowed from the cluster prior, keyed by
+  /// flat id (ordered so merged profile listings stay deterministic).  An
+  /// entry is shadowed as soon as this unit measures the config itself and
+  /// cleared wholesale on demotion.
+  std::map<std::size_t, Aggregate> prior_overlay_;
+  /// Engine observations [0, prior_engine_obs_) came from the prior; the
+  /// demotion path keeps only the suffix this unit measured itself.
+  std::size_t prior_engine_obs_ = 0;
+  /// Set mid-round by the misprediction check; the structural demotion runs
+  /// at the next round boundary (the plan cannot be rebuilt mid-iteration).
+  bool prior_demote_pending_ = false;
+  PriorState prior_state_ = PriorState::kNone;
+  PriorFeedback feedback_;
 };
 
 }  // namespace bofl::core

@@ -1,11 +1,23 @@
 #include "core/state_io.hpp"
 
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
 
 namespace bofl::core {
+
+double quotient_exact_weighted(double mean, double jobs) {
+  double w = mean * jobs;
+  for (int step = 0; step < 4 && w / jobs != mean; ++step) {
+    w = std::nextafter(w, w / jobs < mean
+                              ? std::numeric_limits<double>::infinity()
+                              : -std::numeric_limits<double>::infinity());
+  }
+  return w;
+}
 
 void save_state(const BoflController& controller, const std::string& path) {
   CsvWriter writer(path,

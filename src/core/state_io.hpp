@@ -23,4 +23,13 @@ void save_state(const BoflController& controller, const std::string& path);
 [[nodiscard]] std::vector<BoflController::SavedObservation> load_state(
     const std::string& path);
 
+/// Weighted sum w such that w / jobs == mean bit-exactly.  mean * jobs is
+/// within an ulp or two of such a w (every saved mean was itself produced
+/// by a division by jobs), but the product alone can land on a neighbour
+/// whose quotient rounds elsewhere — which would make
+/// save -> load -> import -> save drift by one ulp per generation instead
+/// of being byte-stable.  Shared by BoflController::import_state and the
+/// priors KnowledgeStore merge so cross-generation round trips stay exact.
+[[nodiscard]] double quotient_exact_weighted(double mean, double jobs);
+
 }  // namespace bofl::core

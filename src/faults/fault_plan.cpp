@@ -1,17 +1,19 @@
 #include "faults/fault_plan.hpp"
 
-#include <cctype>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
 #include "common/error.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/json_reader.hpp"
 
 namespace bofl::faults {
 
 namespace {
+
+using telemetry::JsonNode;
+using telemetry::number_field;
 
 struct KindName {
   FaultKind kind;
@@ -27,208 +29,6 @@ constexpr KindName kKindNames[] = {
     {FaultKind::kClientDropout, "client-dropout"},
     {FaultKind::kDeadlineJitter, "deadline-jitter"},
 };
-
-// --- Minimal JSON reader (objects, arrays, strings, numbers, bools, null).
-// The telemetry JsonValue is write-only by design; plans are the first
-// thing the repo *reads* as JSON, and this covers exactly the dialect
-// FaultPlan::to_json emits.
-
-struct JsonNode {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonNode> array;
-  std::vector<std::pair<std::string, JsonNode>> object;
-
-  [[nodiscard]] const JsonNode* find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) {
-        return &v;
-      }
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonNode parse() {
-    JsonNode root = parse_value();
-    skip_ws();
-    BOFL_REQUIRE(pos_ == text_.size(), "trailing characters after JSON value");
-    return root;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    BOFL_REQUIRE(pos_ < text_.size(), "unexpected end of JSON input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    BOFL_REQUIRE(peek() == c, std::string("expected '") + c + "' in JSON");
-    ++pos_;
-  }
-
-  bool consume_literal(const char* literal) {
-    std::size_t n = 0;
-    while (literal[n] != '\0') {
-      ++n;
-    }
-    if (text_.compare(pos_, n, literal) != 0) {
-      return false;
-    }
-    pos_ += n;
-    return true;
-  }
-
-  JsonNode parse_value() {
-    JsonNode node;
-    switch (peek()) {
-      case '{': {
-        node.type = JsonNode::Type::kObject;
-        ++pos_;
-        if (peek() == '}') {
-          ++pos_;
-          return node;
-        }
-        while (true) {
-          std::string key = parse_string();
-          expect(':');
-          node.object.emplace_back(std::move(key), parse_value());
-          if (peek() == ',') {
-            ++pos_;
-            continue;
-          }
-          expect('}');
-          return node;
-        }
-      }
-      case '[': {
-        node.type = JsonNode::Type::kArray;
-        ++pos_;
-        if (peek() == ']') {
-          ++pos_;
-          return node;
-        }
-        while (true) {
-          node.array.push_back(parse_value());
-          if (peek() == ',') {
-            ++pos_;
-            continue;
-          }
-          expect(']');
-          return node;
-        }
-      }
-      case '"':
-        node.type = JsonNode::Type::kString;
-        node.string = parse_string();
-        return node;
-      case 't':
-        BOFL_REQUIRE(consume_literal("true"), "malformed JSON literal");
-        node.type = JsonNode::Type::kBool;
-        node.boolean = true;
-        return node;
-      case 'f':
-        BOFL_REQUIRE(consume_literal("false"), "malformed JSON literal");
-        node.type = JsonNode::Type::kBool;
-        node.boolean = false;
-        return node;
-      case 'n':
-        BOFL_REQUIRE(consume_literal("null"), "malformed JSON literal");
-        node.type = JsonNode::Type::kNull;
-        return node;
-      default: {
-        node.type = JsonNode::Type::kNumber;
-        const char* begin = text_.c_str() + pos_;
-        char* end = nullptr;
-        node.number = std::strtod(begin, &end);
-        BOFL_REQUIRE(end != begin, "malformed JSON number");
-        pos_ += static_cast<std::size_t>(end - begin);
-        return node;
-      }
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      BOFL_REQUIRE(pos_ < text_.size(), "unterminated JSON string");
-      const char c = text_[pos_++];
-      if (c == '"') {
-        return out;
-      }
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      BOFL_REQUIRE(pos_ < text_.size(), "unterminated JSON escape");
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"':
-        case '\\':
-        case '/':
-          out.push_back(esc);
-          break;
-        case 'n':
-          out.push_back('\n');
-          break;
-        case 't':
-          out.push_back('\t');
-          break;
-        case 'r':
-          out.push_back('\r');
-          break;
-        case 'b':
-          out.push_back('\b');
-          break;
-        case 'f':
-          out.push_back('\f');
-          break;
-        case 'u': {
-          BOFL_REQUIRE(pos_ + 4 <= text_.size(), "truncated \\u escape");
-          const unsigned long code =
-              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
-          pos_ += 4;
-          // Plans only carry ASCII names; reject anything wider.
-          BOFL_REQUIRE(code < 0x80, "non-ASCII \\u escape in fault plan");
-          out.push_back(static_cast<char>(code));
-          break;
-        }
-        default:
-          BOFL_REQUIRE(false, "unsupported JSON escape");
-      }
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-double number_field(const JsonNode& node, const std::string& key,
-                    double fallback) {
-  const JsonNode* field = node.find(key);
-  if (field == nullptr) {
-    return fallback;
-  }
-  BOFL_REQUIRE(field->type == JsonNode::Type::kNumber,
-               "fault plan field '" + key + "' must be a number");
-  return field->number;
-}
 
 }  // namespace
 
@@ -342,8 +142,7 @@ std::string FaultPlan::to_json() const {
 }
 
 FaultPlan FaultPlan::from_json(const std::string& text) {
-  JsonParser parser(text);
-  const JsonNode root = parser.parse();
+  const JsonNode root = telemetry::parse_json(text);
   BOFL_REQUIRE(root.type == JsonNode::Type::kObject,
                "a fault plan must be a JSON object");
   FaultPlan plan;

@@ -67,6 +67,17 @@ FaultPlan make_scenario(const std::string& name, std::uint64_t seed,
                   /*probability=*/0.25));
     plan.faults.push_back(per_round(FaultKind::kClientDropout,
                                     /*magnitude=*/1.0, /*probability=*/0.10));
+  } else if (name == "prior-poisoned") {
+    // Knowledge-plane poisoning probe: the unit is thermally degraded for
+    // the WHOLE run (1.5x slower, from the first job), so a cluster prior
+    // calibrated on healthy devices mispredicts immediately and the
+    // controller must demote it to cold-start.  Deliberately NOT in
+    // scenario_names(): the generic scenario sweep asserts that at least
+    // half of each run's rounds are pessimistically feasible, which a
+    // persistent 1.5x slowdown under tight ratios does not guarantee —
+    // this plan exists for the dedicated prior tests (prior_scenario_test).
+    plan.faults.push_back(
+        windowed(FaultKind::kThermalStorm, 0.0, horizon_s, 0.0, 1.5));
   } else if (name == "mid-round-throttle") {
     // One sustained mid-run episode: a co-runner steals cycles while the
     // governor rejects the top half of every frequency table.  The

@@ -12,6 +12,7 @@
 #include "core/oracle_controller.hpp"
 #include "core/performant_controller.hpp"
 #include "faults/fault_injector.hpp"
+#include "priors/knowledge_store.hpp"
 #include "runtime/thread_pool.hpp"
 #include "telemetry/run_recorder.hpp"
 
@@ -103,6 +104,20 @@ std::unique_ptr<core::PaceController> FederatedSimulation::make_controller(
           model, config_.profile, noise, options, seed);
       // Fleet-shared exploitation memo (bit-identical; see config docs).
       controller->set_schedule_cache(schedule_cache_.get());
+      if (config_.knowledge != nullptr) {
+        // Knowledge-plane admission: seed this client from its cluster's
+        // shared prior (may downgrade or decline — see KnowledgeStore).
+        const priors::KnowledgeStore::Admission admission =
+            config_.knowledge->admit(
+                priors::ClusterKey::of(model, config_.profile),
+                config_.prior_policy);
+        if (admission.snapshot != nullptr) {
+          controller->apply_prior(
+              admission.snapshot->make_seed(
+                  config_.knowledge->options().max_verify_ids),
+              admission.policy);
+        }
+      }
       return controller;
     }
     case ControllerKind::kPerformant:
@@ -408,6 +423,40 @@ FlSimulationResult FederatedSimulation::run() {
     stats.global_accuracy = eval.accuracy;
     record_round_telemetry(stats, dropped, updates);
     result.rounds.push_back(stats);
+  }
+
+  // Knowledge-plane publish-back, serial and in client-id order so the
+  // store's merged content is independent of the worker count.  kCold keeps
+  // an attached store read-only (the bit-identity contract).
+  if (config_.knowledge != nullptr &&
+      config_.prior_policy != priors::PriorPolicy::kCold &&
+      config_.controller == ControllerKind::kBofl) {
+    for (std::size_t c = 0; c < config_.num_clients; ++c) {
+      const auto* bofl =
+          dynamic_cast<const core::BoflController*>(&clients[c]->controller());
+      if (bofl == nullptr) {
+        continue;
+      }
+      const priors::ClusterKey key =
+          priors::ClusterKey::of(*devices_[c % devices_.size()],
+                                 config_.profile);
+      switch (bofl->prior_state()) {
+        case core::BoflController::PriorState::kVerified:
+        case core::BoflController::PriorState::kAdopted:
+          config_.knowledge->record_outcome(key, true);
+          break;
+        case core::BoflController::PriorState::kDemoted:
+          config_.knowledge->record_outcome(key, false);
+          break;
+        case core::BoflController::PriorState::kNone:
+        case core::BoflController::PriorState::kVerifying:
+          break;
+      }
+      if (bofl->phase() == core::Phase::kExploitation) {
+        config_.knowledge->contribute(key,
+                                      priors::distill(*bofl, config_.rounds));
+      }
+    }
   }
   return result;
 }

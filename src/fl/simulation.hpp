@@ -15,6 +15,11 @@
 #include "fl/deadline_policy.hpp"
 #include "fl/network.hpp"
 #include "fl/server.hpp"
+#include "priors/prior_policy.hpp"
+
+namespace bofl::priors {
+class KnowledgeStore;
+}
 
 namespace bofl::fl {
 
@@ -115,6 +120,17 @@ struct FlSimulationConfig {
   /// bofl_options.ilp.disable_cache escape hatch additionally bypasses an
   /// attached cache per solve.  Ignored for non-BoFL controllers.
   bool share_schedule_cache = true;
+
+  /// Fleet knowledge plane (src/priors).  When set, every BoFL client asks
+  /// the store for its (device model × workload) cluster's prior under
+  /// `prior_policy` at construction, and after the run each client publishes
+  /// back (outcome feedback always; a distilled snapshot when it reached
+  /// exploitation), in client-id order so the store content is independent
+  /// of `threads`.  Non-owning; must outlive the simulation.  nullptr = no
+  /// knowledge plane; kCold keeps an attached store read-only and the run
+  /// bit-identical to one without a store.
+  priors::KnowledgeStore* knowledge = nullptr;
+  priors::PriorPolicy prior_policy = priors::PriorPolicy::kVerify;
 
   /// Worker threads for the per-round client fan-out (runtime subsystem);
   /// 0 = one per hardware thread, 1 = fully serial.  Results are

@@ -87,9 +87,11 @@ class ClientShard {
   CompletionQueue<std::uint64_t> queue;
 
   /// Round scratch (single-writer, reused): the local offsets selected this
-  /// round, and the deepest trajectory entry needed per cluster.
+  /// round, the deepest trajectory entry needed per cluster, and the ids of
+  /// clients whose report timed out (their replay cursor rolls back).
   std::vector<std::uint32_t> cohort;
   std::vector<std::uint32_t> needed_entries;
+  std::vector<std::uint64_t> timed_out_clients;
 
   /// This round's accounting and the run-cumulative telemetry.
   ShardRoundStats round_stats;

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "core/mbo_cost.hpp"
 #include "ilp/schedule_solver.hpp"
+#include "priors/knowledge_store.hpp"
 
 namespace bofl::fleet {
 
@@ -61,6 +62,22 @@ ClusterEngine::ClusterEngine(std::size_t index, const ClusterSpec& spec,
         *model_, profile_, device::NoiseModel{}, options,
         stream_seed(config.seed ^ kCanonicalDomain, index));
     controller_->set_schedule_cache(cache_);
+    if (config.knowledge != nullptr) {
+      // Ask the knowledge plane for this cluster's prior.  Admission may
+      // downgrade (kTrust -> kVerify below the trust bar) or decline
+      // (unknown cluster / low confidence), in which case the controller
+      // stays bit-identical to a cold start.
+      const priors::KnowledgeStore::Admission admission =
+          config.knowledge->admit(priors::ClusterKey::of(*model_, profile_),
+                                  config.prior_policy);
+      if (admission.snapshot != nullptr) {
+        controller_->apply_prior(
+            admission.snapshot->make_seed(
+                config.knowledge->options().max_verify_ids),
+            admission.policy);
+        applied_policy_ = admission.policy;
+      }
+    }
     if (injector != nullptr && injector->plan().has_device_faults()) {
       // The channel's "client" is the cluster index: the canonical device
       // IS the cluster as far as device-level faults are concerned.
@@ -99,6 +116,9 @@ void ClusterEngine::append_entry() {
                          ? bofl_entry(spec)
                          : reference_entry(spec);
   entry.deadline_us = to_micros(deadline);
+  if (entry.phase != core::Phase::kExploitation) {
+    ++exploration_entries_;
+  }
   trajectory_.push_back(entry);
 }
 
@@ -146,6 +166,30 @@ ClusterEngine::RoundEntry ClusterEngine::reference_entry(
   entry.elapsed_us = to_micros(Seconds{jobs * t_max_lat});
   entry.energy_uj = to_microjoules(Joules{jobs * t_max_energy});
   return entry;
+}
+
+void ClusterEngine::publish_to(priors::KnowledgeStore& store) const {
+  if (kind_ != FleetControllerKind::kBofl || controller_ == nullptr) {
+    return;
+  }
+  const priors::ClusterKey key = priors::ClusterKey::of(*model_, profile_);
+  switch (controller_->prior_state()) {
+    case core::BoflController::PriorState::kVerified:
+    case core::BoflController::PriorState::kAdopted:
+      store.record_outcome(key, true);
+      break;
+    case core::BoflController::PriorState::kDemoted:
+      store.record_outcome(key, false);
+      break;
+    case core::BoflController::PriorState::kNone:
+    case core::BoflController::PriorState::kVerifying:
+      break;
+  }
+  if (controller_->phase() == core::Phase::kExploitation) {
+    store.contribute(
+        key, priors::distill(*controller_,
+                             static_cast<std::int64_t>(trajectory_.size())));
+  }
 }
 
 std::vector<std::size_t> ClusterEngine::pareto_flat_ids() const {

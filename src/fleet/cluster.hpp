@@ -36,6 +36,10 @@
 #include "fleet/fleet_config.hpp"
 #include "ilp/schedule_cache.hpp"
 
+namespace bofl::priors {
+class KnowledgeStore;
+}
+
 namespace bofl::fleet {
 
 /// Quantization helpers: the engine's integer units.
@@ -90,6 +94,32 @@ class ClusterEngine {
   /// index) dereferences to.
   [[nodiscard]] std::vector<std::size_t> pareto_flat_ids() const;
 
+  /// Trajectory entries spent outside exploitation (phases 1–2) — the
+  /// knowledge plane's headline metric: warm-started clusters collapse
+  /// this to the verification pass.
+  [[nodiscard]] std::size_t exploration_entries() const {
+    return exploration_entries_;
+  }
+  /// The prior policy the store actually granted at construction (kCold
+  /// when no store was attached, the cluster was unknown, or admission
+  /// declined).
+  [[nodiscard]] priors::PriorPolicy applied_policy() const {
+    return applied_policy_;
+  }
+  /// How the canonical controller's prior resolved (kNone for reference
+  /// policies and cold starts).
+  [[nodiscard]] core::BoflController::PriorState prior_state() const {
+    return controller_ != nullptr
+               ? controller_->prior_state()
+               : core::BoflController::PriorState::kNone;
+  }
+
+  /// Publish this cluster's knowledge back to the store (kBofl only):
+  /// outcome feedback for the confidence score, plus a distilled snapshot
+  /// when the canonical controller reached exploitation.  The engine calls
+  /// this in cluster-index order after the round loop.
+  void publish_to(priors::KnowledgeStore& store) const;
+
  private:
   void append_entry();
   [[nodiscard]] RoundEntry bofl_entry(const core::RoundSpec& spec);
@@ -113,6 +143,8 @@ class ClusterEngine {
   std::unique_ptr<faults::DeviceFaultChannel> channel_;
   std::unique_ptr<core::BoflController> controller_;
   std::vector<RoundEntry> trajectory_;
+  std::size_t exploration_entries_ = 0;
+  priors::PriorPolicy applied_policy_ = priors::PriorPolicy::kCold;
 };
 
 }  // namespace bofl::fleet

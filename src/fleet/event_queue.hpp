@@ -101,15 +101,26 @@ struct RoundClose {
 /// wall advances to the arrival.  With no cutoff the wall is simply the last
 /// arrival.  The result is order-independent (max + counts), so it equals
 /// the per-client polling loop it replaced, bit for bit.
+///
+/// When `timed_out_clients` is non-null, the ids of the timed-out clients
+/// are appended in drain order (a pure function of the event set, so the
+/// list is shard/thread-layout invariant).  The fleet engine uses it to
+/// resync those clients' replay cursors: a timed-out report was discarded
+/// by the server, so the client retries the SAME trajectory entry at its
+/// next selection instead of advancing past work that never counted.
 template <typename Time>
-[[nodiscard]] RoundClose<Time> close_round(CompletionQueue<Time>& queue,
-                                           std::optional<Time> cutoff) {
+[[nodiscard]] RoundClose<Time> close_round(
+    CompletionQueue<Time>& queue, std::optional<Time> cutoff,
+    std::vector<std::uint64_t>* timed_out_clients = nullptr) {
   RoundClose<Time> close;
   while (!queue.empty()) {
     const CompletionEvent<Time> event = queue.pop_next();
     if (cutoff.has_value() && event.time > *cutoff) {
       ++close.timed_out;
       close.wall = std::max(close.wall, *cutoff);
+      if (timed_out_clients != nullptr) {
+        timed_out_clients->push_back(event.client);
+      }
     } else {
       ++close.arrived;
       close.wall = std::max(close.wall, event.time);

@@ -14,6 +14,11 @@
 #include "device/device_model.hpp"
 #include "device/workload.hpp"
 #include "faults/fault_plan.hpp"
+#include "priors/prior_policy.hpp"
+
+namespace bofl::priors {
+class KnowledgeStore;
+}
 
 namespace bofl::fleet {
 
@@ -94,6 +99,17 @@ struct FleetConfig {
   /// The population mix; empty = one AGX/ViT cluster (caller must keep the
   /// referenced DeviceModels alive).
   std::vector<ClusterSpec> clusters;
+
+  /// Fleet knowledge plane (src/priors).  When set, each cluster's
+  /// canonical controller asks the store for its cluster prior under
+  /// `prior_policy` at construction, and after the run every canonical
+  /// controller publishes back (outcome feedback always; a distilled
+  /// snapshot when it reached exploitation), in cluster-index order so the
+  /// store's content is shard/thread-layout invariant.  Non-owning; must
+  /// outlive the engine.  nullptr = no knowledge plane (and kCold keeps an
+  /// attached store read-only + bit-identical to a cold run, by contract).
+  priors::KnowledgeStore* knowledge = nullptr;
+  priors::PriorPolicy prior_policy = priors::PriorPolicy::kCold;
 };
 
 }  // namespace bofl::fleet

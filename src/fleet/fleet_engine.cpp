@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "priors/knowledge_store.hpp"
 #include "telemetry/process.hpp"
 
 namespace bofl::fleet {
@@ -240,6 +241,21 @@ FleetResult FleetEngine::run() {
     }
   }
   result.trace_hash = hash;
+  // Knowledge-plane bookkeeping and publish-back, in cluster-index order so
+  // the store's merged content is shard/thread-layout invariant.  Derived
+  // from the canonical trajectories, so (like max_queue_depth) these fields
+  // are observability — deliberately NOT folded into trace_hash.
+  for (const std::unique_ptr<ClusterEngine>& cluster : clusters_) {
+    result.exploration_rounds +=
+        static_cast<std::uint64_t>(cluster->exploration_entries());
+    if (cluster->applied_policy() != priors::PriorPolicy::kCold) {
+      ++result.warm_clusters;
+    }
+    if (config_.knowledge != nullptr &&
+        config_.prior_policy != priors::PriorPolicy::kCold) {
+      cluster->publish_to(*config_.knowledge);
+    }
+  }
   result.soa_bytes = soa_bytes();
   result.peak_rss_bytes = telemetry::peak_rss_bytes();
   for (const ClientShard& shard : shards_) {
@@ -399,11 +415,21 @@ FleetRoundStats FleetEngine::run_round(std::int64_t round,
   }
 
   // Pass 3 (parallel): drain each shard's event queue in (time, client)
-  // order; the round wall and timeout counts come out of the drain.
+  // order; the round wall and timeout counts come out of the drain.  A
+  // timed-out report was discarded by the server, so the client's replay
+  // cursor rolls back to retry the SAME trajectory entry next time it is
+  // selected — without the resync it would re-enter the next round pointing
+  // one entry past work that never counted.  (rng_cursor stays advanced: the
+  // retry is a fresh execution with fresh jitter.)
   runtime::parallel_for_each(pool, shards_.size(), [&](std::size_t s) {
     ClientShard& shard = shards_[s];
+    shard.timed_out_clients.clear();
     const RoundClose<std::uint64_t> close =
-        close_round(shard.queue, cutoff_us);
+        close_round(shard.queue, cutoff_us, &shard.timed_out_clients);
+    const std::size_t begin = shard.range().begin;
+    for (const std::uint64_t client : shard.timed_out_clients) {
+      shard.participations[client - begin] -= 1;
+    }
     shard.round_stats.wall_us = close.wall;
     shard.round_stats.timed_out = static_cast<std::uint32_t>(close.timed_out);
     shard.round_stats.queue_peak = shard.queue.peak_depth();

@@ -82,6 +82,12 @@ struct FleetResult {
   /// depth tracks per-shard cohort size, so unlike everything in `rounds`
   /// it legitimately depends on the shard layout and is NOT in trace_hash.
   std::uint64_t max_queue_depth = 0;
+  /// Knowledge-plane headline metrics (derived from per-cluster counters
+  /// after the round loop, so — like max_queue_depth — NOT in trace_hash):
+  /// total canonical trajectory entries spent outside exploitation, and how
+  /// many clusters started from an admitted prior.
+  std::uint64_t exploration_rounds = 0;
+  std::uint32_t warm_clusters = 0;
   std::size_t num_clients = 0;
   std::size_t num_shards = 0;
   std::size_t num_clusters = 0;

@@ -126,4 +126,23 @@ HyperoptResult fit_hyperparameters(KernelFamily family,
   return result;
 }
 
+bool warm_start_compatible(const HyperoptResult& fit, KernelFamily family,
+                           std::size_t input_dimension) {
+  if (fit.kernel.family() != family ||
+      fit.kernel.input_dimension() != input_dimension) {
+    return false;
+  }
+  if (!std::isfinite(fit.kernel.signal_variance()) ||
+      fit.kernel.signal_variance() <= 0.0) {
+    return false;
+  }
+  for (const double ls : fit.kernel.lengthscales()) {
+    if (!std::isfinite(ls) || ls <= 0.0) {
+      return false;
+    }
+  }
+  return std::isfinite(fit.noise_variance) && fit.noise_variance >= 0.0 &&
+         std::isfinite(fit.log_marginal_likelihood);
+}
+
 }  // namespace bofl::gp

@@ -54,4 +54,12 @@ struct HyperoptResult {
     const HyperoptOptions& options = {},
     const HyperoptResult* warm_start = nullptr);
 
+/// True when `fit` can seed a warm-started refit for `family` kernels on
+/// `input_dimension`-dimensional inputs: same family, matching ARD width,
+/// and finite positive hyperparameters.  The priors subsystem gates
+/// cross-client hyperparameter reuse on this before touching an engine.
+[[nodiscard]] bool warm_start_compatible(const HyperoptResult& fit,
+                                         KernelFamily family,
+                                         std::size_t input_dimension);
+
 }  // namespace bofl::gp

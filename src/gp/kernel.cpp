@@ -19,6 +19,16 @@ const char* to_string(KernelFamily family) {
   return "unknown";
 }
 
+std::optional<KernelFamily> kernel_family_from_string(std::string_view name) {
+  for (const KernelFamily family :
+       {KernelFamily::kMatern52, KernelFamily::kMatern32, KernelFamily::kRbf}) {
+    if (name == to_string(family)) {
+      return family;
+    }
+  }
+  return std::nullopt;
+}
+
 Kernel::Kernel(KernelFamily family, double signal_variance,
                std::vector<double> lengthscales)
     : family_(family),

@@ -6,6 +6,8 @@
 // ARD (one lengthscale per input dimension) for ablations.
 #pragma once
 
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -23,6 +25,11 @@ enum class KernelFamily {
 };
 
 [[nodiscard]] const char* to_string(KernelFamily family);
+
+/// Inverse of to_string; empty when `name` is not a known family.  Used by
+/// the priors KnowledgeStore to round-trip fitted kernels through JSON.
+[[nodiscard]] std::optional<KernelFamily> kernel_family_from_string(
+    std::string_view name);
 
 /// A stationary ARD kernel k(x, x') = signal_variance * c(r) where r is the
 /// lengthscale-weighted Euclidean distance.

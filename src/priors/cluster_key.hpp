@@ -1,0 +1,33 @@
+// Cluster identity for the fleet knowledge plane: clients sharing a device
+// model and a workload profile share one prior.  Keys are the human-readable
+// names (the same strings the mixes and Table 1/2 specs use), so a store
+// saved by one fleet run is addressable from any other.
+#pragma once
+
+#include <string>
+
+#include "device/device_model.hpp"
+#include "device/workload.hpp"
+
+namespace bofl::priors {
+
+struct ClusterKey {
+  std::string device;    ///< device model name, e.g. "jetson-agx"
+  std::string workload;  ///< workload profile name, e.g. "vit"
+
+  [[nodiscard]] static ClusterKey of(const device::DeviceModel& model,
+                                     const device::WorkloadProfile& profile) {
+    return {model.name(), profile.name};
+  }
+
+  /// "device/workload" — used in logs and the store's JSON.
+  [[nodiscard]] std::string label() const { return device + "/" + workload; }
+
+  friend bool operator==(const ClusterKey&, const ClusterKey&) = default;
+  friend bool operator<(const ClusterKey& a, const ClusterKey& b) {
+    return a.device != b.device ? a.device < b.device
+                                : a.workload < b.workload;
+  }
+};
+
+}  // namespace bofl::priors

@@ -1,0 +1,48 @@
+// How a client consumes its cluster prior (the fleet knowledge plane's
+// admission result).  Header-only and dependency-free so core can name the
+// policy without linking the priors library.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace bofl::priors {
+
+enum class PriorPolicy {
+  /// Ignore the store entirely.  Contract: a kCold client is bit-identical
+  /// to a build without the priors subsystem (the differential guarantee).
+  kCold,
+  /// Adopt the cluster prior provisionally and re-measure x_max plus a few
+  /// cluster representatives on this unit before trusting it structurally;
+  /// a misprediction demotes the client back to cold start.  The default.
+  kVerify,
+  /// Import the prior as if this unit had measured it (skips verification;
+  /// the per-round drift guardian is still armed by bad readings).  Only
+  /// admitted for clusters above the store's trust-confidence bar.
+  kTrust,
+};
+
+[[nodiscard]] constexpr const char* to_string(PriorPolicy policy) {
+  switch (policy) {
+    case PriorPolicy::kCold:
+      return "cold";
+    case PriorPolicy::kVerify:
+      return "verify";
+    case PriorPolicy::kTrust:
+      return "trust";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] inline std::optional<PriorPolicy> prior_policy_from_string(
+    std::string_view name) {
+  for (const PriorPolicy policy :
+       {PriorPolicy::kCold, PriorPolicy::kVerify, PriorPolicy::kTrust}) {
+    if (name == to_string(policy)) {
+      return policy;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace bofl::priors

@@ -1,0 +1,120 @@
+// Fleet-level knowledge plane: two-generation warm starts through the
+// engine's publish/admit seam, the kCold read-only differential guarantee,
+// and layout invariance of warm traces.
+//
+// Store-mutation rule baked into every comparison here: `run()` publishes
+// back into an attached store, so determinism checks always hand each
+// engine its OWN COPY of the pristine store — comparing against a store a
+// previous run already merged into is meaningless.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "fleet/fleet_engine.hpp"
+#include "priors/knowledge_store.hpp"
+
+namespace bofl::fleet {
+namespace {
+
+FleetConfig priors_config() {
+  FleetConfig config;
+  config.num_clients = 400;
+  config.rounds = 20;
+  config.cohort_fraction = 0.5;
+  config.seed = 5;
+  return config;  // default mix: one AGX/ViT cluster, deadline_ratio 8
+}
+
+/// Run one engine generation against `store` (nullptr = no knowledge plane).
+FleetResult run_generation(priors::KnowledgeStore* store,
+                           priors::PriorPolicy policy) {
+  FleetConfig config = priors_config();
+  config.knowledge = store;
+  config.prior_policy = policy;
+  FleetEngine engine(config);
+  return engine.run();
+}
+
+TEST(FleetPriors, EmptyStoreGenerationIsBitIdenticalToCold) {
+  const FleetResult cold = run_generation(nullptr, priors::PriorPolicy::kCold);
+
+  // Generation 1: empty store, kVerify requested.  Admission declines (no
+  // cluster knowledge yet), so the trajectory must be the cold one bit for
+  // bit — the store only gains content on the publish after the run.
+  priors::KnowledgeStore store;
+  const FleetResult gen1 = run_generation(&store, priors::PriorPolicy::kVerify);
+  EXPECT_EQ(gen1.trace_hash, cold.trace_hash);
+  ASSERT_EQ(gen1.rounds.size(), cold.rounds.size());
+  for (std::size_t i = 0; i < cold.rounds.size(); ++i) {
+    EXPECT_EQ(gen1.rounds[i], cold.rounds[i]) << "round " << i;
+  }
+  EXPECT_EQ(gen1.warm_clusters, 0u);
+  EXPECT_EQ(gen1.exploration_rounds, cold.exploration_rounds);
+  EXPECT_EQ(store.num_clusters(), 1u);
+}
+
+TEST(FleetPriors, SecondGenerationWarmStartsAndKColdStaysReadOnly) {
+  const FleetResult cold = run_generation(nullptr, priors::PriorPolicy::kCold);
+  ASSERT_GT(cold.exploration_rounds, 0u);
+
+  priors::KnowledgeStore store;
+  (void)run_generation(&store, priors::PriorPolicy::kVerify);
+  ASSERT_EQ(store.num_clusters(), 1u);
+  const std::string pristine = store.to_json();
+
+  // Generation 2 admits the cluster prior and collapses exploration to the
+  // verification pass.
+  priors::KnowledgeStore gen2_store = store;
+  const FleetResult warm =
+      run_generation(&gen2_store, priors::PriorPolicy::kVerify);
+  EXPECT_EQ(warm.warm_clusters, 1u);
+  EXPECT_LT(warm.exploration_rounds, cold.exploration_rounds);
+  // The second generation merged fresh knowledge back in.
+  EXPECT_NE(gen2_store.to_json(), pristine);
+
+  // kCold with a POPULATED store: the differential guarantee.  The store is
+  // ignored on admit and left untouched on publish — trace and store bytes
+  // both match the cold run exactly.
+  priors::KnowledgeStore kcold_store = store;
+  const FleetResult kcold =
+      run_generation(&kcold_store, priors::PriorPolicy::kCold);
+  EXPECT_EQ(kcold.trace_hash, cold.trace_hash);
+  EXPECT_EQ(kcold.warm_clusters, 0u);
+  EXPECT_EQ(kcold_store.to_json(), pristine);
+}
+
+TEST(FleetPriors, WarmTracesAreLayoutInvariant) {
+  priors::KnowledgeStore store;
+  (void)run_generation(&store, priors::PriorPolicy::kVerify);
+
+  // Each layout gets its own pristine copy (run() merges publish-back into
+  // whichever store it was handed).
+  priors::KnowledgeStore store_a = store;
+  priors::KnowledgeStore store_b = store;
+  FleetConfig serial = priors_config();
+  serial.shards = 1;
+  serial.threads = 1;
+  serial.knowledge = &store_a;
+  serial.prior_policy = priors::PriorPolicy::kVerify;
+  FleetConfig sharded = priors_config();
+  sharded.shards = 5;
+  sharded.threads = 4;
+  sharded.knowledge = &store_b;
+  sharded.prior_policy = priors::PriorPolicy::kVerify;
+
+  FleetEngine a(serial);
+  FleetEngine b(sharded);
+  const FleetResult ra = a.run();
+  const FleetResult rb = b.run();
+  EXPECT_EQ(ra.trace_hash, rb.trace_hash);
+  EXPECT_EQ(ra.warm_clusters, 1u);
+  EXPECT_EQ(rb.warm_clusters, 1u);
+  EXPECT_EQ(ra.exploration_rounds, rb.exploration_rounds);
+  // Publish-back runs in cluster-index order, so the merged stores are
+  // byte-identical too.
+  EXPECT_EQ(store_a.to_json(), store_b.to_json());
+}
+
+}  // namespace
+}  // namespace bofl::fleet

@@ -1,0 +1,112 @@
+// Regression tests for the straggler-timeout replay-cursor resync: a report
+// past the cutoff was discarded by the server, so the client must retry the
+// SAME trajectory entry at its next selection.  Before the fix the client
+// re-entered the next round pointing one entry past work that never
+// counted, silently skipping trajectory indices.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "fleet/event_queue.hpp"
+#include "fleet/fleet_engine.hpp"
+
+namespace bofl::fleet {
+namespace {
+
+faults::FaultPlan straggler_plan(double probability, double magnitude) {
+  faults::FaultSpec spec;
+  spec.kind = faults::FaultKind::kStraggler;
+  spec.magnitude = magnitude;
+  spec.probability = probability;
+  faults::FaultPlan plan;
+  plan.seed = 3;
+  plan.faults.push_back(spec);
+  return plan;
+}
+
+TEST(CloseRound, ReportsTimedOutClientsInDrainOrder) {
+  CompletionQueue<std::uint64_t> queue;
+  queue.push({900, 5});
+  queue.push({100, 2});
+  queue.push({300, 9});
+  queue.push({900, 1});  // same arrival as client 5: id breaks the tie
+  std::vector<std::uint64_t> timed_out;
+  const RoundClose<std::uint64_t> close =
+      close_round(queue, std::optional<std::uint64_t>{200}, &timed_out);
+  EXPECT_EQ(close.arrived, 1u);
+  EXPECT_EQ(close.timed_out, 3u);
+  // Drain order = (time, client) order — a pure function of the event set,
+  // so the resync list is shard/thread-layout invariant.
+  EXPECT_EQ(timed_out, (std::vector<std::uint64_t>{9, 1, 5}));
+}
+
+TEST(TimeoutResync, TimedOutClientsRetryTheSameTrajectoryEntry) {
+  // Every participant stragglers past the cutoff every round: arrivals land
+  // at elapsed + 2 x deadline while the server stops at 1.2 x deadline.
+  // With the cursor resync nobody's participation ever counts, so the whole
+  // cohort keeps replaying trajectory entry 0 and the canonical trajectory
+  // never needs a second entry.  Before the fix, cursors advanced anyway
+  // and the trajectory grew one entry per round.
+  FleetConfig config;
+  config.num_clients = 300;
+  config.rounds = 6;
+  config.cohort_fraction = 1.0;
+  config.seed = 5;
+  config.straggler_timeout = 1.2;
+  config.fault_plan = straggler_plan(/*probability=*/1.0, /*magnitude=*/3.0);
+  FleetEngine engine(config);
+  const FleetResult result = engine.run();
+  ASSERT_EQ(result.rounds.size(), 6u);
+  for (const FleetRoundStats& round : result.rounds) {
+    EXPECT_GT(round.participants, 0u) << "round " << round.round;
+    EXPECT_EQ(round.timed_out, round.participants) << "round " << round.round;
+  }
+  EXPECT_EQ(result.timeout_rate(), 1.0);
+  EXPECT_EQ(engine.cluster(0).size(), 1u);
+}
+
+TEST(TimeoutResync, PartialTimeoutsStayLayoutInvariant) {
+  // Half the cohort stragglers each round, so cursors diverge: some clients
+  // advance, some retry.  The resync list comes out of the deterministic
+  // queue drain, so the whole trace — including which clients rolled back —
+  // must be bit-identical across shard/thread layouts.
+  FleetConfig base;
+  base.num_clients = 400;
+  base.rounds = 8;
+  base.cohort_fraction = 0.5;
+  base.seed = 9;
+  base.straggler_timeout = 1.2;
+  base.fault_plan = straggler_plan(/*probability=*/0.5, /*magnitude=*/3.0);
+
+  FleetConfig serial = base;
+  serial.shards = 1;
+  serial.threads = 1;
+  FleetConfig sharded = base;
+  sharded.shards = 7;
+  sharded.threads = 4;
+
+  FleetEngine a(serial);
+  FleetEngine b(sharded);
+  const FleetResult ra = a.run();
+  const FleetResult rb = b.run();
+  EXPECT_EQ(ra.trace_hash, rb.trace_hash);
+  ASSERT_EQ(ra.rounds.size(), rb.rounds.size());
+  for (std::size_t i = 0; i < ra.rounds.size(); ++i) {
+    EXPECT_EQ(ra.rounds[i], rb.rounds[i]) << "round " << i;
+  }
+  // The run actually mixed outcomes (some arrived, some timed out).
+  std::uint64_t timed_out = 0;
+  std::uint64_t participants = 0;
+  for (const FleetRoundStats& round : ra.rounds) {
+    timed_out += round.timed_out;
+    participants += round.participants;
+  }
+  EXPECT_GT(timed_out, 0u);
+  EXPECT_GT(participants, timed_out);
+}
+
+}  // namespace
+}  // namespace bofl::fleet

@@ -1,0 +1,129 @@
+#include "priors/knowledge_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace bofl::priors {
+namespace {
+
+using SavedObservation = core::BoflController::SavedObservation;
+
+PriorSnapshot snapshot_of(std::vector<SavedObservation> observations) {
+  PriorSnapshot snapshot;
+  snapshot.observations = std::move(observations);
+  for (const SavedObservation& obs : snapshot.observations) {
+    snapshot.pareto_flat_ids.push_back(obs.config_flat);
+  }
+  snapshot.t_x_max_s = 0.25;
+  snapshot.source_rounds = 10;
+  return snapshot;
+}
+
+const ClusterKey kKey{"agx", "vit"};
+
+TEST(KnowledgeStore, UnknownClusterDeclinesAndKColdPassesThrough) {
+  KnowledgeStore store;
+  const KnowledgeStore::Admission unknown =
+      store.admit(kKey, PriorPolicy::kVerify);
+  EXPECT_EQ(unknown.policy, PriorPolicy::kCold);
+  EXPECT_EQ(unknown.snapshot, nullptr);
+  EXPECT_EQ(store.confidence(kKey), 0.0);
+
+  store.contribute(kKey, snapshot_of({{5, 4.0, 2.0, 0.5}}));
+  const KnowledgeStore::Admission cold = store.admit(kKey, PriorPolicy::kCold);
+  EXPECT_EQ(cold.policy, PriorPolicy::kCold);
+  EXPECT_EQ(cold.snapshot, nullptr);
+}
+
+TEST(KnowledgeStore, ConfidenceGatesAdmissionAndDowngradesTrust) {
+  KnowledgeStore store;
+  store.contribute(kKey, snapshot_of({{5, 4.0, 2.0, 0.5}}));
+  // No outcomes yet: full confidence, trust granted as requested.
+  EXPECT_EQ(store.confidence(kKey), 1.0);
+  EXPECT_EQ(store.admit(kKey, PriorPolicy::kTrust).policy,
+            PriorPolicy::kTrust);
+
+  // One misprediction outweighs misprediction_weight verifications: with
+  // 3 confirmations and 1 demotion, confidence = 3 / (3 + 4) < 0.5.
+  store.record_outcome(kKey, true);
+  store.record_outcome(kKey, true);
+  store.record_outcome(kKey, true);
+  store.record_outcome(kKey, false);
+  EXPECT_NEAR(store.confidence(kKey), 3.0 / 7.0, 1e-12);
+  const KnowledgeStore::Admission declined =
+      store.admit(kKey, PriorPolicy::kVerify);
+  EXPECT_EQ(declined.snapshot, nullptr);
+
+  // Many confirmations rebuild confidence past min_confidence but stay
+  // below the trust bar: kTrust is downgraded to kVerify.
+  for (int i = 0; i < 10; ++i) {
+    store.record_outcome(kKey, true);
+  }
+  EXPECT_GT(store.confidence(kKey), store.options().min_confidence);
+  EXPECT_LT(store.confidence(kKey), store.options().trust_confidence);
+  const KnowledgeStore::Admission downgraded =
+      store.admit(kKey, PriorPolicy::kTrust);
+  EXPECT_EQ(downgraded.policy, PriorPolicy::kVerify);
+  ASSERT_NE(downgraded.snapshot, nullptr);
+}
+
+TEST(KnowledgeStore, ContributeMergesObservationsJobWeighted) {
+  KnowledgeStore store;
+  store.contribute(kKey, snapshot_of({{3, 2.0, 4.0, 1.0}, {7, 2.0, 1.0, 2.0}}));
+  store.contribute(kKey, snapshot_of({{3, 6.0, 8.0, 3.0}, {9, 1.0, 0.5, 4.0}}));
+
+  const ClusterKnowledge* knowledge = store.lookup(kKey);
+  ASSERT_NE(knowledge, nullptr);
+  EXPECT_EQ(knowledge->contributions, 2u);
+  ASSERT_EQ(knowledge->snapshot.observations.size(), 3u);
+  // Sorted by flat id, overlapping id 3 merged with job weights 2 + 6.
+  const SavedObservation& merged = knowledge->snapshot.observations[0];
+  EXPECT_EQ(merged.config_flat, 3u);
+  EXPECT_DOUBLE_EQ(merged.jobs, 8.0);
+  EXPECT_NEAR(merged.mean_energy, (2.0 * 4.0 + 6.0 * 8.0) / 8.0, 1e-12);
+  EXPECT_NEAR(merged.mean_latency, (2.0 * 1.0 + 6.0 * 3.0) / 8.0, 1e-12);
+  EXPECT_EQ(knowledge->snapshot.observations[1].config_flat, 7u);
+  EXPECT_EQ(knowledge->snapshot.observations[2].config_flat, 9u);
+  // The merged Pareto front is recomputed over the merged profiles: id 3
+  // (7.0 J, 2.5 s after the merge) is dominated by id 7 (1.0 J, 2.0 s)
+  // and must drop off the front.
+  for (const std::size_t flat : knowledge->snapshot.pareto_flat_ids) {
+    EXPECT_NE(flat, 3u);
+  }
+}
+
+TEST(KnowledgeStore, JsonRoundTripIsByteStable) {
+  KnowledgeStore store;
+  store.contribute(kKey, snapshot_of({{3, 2.0, 4.0, 1.0}, {7, 2.0, 1.0, 2.0}}));
+  store.contribute(ClusterKey{"tx2", "lstm"},
+                   snapshot_of({{1, 5.0, 0.125, 0.0625}}));
+  store.record_outcome(kKey, true);
+  store.record_outcome(kKey, false);
+
+  const std::string json = store.to_json();
+  const KnowledgeStore reloaded = KnowledgeStore::from_json(json);
+  EXPECT_EQ(reloaded.to_json(), json);
+  EXPECT_EQ(reloaded.num_clusters(), 2u);
+  EXPECT_DOUBLE_EQ(reloaded.confidence(kKey), store.confidence(kKey));
+
+  // File round trip preserves the exact bytes too.
+  const std::string path = ::testing::TempDir() + "bofl_store_test.json";
+  store.save(path);
+  const KnowledgeStore from_disk = KnowledgeStore::from_file(path);
+  EXPECT_EQ(from_disk.to_json(), json);
+  std::remove(path.c_str());
+}
+
+TEST(KnowledgeStore, EmptySnapshotNeverAdmits) {
+  KnowledgeStore store;
+  store.contribute(kKey, PriorSnapshot{});
+  const KnowledgeStore::Admission admission =
+      store.admit(kKey, PriorPolicy::kVerify);
+  EXPECT_EQ(admission.snapshot, nullptr);
+  EXPECT_EQ(admission.policy, PriorPolicy::kCold);
+}
+
+}  // namespace
+}  // namespace bofl::priors

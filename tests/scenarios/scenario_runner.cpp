@@ -14,6 +14,7 @@
 #include "device/frequency.hpp"
 #include "faults/scenarios.hpp"
 #include "pareto/hypervolume.hpp"
+#include "priors/snapshot.hpp"
 
 namespace bofl::scenarios {
 
@@ -115,6 +116,9 @@ DeviceScenarioResult run_device_scenario(const faults::FaultPlan& plan,
     channel = injector.make_device_channel(0);
     controller.install_fault_model(channel.get());
   }
+  if (opts.prior != nullptr) {
+    controller.apply_prior(*opts.prior, opts.prior_policy);
+  }
 
   const pareto::Point2 ref = fixed_reference(model, task.profile);
   const device::DvfsConfig x_max = model.space().max_config();
@@ -159,6 +163,8 @@ DeviceScenarioResult run_device_scenario(const faults::FaultPlan& plan,
       }
     }
   }
+  result.prior_state = controller.prior_state();
+  result.snapshot = priors::distill(controller, opts.rounds);
   return result;
 }
 

@@ -24,10 +24,13 @@
 #include <string>
 #include <vector>
 
+#include "core/bofl_controller.hpp"
 #include "core/trace.hpp"
 #include "faults/fault_injector.hpp"
 #include "faults/fault_plan.hpp"
 #include "fl/simulation.hpp"
+#include "priors/prior_policy.hpp"
+#include "priors/snapshot.hpp"
 
 namespace bofl::scenarios {
 
@@ -38,6 +41,12 @@ struct DeviceScenarioOptions {
   std::int64_t rounds = 30;
   std::uint64_t seed = 1;
   Seconds tau{5.0};
+  /// Knowledge-plane seam: when set, the prior seed is applied to the
+  /// fresh controller under `prior_policy` before the first round — the
+  /// scenario then exercises a warm start under faults (non-owning; must
+  /// outlive the run).
+  const core::BoflController::PriorSeed* prior = nullptr;
+  priors::PriorPolicy prior_policy = priors::PriorPolicy::kVerify;
 };
 
 /// Per-round robustness record (one per RoundTrace, same order).
@@ -63,6 +72,12 @@ struct DeviceScenarioResult {
   std::vector<DeviceRoundReport> rounds;
   /// All fault events, drained serially per round (round-stamped).
   std::vector<faults::FaultEvent> events;
+  /// How an applied prior resolved (kNone for cold runs).
+  core::BoflController::PriorState prior_state =
+      core::BoflController::PriorState::kNone;
+  /// The controller's knowledge distilled after the last round — what it
+  /// would contribute to a KnowledgeStore (donor material for prior tests).
+  priors::PriorSnapshot snapshot;
 
   /// Training + MBO energy of the whole run.
   [[nodiscard]] Joules total_energy() const;

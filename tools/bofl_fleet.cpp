@@ -5,6 +5,8 @@
 //              [--mix agx-vit|edge-mix] [--shards N] [--threads N]
 //              [--het-cv CV] [--noise-cv CV] [--straggler-timeout K]
 //              [--faults PLAN.json | --scenario NAME]
+//              [--priors off|save|load] [--priors-path PATH]
+//              [--prior-policy cold|verify|trust]
 //              [--json PATH] [--quiet]
 //              [--metrics-out PATH] [--metrics-summary]
 //              [--assert-wall-s S] [--assert-rss-mb MB]
@@ -16,6 +18,16 @@
 // --json writes the summary as JSON.  --assert-wall-s / --assert-rss-mb turn
 // the run into a CI gate: exit nonzero when the measured wall time or peak
 // RSS exceeds the ceiling.
+//
+// The fleet knowledge plane (src/priors) rides on --priors:
+//   --priors save            run cold, then write the distilled per-cluster
+//                            store to --priors-path (generation 1)
+//   --priors load            load the store, warm-start each cluster under
+//                            --prior-policy, publish back and re-save
+//                            (generation 2)
+//   --priors off  (default)  no knowledge plane
+// With --prior-policy cold a loaded store is read-only and the run is
+// bit-identical to --priors off (the differential guarantee).
 //
 // A quick 100k-client example (see README "Fleet engine"):
 //
@@ -30,6 +42,7 @@
 #include "faults/fault_plan.hpp"
 #include "faults/scenarios.hpp"
 #include "fleet/fleet_engine.hpp"
+#include "priors/knowledge_store.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/process.hpp"
 #include "telemetry/run_recorder.hpp"
@@ -46,6 +59,8 @@ int usage(const char* argv0) {
       "          [--mix agx-vit|edge-mix] [--shards N] [--threads N]\n"
       "          [--het-cv CV] [--noise-cv CV] [--straggler-timeout K]\n"
       "          [--faults PLAN.json | --scenario NAME]\n"
+      "          [--priors off|save|load] [--priors-path PATH]\n"
+      "          [--prior-policy cold|verify|trust]\n"
       "          [--json PATH] [--quiet]\n"
       "          [--metrics-out PATH] [--metrics-summary]\n"
       "          [--assert-wall-s S] [--assert-rss-mb MB]\n",
@@ -123,6 +138,37 @@ int main(int argc, char** argv) {
         faults::make_scenario(scenario_name, config.seed ^ 0xFA17ULL, horizon);
   }
 
+  // Fleet knowledge plane.  The store outlives the engine (non-owning
+  // pointer in the config).  "save" runs from an empty store — every cluster
+  // is unknown, so admission declines and the run is bit-identical to
+  // --priors off — and persists the distilled generation afterwards; "load"
+  // warm-starts from the persisted store under --prior-policy and re-saves
+  // the merged result (except under cold, which keeps the store read-only).
+  const std::string priors_mode = flags.get("priors", "off");
+  const std::string priors_path =
+      flags.get("priors-path", "bofl_fleet_store.json");
+  const std::string policy_name = flags.get("prior-policy", "verify");
+  const std::optional<priors::PriorPolicy> policy =
+      priors::prior_policy_from_string(policy_name);
+  if (!policy.has_value()) {
+    std::fprintf(stderr, "unknown prior policy: %s\n", policy_name.c_str());
+    return usage(argv[0]);
+  }
+  std::optional<priors::KnowledgeStore> store;
+  if (priors_mode == "save") {
+    store.emplace();
+    config.knowledge = &*store;
+    config.prior_policy = priors::PriorPolicy::kVerify;
+  } else if (priors_mode == "load") {
+    store.emplace(priors::KnowledgeStore::from_file(priors_path));
+    config.knowledge = &*store;
+    config.prior_policy = *policy;
+  } else if (priors_mode != "off") {
+    std::fprintf(stderr, "unknown priors mode: %s\n", priors_mode.c_str());
+    return usage(argv[0]);
+  }
+  const priors::PriorPolicy effective_policy = config.prior_policy;
+
   // Telemetry must be installed before the engine (it caches handles).
   const std::string metrics_path = flags.get("metrics-out", "");
   const bool metrics_summary = flags.get_bool("metrics-summary");
@@ -173,14 +219,26 @@ int main(int argc, char** argv) {
       "rates: miss %.4f, timeout %.4f; phase-3 occupancy %.3f\n"
       "scale: %zu shards, %zu clusters, %.1f B/client SoA, "
       "peak RSS %.1f MB, wall %.2f s\n"
+      "priors: mode=%s policy=%s, %u warm clusters, "
+      "%llu exploration rounds\n"
       "trace hash: %016llx\n",
       result.total_energy_j(), result.total_mbo_energy_j(),
       result.rounds.size(),
       static_cast<unsigned long long>(result.total_participants()),
       result.miss_rate(), result.timeout_rate(), result.phase3_fraction(),
       result.num_shards, result.num_clusters, result.bytes_per_client(),
-      rss_mb, wall_s,
+      rss_mb, wall_s, priors_mode.c_str(),
+      priors::to_string(effective_policy), result.warm_clusters,
+      static_cast<unsigned long long>(result.exploration_rounds),
       static_cast<unsigned long long>(result.trace_hash));
+
+  if (store.has_value() &&
+      (priors_mode == "save" ||
+       effective_policy != priors::PriorPolicy::kCold)) {
+    store->save(priors_path);
+    std::printf("knowledge store written to %s (%zu clusters)\n",
+                priors_path.c_str(), store->num_clusters());
+  }
 
   const std::string json_path = flags.get("json", "");
   if (!json_path.empty()) {
@@ -200,6 +258,11 @@ int main(int argc, char** argv) {
         .set("bytes_per_client", result.bytes_per_client())
         .set("soa_bytes", static_cast<double>(result.soa_bytes))
         .set("peak_rss_bytes", static_cast<double>(result.peak_rss_bytes))
+        .set("priors", priors_mode)
+        .set("prior_policy", priors::to_string(effective_policy))
+        .set("warm_clusters", static_cast<double>(result.warm_clusters))
+        .set("exploration_rounds",
+             static_cast<double>(result.exploration_rounds))
         .set("wall_s", wall_s);
     char hash_hex[17];
     std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
