@@ -6,12 +6,18 @@
 // was compiled with optimization (unoptimized numbers are not comparable).
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+#include <vector>
 
+#include "common/flags.hpp"
 #include "common/rng.hpp"
 #include "figure_common.hpp"
 #include "gp/kernel.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
+#include "telemetry/json_reader.hpp"
 
 namespace {
 
@@ -51,12 +57,91 @@ double best_seconds(int reps, double& sink, const Fn& fn) {
   return best;
 }
 
+/// Baseline `seconds`-style field for the row in section `section` whose
+/// "n" equals `n`, or 0 when the baseline has no such row.
+double baseline_seconds(const telemetry::JsonNode& metrics,
+                        const char* section, std::size_t n,
+                        const char* field) {
+  const telemetry::JsonNode* rows = metrics.find(section);
+  if (rows == nullptr || rows->type != telemetry::JsonNode::Type::kArray) {
+    return 0.0;
+  }
+  for (const telemetry::JsonNode& row : rows->array) {
+    if (telemetry::number_field(row, "n", -1.0) == static_cast<double>(n)) {
+      return telemetry::number_field(row, field, 0.0);
+    }
+  }
+  return 0.0;
+}
+
+/// Speedup-vs-baseline section: every timed kernel row compared against the
+/// committed pre-SIMD numbers, printed and folded into the bench JSON so
+/// the perf trajectory carries the acceptance ratio itself (target >= 2x on
+/// the hot kernels at the current simd_level).  Missing/unreadable baseline
+/// skips the section rather than failing the bench.
+void report_vs_baseline(const std::string& path,
+                        const std::vector<std::tuple<const char*, std::size_t,
+                                                     const char*, double>>&
+                            measured,
+                        telemetry::JsonValue& metrics) {
+  std::ifstream in(path);
+  if (!in) {
+    std::printf("\n  (baseline %s not found; speedup section skipped)\n",
+                path.c_str());
+    return;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  telemetry::JsonNode root;
+  try {
+    root = telemetry::parse_json(buffer.str());
+  } catch (const std::exception& e) {
+    std::printf("\n  (baseline %s unreadable: %s; speedup section skipped)\n",
+                path.c_str(), e.what());
+    return;
+  }
+  const telemetry::JsonNode* base = root.find("metrics");
+  if (base == nullptr) {
+    std::printf("\n  (baseline %s has no metrics; speedup section skipped)\n",
+                path.c_str());
+    return;
+  }
+  bench::print_header("Speedup vs committed pre-SIMD baseline",
+                      "baseline: " + path);
+  std::printf("  %-10s %6s %14s %14s %9s\n", "kernel", "n", "baseline [ms]",
+              "now [ms]", "speedup");
+  telemetry::JsonValue rows = telemetry::JsonValue::array();
+  for (const auto& [section, n, field, now_seconds] : measured) {
+    const double base_seconds = baseline_seconds(*base, section, n, field);
+    if (base_seconds <= 0.0 || now_seconds <= 0.0) {
+      continue;
+    }
+    const double speedup = base_seconds / now_seconds;
+    std::printf("  %-10s %6zu %14.3f %14.3f %8.2fx\n", section, n,
+                base_seconds * 1e3, now_seconds * 1e3, speedup);
+    telemetry::JsonValue row = telemetry::JsonValue::object();
+    row.set("kernel", section)
+        .set("n", static_cast<std::uint64_t>(n))
+        .set("baseline_seconds", base_seconds)
+        .set("seconds", now_seconds)
+        .set("speedup", speedup);
+    rows.push_back(std::move(row));
+  }
+  metrics.set("speedup_vs_baseline", std::move(rows));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::configure_threads(argc, argv);
+  const FlagParser flags(argc, argv);
+  const std::string baseline_path = flags.get(
+      "baseline", "bench/baselines/BENCH_linalg_kernels_baseline.json");
   Rng rng(20220901);
   double sink = 0.0;
+  // (section, n, baseline field, measured seconds) for the speedup report.
+  std::vector<std::tuple<const char*, std::size_t, const char*, double>>
+      measured;
   telemetry::JsonValue metrics = telemetry::JsonValue::object();
 #ifdef __OPTIMIZE__
   const bool optimized = true;
@@ -80,6 +165,7 @@ int main(int argc, char** argv) {
     telemetry::JsonValue row = telemetry::JsonValue::object();
     row.set("n", n).set("seconds", secs).set("gflops", gflops);
     gemm.push_back(std::move(row));
+    measured.emplace_back("gemm", n, "seconds", secs);
   }
   metrics.set("gemm", std::move(gemm));
 
@@ -108,6 +194,7 @@ int main(int argc, char** argv) {
         .set("serial_seconds", serial)
         .set("pool_seconds", pooled);
     gram.push_back(std::move(row));
+    measured.emplace_back("gram", n, "serial_seconds", serial);
   }
   metrics.set("gram", std::move(gram));
 
@@ -125,6 +212,7 @@ int main(int argc, char** argv) {
     telemetry::JsonValue row = telemetry::JsonValue::object();
     row.set("n", n).set("seconds", secs).set("gflops", gflops);
     chol.push_back(std::move(row));
+    measured.emplace_back("cholesky", n, "seconds", secs);
   }
   metrics.set("cholesky", std::move(chol));
 
@@ -162,8 +250,11 @@ int main(int argc, char** argv) {
         .set("blocked_seconds", blocked)
         .set("speedup", per_rhs / blocked);
     multi.push_back(std::move(row));
+    measured.emplace_back("multi_rhs", n, "blocked_seconds", blocked);
   }
   metrics.set("multi_rhs", std::move(multi));
+
+  report_vs_baseline(baseline_path, measured, metrics);
 
   std::printf("\n  (sink=%.3g, optimized=%d)\n", sink, optimized ? 1 : 0);
   bench::write_bench_json("linalg_kernels", std::move(metrics));

@@ -3,7 +3,9 @@
 #include <cstdlib>
 
 #include "common/csv.hpp"
+#include "common/error.hpp"
 #include "common/flags.hpp"
+#include "linalg/simd/dispatch.hpp"
 
 namespace bofl::bench {
 
@@ -14,6 +16,13 @@ std::size_t g_threads = 0;  // 0 = one worker per hardware thread
 void configure_threads(int argc, const char* const* argv) {
   const FlagParser flags(argc, argv);
   g_threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  if (flags.has("simd")) {
+    const std::string name = flags.get("simd", "");
+    const auto level = linalg::simd::level_from_string(name);
+    BOFL_REQUIRE(level.has_value(),
+                 "--simd must be one of: avx2, scalar (got \"" + name + "\")");
+    linalg::simd::force_level(*level);
+  }
 }
 
 runtime::ThreadPool& shared_pool() {
@@ -50,11 +59,13 @@ ComparisonResult run_comparison(const device::DeviceModel& model,
 
 std::unique_ptr<core::BoflController> run_bofl_only(
     const device::DeviceModel& model, const core::FlTaskSpec& task,
-    double deadline_ratio, core::TaskResult& result_out, const Seeds& seeds) {
+    double deadline_ratio, core::TaskResult& result_out, const Seeds& seeds,
+    const core::BoflOptions* options_override) {
   const auto rounds =
       core::make_rounds(task, model, deadline_ratio, seeds.deadlines);
   auto controller = std::make_unique<core::BoflController>(
-      model, task.profile, device::NoiseModel{}, default_bofl_options(model),
+      model, task.profile, device::NoiseModel{},
+      options_override ? *options_override : default_bofl_options(model),
       seeds.bofl);
   result_out = core::run_task(*controller, rounds);
   return controller;
@@ -151,7 +162,13 @@ std::string write_bench_json(const std::string& name,
                                ? std::string(dir) + "/BENCH_" + name + ".json"
                                : "BENCH_" + name + ".json";
   telemetry::JsonValue root = telemetry::JsonValue::object();
-  root.set("bench", name).set("metrics", std::move(metrics));
+  // Every bench result records the SIMD dispatch level it ran under, so
+  // perf trajectories never mix avx2 and scalar numbers unknowingly (CI
+  // greps this field to assert the expected leg actually ran).
+  root.set("bench", name)
+      .set("simd_level", std::string(linalg::simd::to_string(
+                             linalg::simd::active_level())))
+      .set("metrics", std::move(metrics));
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "warning: cannot write bench json to %s\n",

@@ -20,8 +20,9 @@
 namespace bofl::bench {
 
 /// Parse --threads N from a bench driver's argv (0 / absent = one worker
-/// per hardware thread).  Call once at the top of main, before the first
-/// shared_pool() use.
+/// per hardware thread) and --simd avx2|scalar (forces the kernel dispatch
+/// level; absent = BOFL_SIMD env, then cpuid — see linalg/simd/dispatch.hpp).
+/// Call once at the top of main, before the first shared_pool() use.
 void configure_threads(int argc, const char* const* argv);
 
 /// Process-wide worker pool for the benches, sized by configure_threads();
@@ -57,11 +58,13 @@ struct ComparisonResult {
                                               const Seeds& seeds = {});
 
 /// Same but keeping the BoFL controller alive for post-hoc inspection
-/// (Pareto fronts, explored sets).
+/// (Pareto fronts, explored sets).  `options_override` replaces
+/// default_bofl_options(model) when non-null — used by A/B sweeps (e.g.
+/// fig11's Sobol-vs-Halton exploration-sampler comparison).
 [[nodiscard]] std::unique_ptr<core::BoflController> run_bofl_only(
     const device::DeviceModel& model, const core::FlTaskSpec& task,
     double deadline_ratio, core::TaskResult& result_out,
-    const Seeds& seeds = {});
+    const Seeds& seeds = {}, const core::BoflOptions* options_override = nullptr);
 
 /// When the BOFL_CSV_DIR environment variable is set, figure benchmarks
 /// additionally export their series as CSV files into that directory

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/fast_normal.hpp"
 #include "common/stats.hpp"
+#include "linalg/simd/kernels.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace bofl::bo {
@@ -164,6 +165,14 @@ void CompiledFront::ehvi_block(const GaussianPair* beliefs, std::size_t count,
     }
   }
   normal_pdf_cdf_batch(t, 2 * m * count, pdf, cdf);
+  // Strip widths/heights are elementwise in k (psi_ei(v, v, mu, sigma) =
+  // sigma * pdf(t_v) + (v - mu) * cdf(t_v)), so they go through the
+  // dispatched vector kernel; the data-dependent width > 0 guard and the
+  // serial k-ordered accumulation stay here, keeping totals bit-identical
+  // to the historical combine loop.
+  std::vector<double> strips(2 * m);
+  double* width = strips.data();
+  double* height = width + m;
   for (std::size_t i = 0; i < count; ++i) {
     const GaussianPair& b = beliefs[i];
     if (b.sigma1 == 0.0 || b.sigma2 == 0.0) {
@@ -172,34 +181,14 @@ void CompiledFront::ehvi_block(const GaussianPair* beliefs, std::size_t count,
     }
     const double* pdf1 = pdf + 2 * m * i;
     const double* cdf1 = cdf + 2 * m * i;
-    const double* pdf2 = pdf1 + m;
-    const double* cdf2 = cdf1 + m;
+    linalg::simd::ehvi_strips(bound1_.data(), ceiling2_.data(), m, b.mu1,
+                              b.sigma1, b.mu2, b.sigma2, pdf1, cdf1, pdf1 + m,
+                              cdf1 + m, width, height);
     double total = 0.0;
-    // psi_ei(v, v, mu, sigma) = sigma * pdf(t_v) + (v - mu) * cdf(t_v).
-    double psi_prev = b.sigma1 * pdf1[0] + (bound1_[0] - b.mu1) * cdf1[0];
-    {
-      // Strip 0: u = -inf, width = E[(v - Y1)^+] = psi(v, v).
-      const double width = psi_prev;
-      if (width > 0.0) {
-        const double height =
-            b.sigma2 * pdf2[0] + (ceiling2_[0] - b.mu2) * cdf2[0];
-        total += width * height;
+    for (std::size_t k = 0; k < m; ++k) {
+      if (width[k] > 0.0) {
+        total += width[k] * height[k];
       }
-    }
-    for (std::size_t k = 1; k < m; ++k) {
-      const double u = bound1_[k - 1];
-      const double v = bound1_[k];
-      const double psi_vv =
-          b.sigma1 * pdf1[k] + (v - b.mu1) * cdf1[k];
-      const double psi_vu =
-          b.sigma1 * pdf1[k - 1] + (v - b.mu1) * cdf1[k - 1];
-      const double width = (v - u) * cdf1[k - 1] + (psi_vv - psi_vu);
-      if (width > 0.0) {
-        const double height =
-            b.sigma2 * pdf2[k] + (ceiling2_[k] - b.mu2) * cdf2[k];
-        total += width * height;
-      }
-      psi_prev = psi_vv;
     }
     out[i] = std::max(total, 0.0);
   }

@@ -1,95 +1,18 @@
 #include "common/fast_normal.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <cstdint>
-#include <cstring>
+#include "linalg/simd/kernels.hpp"
 
 namespace bofl {
 
-namespace {
-constexpr double kInvSqrt2Pi = 0.3989422804014327;
-}  // namespace
-
-// Multi-versioned on x86-64 gcc: the resolver picks the widest vector ISA
-// the machine has (AVX-512 halves the per-element cost vs AVX2), while the
-// "default" clone keeps baseline machines and other compilers working.
-#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__)
-__attribute__((target_clones("arch=x86-64-v4", "arch=x86-64-v3", "default")))
-#endif
+// Dispatch contract: the polynomial lives in linalg/simd (scalar reference
+// plus a hand-written AVX2 path selected once per process — see
+// linalg/simd/dispatch.hpp).  The kernel is elementwise, and the AVX2 body
+// uses no FMA contractions, so both levels produce identical bits; what the
+// dispatch buys is throughput, not a different answer.  BOFL_SIMD=scalar
+// therefore reproduces this function's historical output exactly.
 void normal_pdf_cdf_batch(const double* t, std::size_t count, double* pdf,
                           double* cdf) {
-  const double kLog2e = 1.4426950408889634;
-  // exp(x) = 2^k * exp(r), r = x - k*ln2 split into a high/low pair so the
-  // reduction stays exact to the last bit of the degree-11 Taylor core.
-  const double kLn2Hi = 6.93147180369123816490e-01;
-  const double kLn2Lo = 1.90821492927058770002e-10;
-  const double kShift = 6755399441055744.0;  // 1.5 * 2^52: round-to-int trick
-  for (std::size_t i = 0; i < count; ++i) {
-    const double ti = t[i];
-    double z = std::fabs(ti);
-    // Keep -z^2/2 inside the scaled-exponent domain; everything past the
-    // flush threshold below is forced to exact zero anyway.
-    z = std::min(z, 37.7);
-    const double x = -0.5 * z * z;
-    double kd = x * kLog2e + kShift;
-    std::int64_t ki;
-    std::memcpy(&ki, &kd, 8);
-    ki = (ki << 32) >> 32;  // low mantissa bits hold round(x * log2 e)
-    kd -= kShift;
-    const double r = (x - kd * kLn2Hi) - kd * kLn2Lo;
-    double q = 1.0 / 39916800.0;
-    q = q * r + 1.0 / 3628800.0;
-    q = q * r + 1.0 / 362880.0;
-    q = q * r + 1.0 / 40320.0;
-    q = q * r + 1.0 / 5040.0;
-    q = q * r + 1.0 / 720.0;
-    q = q * r + 1.0 / 120.0;
-    q = q * r + 1.0 / 24.0;
-    q = q * r + 1.0 / 6.0;
-    q = q * r + 0.5;
-    q = q * r + 1.0;
-    q = q * r + 1.0;
-    std::int64_t sbits = (ki + 1023) << 52;
-    double scale;
-    std::memcpy(&scale, &sbits, 8);
-    const double e = q * scale;  // exp(-z^2/2)
-    double p = kInvSqrt2Pi * e;
-    // Hart 5666 / West(2005) rational for the complementary cdf, |z| < 5/√2.
-    double num = 3.52624965998911e-02;
-    num = num * z + 0.700383064443688;
-    num = num * z + 6.37396220353165;
-    num = num * z + 33.912866078383;
-    num = num * z + 112.079291497871;
-    num = num * z + 221.213596169931;
-    num = num * z + 220.206867912376;
-    double den = 8.83883476483184e-02;
-    den = den * z + 1.75566716318264;
-    den = den * z + 16.064177579207;
-    den = den * z + 86.7807322029461;
-    den = den * z + 296.564248779674;
-    den = den * z + 637.333633378831;
-    den = den * z + 793.826512519948;
-    den = den * z + 440.413735824752;
-    const double c_main = e * num / den;
-    // Far tail: five-term asymptotic Mills-ratio series, pdf(z)/z * (1 - ...).
-    const double inv = 1.0 / z;
-    const double inv2 = inv * inv;
-    const double c_tail =
-        p * inv *
-        (1.0 -
-         inv2 * (1.0 - 3.0 * inv2 *
-                           (1.0 - 5.0 * inv2 *
-                                      (1.0 - 7.0 * inv2 * (1.0 - 9.0 * inv2)))));
-    double c = z < 7.07106781186547 ? c_main : c_tail;
-    // Flush to the exact zeros libm would produce, preserving exact-zero
-    // acquisition ties (and masking the clamped-exp garbage past z = 37.7).
-    const bool flush = z > 37.6;
-    c = flush ? 0.0 : c;
-    p = flush ? 0.0 : p;
-    pdf[i] = p;
-    cdf[i] = ti <= 0.0 ? c : 1.0 - c;
-  }
+  linalg::simd::normal_pdf_cdf_batch(t, count, pdf, cdf);
 }
 
 }  // namespace bofl

@@ -15,26 +15,32 @@ namespace bofl::core {
 
 namespace {
 
-/// Quasi-random starting points over the DVFS lattice (§4.2): Sobol points
-/// in the unit cube snapped to grid steps, deduplicated, x_max excluded
-/// (it is always measured first, separately).
+/// Quasi-random starting points over the DVFS lattice (§4.2): Sobol or
+/// Halton points in the unit cube snapped to grid steps, deduplicated,
+/// x_max excluded (it is always measured first, separately).
 std::deque<std::size_t> sample_starting_points(const device::DvfsSpace& space,
-                                               double fraction) {
+                                               double fraction,
+                                               ExplorationSampler sampler) {
   const auto target = static_cast<std::size_t>(std::max(
       3.0, std::ceil(fraction * static_cast<double>(space.size()))));
   const std::vector<std::size_t> sizes = {space.cpu_table().size(),
                                           space.gpu_table().size(),
                                           space.mem_table().size()};
   SobolSequence sobol(3);
+  HaltonSequence halton(3);
+  QuasiRandomSequence& seq =
+      sampler == ExplorationSampler::kHalton
+          ? static_cast<QuasiRandomSequence&>(halton)
+          : static_cast<QuasiRandomSequence&>(sobol);
   std::deque<std::size_t> points;
   std::vector<bool> seen(space.size(), false);
   const std::size_t x_max_flat = space.to_flat(space.max_config());
   seen[x_max_flat] = true;
-  // Sobol collisions on the coarse lattice are common; cap the draw budget.
+  // Collisions on the coarse lattice are common; cap the draw budget.
   const std::size_t max_draws = 50 * target + 256;
   for (std::size_t draw = 0; draw < max_draws && points.size() < target;
        ++draw) {
-    const std::vector<std::size_t> idx = to_grid_indices(sobol.next(), sizes);
+    const std::vector<std::size_t> idx = to_grid_indices(seq.next(), sizes);
     const std::size_t flat = space.to_flat({idx[0], idx[1], idx[2]});
     if (!seen[flat]) {
       seen[flat] = true;
@@ -53,6 +59,10 @@ bo::MboOptions make_engine_options(const BoflOptions& options) {
 
 }  // namespace
 
+const char* to_string(ExplorationSampler sampler) {
+  return sampler == ExplorationSampler::kHalton ? "halton" : "sobol";
+}
+
 BoflController::BoflController(const device::DeviceModel& model,
                                device::WorkloadProfile profile,
                                device::NoiseModel noise, BoflOptions options,
@@ -64,7 +74,8 @@ BoflController::BoflController(const device::DeviceModel& model,
       engine_(model_.space().all_normalized(), make_engine_options(options),
               seed ^ 0x9E3779B97F4A7C15ULL),
       pending_(sample_starting_points(model_.space(),
-                                      options.initial_sample_fraction)),
+                                      options.initial_sample_fraction,
+                                      options.exploration_sampler)),
       x_max_flat_(model_.space().to_flat(model_.space().max_config())) {
   BOFL_REQUIRE(options_.tau.value() > 0.0, "tau must be positive");
   BOFL_REQUIRE(options_.initial_sample_fraction > 0.0,
@@ -586,7 +597,8 @@ void BoflController::demote_prior_to_cold() {
   prior_engine_obs_ = 0;
   // Restart the cold phase-1 plan, minus configs already measured locally.
   const std::deque<std::size_t> plan = sample_starting_points(
-      model_.space(), options_.initial_sample_fraction);
+      model_.space(), options_.initial_sample_fraction,
+      options_.exploration_sampler);
   pending_.clear();
   for (const std::size_t flat : plan) {
     if (aggregates_.find(flat) == aggregates_.end()) {

@@ -36,9 +36,22 @@
 
 namespace bofl::core {
 
+/// Which low-discrepancy generator draws the phase-1 starting points.  The
+/// paper only asks for "a quasi-random number generator" (§4.2); Sobol is
+/// the default because its coarse-lattice projections cover the DVFS grid
+/// slightly faster, but Halton is provided for A/B runs (see bench_fig11).
+enum class ExplorationSampler {
+  kSobol = 0,
+  kHalton = 1,
+};
+
+[[nodiscard]] const char* to_string(ExplorationSampler sampler);
+
 struct BoflOptions {
   /// Fraction of the space sampled as phase-1 starting points (§4.2: ~1 %).
   double initial_sample_fraction = 0.01;
+  /// Quasi-random generator behind the phase-1 sample.
+  ExplorationSampler exploration_sampler = ExplorationSampler::kSobol;
   /// Reference measurement duration τ (§4.2: e.g. 5 s).
   ///
   /// Safety contract: the deadline guarantee holds as long as the latency

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "linalg/simd/kernels.hpp"
 
 namespace bofl::gp {
 
@@ -116,12 +117,7 @@ void GaussianProcess::predict_block(
   }
   const linalg::Matrix v = linalg::solve_lower_multi(*chol_, b);
   std::vector<double> explained(count, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* vi = v.row(i);
-    for (std::size_t j = 0; j < count; ++j) {
-      explained[j] += vi[j] * vi[j];
-    }
-  }
+  linalg::simd::sumsq_rows_accumulate(v.row(0), n, count, explained.data());
   const double sv = kernel_.signal_variance();
   for (std::size_t j = 0; j < count; ++j) {
     const double mean = linalg::dot(k_star_rows[indices[j]], alpha_);

@@ -3,9 +3,20 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "linalg/simd/kernels.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace bofl::gp {
+
+namespace {
+
+/// KernelFamily and simd::Corr enumerate the same families in the same
+/// order; the dispatched row kernel takes the latter.
+inline linalg::simd::Corr to_corr(KernelFamily family) {
+  return static_cast<linalg::simd::Corr>(static_cast<int>(family));
+}
+
+}  // namespace
 
 const char* to_string(KernelFamily family) {
   switch (family) {
@@ -41,44 +52,42 @@ Kernel::Kernel(KernelFamily family, double signal_variance,
   }
 }
 
-double Kernel::correlation(double r) const {
-  switch (family_) {
-    case KernelFamily::kMatern52: {
-      const double s = std::sqrt(5.0) * r;
-      return (1.0 + s + s * s / 3.0) * std::exp(-s);
-    }
-    case KernelFamily::kMatern32: {
-      const double s = std::sqrt(3.0) * r;
-      return (1.0 + s) * std::exp(-s);
-    }
-    case KernelFamily::kRbf:
-      return std::exp(-0.5 * r * r);
-  }
-  BOFL_ASSERT(false, "unreachable kernel family");
-}
-
 double Kernel::operator()(const linalg::Vector& a,
                           const linalg::Vector& b) const {
   BOFL_REQUIRE(a.size() == lengthscales_.size() && b.size() == a.size(),
                "kernel input dimension mismatch");
-  double r2 = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = (a[i] - b[i]) / lengthscales_[i];
-    r2 += d * d;
-  }
-  return signal_variance_ * correlation(std::sqrt(r2));
+  // Routed through the dispatched row kernel (count = 1) so that a single
+  // pairwise evaluation is bit-identical to the same pair inside a
+  // gram/cross batch, at every dispatch level.
+  double out = 0.0;
+  const double* pt = b.data();
+  linalg::simd::corr_row(to_corr(family_), a.data(), &pt, 1,
+                         lengthscales_.data(), lengthscales_.size(),
+                         signal_variance_, &out);
+  return out;
 }
 
 linalg::Matrix Kernel::gram(const std::vector<linalg::Vector>& points,
                             runtime::ThreadPool* pool) const {
   const std::size_t n = points.size();
+  const std::size_t dim = lengthscales_.size();
+  std::vector<const double*> ptrs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    BOFL_REQUIRE(points[i].size() == dim, "kernel input dimension mismatch");
+    ptrs[i] = points[i].data();
+  }
   linalg::Matrix k(n, n);
+  // Each row evaluates its strict upper triangle in one dispatched batch
+  // (the row's slots in k are contiguous), then mirrors below the diagonal.
   auto fill_row = [&](std::size_t i) {
     k(i, i) = signal_variance_;
+    if (i + 1 < n) {
+      linalg::simd::corr_row(to_corr(family_), ptrs[i], ptrs.data() + i + 1,
+                             n - i - 1, lengthscales_.data(), dim,
+                             signal_variance_, k.row(i) + i + 1);
+    }
     for (std::size_t j = i + 1; j < n; ++j) {
-      const double v = (*this)(points[i], points[j]);
-      k(i, j) = v;
-      k(j, i) = v;
+      k(j, i) = k(i, j);
     }
   };
   // Below ~48 points the n^2/2 kernel evaluations are cheaper than waking
@@ -96,10 +105,17 @@ linalg::Matrix Kernel::gram(const std::vector<linalg::Vector>& points,
 
 linalg::Vector Kernel::cross(const linalg::Vector& x,
                              const std::vector<linalg::Vector>& points) const {
-  linalg::Vector k(points.size());
+  const std::size_t dim = lengthscales_.size();
+  BOFL_REQUIRE(x.size() == dim, "kernel input dimension mismatch");
+  std::vector<const double*> ptrs(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
-    k[i] = (*this)(x, points[i]);
+    BOFL_REQUIRE(points[i].size() == dim, "kernel input dimension mismatch");
+    ptrs[i] = points[i].data();
   }
+  linalg::Vector k(points.size());
+  linalg::simd::corr_row(to_corr(family_), x.data(), ptrs.data(), ptrs.size(),
+                         lengthscales_.data(), dim, signal_variance_,
+                         k.data());
   return k;
 }
 

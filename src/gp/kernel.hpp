@@ -63,8 +63,6 @@ class Kernel {
       const linalg::Vector& x, const std::vector<linalg::Vector>& points) const;
 
  private:
-  [[nodiscard]] double correlation(double r) const;
-
   KernelFamily family_;
   double signal_variance_;
   std::vector<double> lengthscales_;

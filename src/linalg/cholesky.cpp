@@ -4,32 +4,23 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "linalg/simd/dispatch.hpp"
+#include "linalg/simd/kernels.hpp"
 
 namespace bofl::linalg {
 
 namespace {
 
-/// Dot product of two contiguous spans with a four-way accumulator split.
-/// The inner loops of the factorization and the triangular solves all
-/// reduce to this; the split breaks the serial FP dependence chain so the
-/// compiler can keep four vector accumulators in flight.
-inline double dot_n(const double* a, const double* b, std::size_t n) {
-  double s0 = 0.0;
-  double s1 = 0.0;
-  double s2 = 0.0;
-  double s3 = 0.0;
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    s0 += a[i] * b[i];
-    s1 += a[i + 1] * b[i + 1];
-    s2 += a[i + 2] * b[i + 2];
-    s3 += a[i + 3] * b[i + 3];
-  }
-  double tail = 0.0;
-  for (; i < n; ++i) {
-    tail += a[i] * b[i];
-  }
-  return ((s0 + s1) + (s2 + s3)) + tail;
+using DotFn = double (*)(const double*, const double*, std::size_t);
+
+/// The row-prefix dot behind every inner reduction here (historically the
+/// local dot_n four-way accumulator split, now simd::dot_blocked).  The
+/// factorizations call it O(n^2) times on short prefixes, so each entry
+/// point hoists the dispatch branch out of its loops by picking the
+/// implementation once.
+inline DotFn pick_dot() {
+  return simd::active_level() == simd::Level::kAvx2 ? simd::dot_avx2
+                                                    : simd::dot_blocked_scalar;
 }
 
 }  // namespace
@@ -41,6 +32,7 @@ std::optional<Matrix> cholesky(const Matrix& a) {
   // Cholesky–Banachiewicz (row-by-row): every inner reduction is a dot of
   // two contiguous row prefixes, so the whole factorization streams
   // unit-stride through the row-major storage.
+  const DotFn dot_n = pick_dot();
   for (std::size_t i = 0; i < n; ++i) {
     double* li = l.row(i);
     const double* ai = a.row(i);
@@ -92,6 +84,7 @@ std::optional<Matrix> cholesky_append_row(const Matrix& l, const Vector& cross,
   }
   double* last = out.row(n);
   double norm2_l12 = 0.0;
+  const DotFn dot_n = pick_dot();
   for (std::size_t i = 0; i < n; ++i) {
     const double* li = l.row(i);
     const double v = (cross[i] - dot_n(li, last, i)) / li[i];
@@ -114,6 +107,7 @@ Vector solve_lower(const Matrix& l, const Vector& b) {
                "solve_lower shape mismatch");
   const std::size_t n = b.size();
   Vector x(n);
+  const DotFn dot_n = pick_dot();
   for (std::size_t i = 0; i < n; ++i) {
     const double* li = l.row(i);
     x[i] = (b[i] - dot_n(li, x.data(), i)) / li[i];
@@ -127,24 +121,10 @@ Matrix solve_lower_multi(const Matrix& l, const Matrix& b) {
   const std::size_t n = b.rows();
   const std::size_t m = b.cols();
   Matrix x = b;
-  // Forward substitution vectorized across the m right-hand sides: the
-  // inner loop is a unit-stride axpy over row i, so one pass through L
-  // serves the whole block instead of m independent strided solves.
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* li = l.row(i);
-    double* xi = x.row(i);
-    for (std::size_t j = 0; j < i; ++j) {
-      const double lij = li[j];
-      const double* xj = x.row(j);
-      for (std::size_t c = 0; c < m; ++c) {
-        xi[c] -= lij * xj[c];
-      }
-    }
-    const double inv = 1.0 / li[i];
-    for (std::size_t c = 0; c < m; ++c) {
-      xi[c] *= inv;
-    }
-  }
+  // Forward substitution vectorized across the m right-hand sides; the
+  // dispatched kernel (linalg/simd/kernels.hpp) keeps the unit-stride axpy
+  // structure, with the AVX2 path register-blocking four eliminated rows.
+  simd::solve_lower_multi_inplace(l.row(0), n, x.row(0), m);
   return x;
 }
 

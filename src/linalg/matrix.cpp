@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "linalg/simd/kernels.hpp"
 
 namespace bofl::linalg {
 
@@ -73,43 +74,11 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
   const std::size_t kk = a.cols();
   const std::size_t n = b.cols();
   Matrix c(m, n, 0.0);
-  // Register-blocked ikj kernel: four output rows share each streamed row
-  // of b, so b is read once per four rows of a instead of once per row.
-  // The inner j loop is branch-free and unit-stride on both c and b, which
-  // is what the auto-vectorizer needs (a data-dependent `a(i,k) == 0.0`
-  // skip here would force scalar code).
-  constexpr std::size_t kRowBlock = 4;
-  std::size_t i = 0;
-  for (; i + kRowBlock <= m; i += kRowBlock) {
-    double* c0 = c.row(i);
-    double* c1 = c.row(i + 1);
-    double* c2 = c.row(i + 2);
-    double* c3 = c.row(i + 3);
-    for (std::size_t k = 0; k < kk; ++k) {
-      const double* bk = b.row(k);
-      const double a0 = a(i, k);
-      const double a1 = a(i + 1, k);
-      const double a2 = a(i + 2, k);
-      const double a3 = a(i + 3, k);
-      for (std::size_t j = 0; j < n; ++j) {
-        const double bkj = bk[j];
-        c0[j] += a0 * bkj;
-        c1[j] += a1 * bkj;
-        c2[j] += a2 * bkj;
-        c3[j] += a3 * bkj;
-      }
-    }
-  }
-  for (; i < m; ++i) {  // remainder rows
-    double* ci = c.row(i);
-    for (std::size_t k = 0; k < kk; ++k) {
-      const double* bk = b.row(k);
-      const double aik = a(i, k);
-      for (std::size_t j = 0; j < n; ++j) {
-        ci[j] += aik * bk[j];
-      }
-    }
-  }
+  // Register-blocked GEMM, dispatched once per call on the resolved SIMD
+  // level (linalg/simd/kernels.hpp): the scalar path is the historical ikj
+  // kernel verbatim; the AVX2 path holds 4x8 output tiles in FMA
+  // accumulators across the whole k extent.
+  simd::gemm(a.row(0), m, kk, b.row(0), n, c.row(0));
   return c;
 }
 
@@ -130,11 +99,7 @@ Vector operator*(const Matrix& a, const Vector& x) {
 
 double dot(const Vector& a, const Vector& b) {
   BOFL_REQUIRE(a.size() == b.size(), "dot product requires equal sizes");
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    sum += a[i] * b[i];
-  }
-  return sum;
+  return simd::dot_serial(a.data(), b.data(), a.size());
 }
 
 double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }

@@ -1,0 +1,88 @@
+#include "linalg/simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace bofl::linalg::simd {
+
+namespace {
+
+/// -1 = not yet resolved; otherwise a Level.  Resolution is idempotent and
+/// side-effect free, so the benign first-use race is harmless.
+std::atomic<int> g_level{-1};
+
+Level checked(Level level, const char* origin) {
+  if (level == Level::kAvx2) {
+    BOFL_REQUIRE(avx2_compiled(),
+                 std::string(origin) +
+                     " requested avx2 but this build has no AVX2 kernels");
+    BOFL_REQUIRE(cpu_supports_avx2(),
+                 std::string(origin) +
+                     " requested avx2 but this CPU cannot execute it");
+  }
+  return level;
+}
+
+Level resolve() {
+  if (const char* env = std::getenv("BOFL_SIMD");
+      env != nullptr && *env != '\0') {
+    const std::optional<Level> parsed = level_from_string(env);
+    BOFL_REQUIRE(parsed.has_value(),
+                 "BOFL_SIMD must be one of: avx2, scalar (got \"" +
+                     std::string(env) + "\")");
+    return checked(*parsed, "BOFL_SIMD");
+  }
+  return (avx2_compiled() && cpu_supports_avx2()) ? Level::kAvx2
+                                                  : Level::kScalar;
+}
+
+}  // namespace
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+std::optional<Level> level_from_string(std::string_view name) {
+  for (const Level level : {Level::kScalar, Level::kAvx2}) {
+    if (name == to_string(level)) {
+      return level;
+    }
+  }
+  return std::nullopt;
+}
+
+bool cpu_supports_avx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  // The builtin performs the cpuid feature check *and* verifies the OS
+  // enabled xsave for the ymm registers.
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Level active_level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(resolve());
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<Level>(v);
+}
+
+void force_level(Level level) {
+  g_level.store(static_cast<int>(checked(level, "force_level")),
+                std::memory_order_relaxed);
+}
+
+}  // namespace bofl::linalg::simd

@@ -1,0 +1,59 @@
+// Runtime SIMD dispatch for the numeric kernel layer.
+//
+// Every hot kernel in src/linalg/simd/kernels.hpp exists in (at least) two
+// implementations: a scalar reference — the exact code the repo shipped
+// before the SIMD layer, so `Level::kScalar` reproduces those bits — and an
+// AVX2+FMA path.  The level is resolved once per process, in this order:
+//
+//   1. an explicit override (`force_level`, wired to the drivers' `--simd`
+//      flag and used by the differential tests),
+//   2. the BOFL_SIMD environment variable ("avx2" | "scalar"), so CI can
+//      pin either leg without touching a command line,
+//   3. the widest ISA the CPU actually executes (cpuid, including the
+//      OS-support check), falling back to scalar.
+//
+// Asking for AVX2 on a machine that cannot run it (or in a build where the
+// AVX2 translation unit was not compiled) is a hard error, not a silent
+// downgrade: a pinned CI leg must run the leg it pinned.
+//
+// Determinism contract (see DESIGN.md §6h): for a fixed level, every kernel
+// is bit-deterministic — reductions fix their lane-accumulation order, so
+// results do not depend on --threads/--shards or batch boundaries.  The
+// scalar level is additionally bit-identical to the pre-SIMD code; the AVX2
+// level is bit-identical to scalar for the elementwise kernels and
+// tolerance-pinned for the reduction kernels (which fuse with FMA).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace bofl::linalg::simd {
+
+enum class Level : int {
+  kScalar = 0,  ///< the pre-SIMD reference code; runs anywhere
+  kAvx2 = 1,    ///< AVX2 + FMA, 4 x f64 lanes
+};
+
+[[nodiscard]] const char* to_string(Level level);
+
+/// Inverse of to_string; nullopt when `name` is not a known level.
+[[nodiscard]] std::optional<Level> level_from_string(std::string_view name);
+
+/// True when this binary contains the AVX2 kernel translation unit (x86-64
+/// builds with a compiler that takes -mavx2 -mfma).
+[[nodiscard]] bool avx2_compiled();
+
+/// True when the CPU supports AVX2 and FMA *and* the OS saves the ymm
+/// state (the full cpuid + xgetbv dance, via the compiler builtin).
+[[nodiscard]] bool cpu_supports_avx2();
+
+/// The dispatch level in effect, resolved once per process (override >
+/// BOFL_SIMD > cpuid).  Throws std::invalid_argument if BOFL_SIMD names an
+/// unknown level or one this machine/build cannot execute.
+[[nodiscard]] Level active_level();
+
+/// Explicit override (the drivers' --simd flag; differential tests).
+/// Throws std::invalid_argument when the level cannot be executed here.
+void force_level(Level level);
+
+}  // namespace bofl::linalg::simd

@@ -4,9 +4,47 @@
 
 #include <cmath>
 #include <set>
+#include <vector>
+
+#include "common/rng.hpp"
 
 namespace bofl {
 namespace {
+
+/// Star-discrepancy estimate over axis-aligned boxes anchored at the
+/// origin, with corners taken from the point coordinates themselves (plus
+/// 1.0) — the standard corner-grid lower bound D*_N.  Both the open count
+/// (points strictly inside) and the closed count (boundary included) are
+/// compared against the box volume, so the supremum over box edges is not
+/// missed.  O(N^3): fine for the N used here.
+double star_discrepancy_2d(const std::vector<std::vector<double>>& points) {
+  const double n = static_cast<double>(points.size());
+  std::vector<double> xs{1.0};
+  std::vector<double> ys{1.0};
+  for (const auto& p : points) {
+    xs.push_back(p[0]);
+    ys.push_back(p[1]);
+  }
+  double worst = 0.0;
+  for (const double x : xs) {
+    for (const double y : ys) {
+      double open = 0.0;
+      double closed = 0.0;
+      for (const auto& p : points) {
+        if (p[0] < x && p[1] < y) {
+          open += 1.0;
+        }
+        if (p[0] <= x && p[1] <= y) {
+          closed += 1.0;
+        }
+      }
+      const double volume = x * y;
+      worst = std::max(worst, std::abs(open / n - volume));
+      worst = std::max(worst, std::abs(closed / n - volume));
+    }
+  }
+  return worst;
+}
 
 TEST(Halton, RadicalInverseBase2) {
   EXPECT_DOUBLE_EQ(HaltonSequence::radical_inverse(1, 2), 0.5);
@@ -105,6 +143,42 @@ TEST(Sobol, BalancedFirstCoordinate) {
 TEST(Sobol, RejectsUnsupportedDimension) {
   EXPECT_THROW(SobolSequence(0), std::invalid_argument);
   EXPECT_THROW(SobolSequence(9), std::invalid_argument);
+}
+
+/// The property that justifies quasi-random phase-1 sampling: at N = 256
+/// the low-discrepancy sequences sit well below the ~N^{-1/2} discrepancy a
+/// pseudo-random sample converges at (E[D*] ≈ 0.06 here), while Sobol and
+/// Halton scale as (log N)^2 / N ≈ 0.02.  The pseudo-random draw uses a
+/// fixed seed, so the comparison is deterministic.
+TEST(Discrepancy, SobolAndHaltonBeatPseudoRandom) {
+  constexpr std::size_t kN = 256;
+
+  SobolSequence sobol(2);
+  std::vector<std::vector<double>> sobol_pts = sobol.take(kN);
+
+  HaltonSequence halton(2);
+  std::vector<std::vector<double>> halton_pts = halton.take(kN);
+
+  Rng rng(12345);
+  std::vector<std::vector<double>> random_pts(kN);
+  for (auto& p : random_pts) {
+    p = {rng.uniform(), rng.uniform()};
+  }
+
+  const double d_sobol = star_discrepancy_2d(sobol_pts);
+  const double d_halton = star_discrepancy_2d(halton_pts);
+  const double d_random = star_discrepancy_2d(random_pts);
+
+  // Absolute quality: both sequences beat the Monte-Carlo rate by a wide
+  // margin at this N.
+  EXPECT_LT(d_sobol, 0.035) << "Sobol discrepancy " << d_sobol;
+  EXPECT_LT(d_halton, 0.035) << "Halton discrepancy " << d_halton;
+  // Relative quality: and both beat the concrete pseudo-random draw.
+  EXPECT_LT(d_sobol, d_random);
+  EXPECT_LT(d_halton, d_random);
+  // Sanity on the estimator itself: a random sample at N=256 lands in the
+  // Monte-Carlo regime, not accidentally low-discrepancy.
+  EXPECT_GT(d_random, 0.035);
 }
 
 TEST(GridProjection, MapsUnitPointToIndices) {

@@ -1,0 +1,78 @@
+// Golden-trace regression for the kernel dispatch override: under a forced
+// scalar level (the same effect as BOFL_SIMD=scalar) the fleet engine must
+// reproduce the committed trace hash bit-for-bit, on every machine, at every
+// compiled dispatch level.  This is the repo's proof that introducing the
+// vectorized kernel layer did not silently change scalar-mode numerics —
+// and that `BOFL_SIMD=scalar` is a real escape hatch, not a best-effort one.
+//
+// If an intentional numeric change lands (new kernel math, different
+// accumulation order in the scalar reference), regenerate the constant by
+// running this test and copying the printed actual hash.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "device/device_model.hpp"
+#include "device/workload.hpp"
+#include "fleet/fleet_engine.hpp"
+#include "linalg/simd/dispatch.hpp"
+
+namespace bofl::fleet {
+namespace {
+
+/// The small_config fleet from fleet_determinism_test.cpp, run at scalar
+/// level: 3000 clients, 6 rounds, two device clusters, seed 11.
+constexpr std::uint64_t kGoldenScalarTraceHash = 0xf377e83667a5a709ULL;
+
+/// Pins the dispatch level for the test body and restores the ambient level
+/// on exit, so ordering against other tests in this binary doesn't matter.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(linalg::simd::Level level)
+      : previous_(linalg::simd::active_level()) {
+    linalg::simd::force_level(level);
+  }
+  ~ScopedSimdLevel() { linalg::simd::force_level(previous_); }
+
+ private:
+  linalg::simd::Level previous_;
+};
+
+FleetResult run_small_fleet() {
+  const device::DeviceModel agx = device::jetson_agx();
+  const device::DeviceModel tx2 = device::jetson_tx2();
+  FleetConfig config;
+  config.num_clients = 3000;
+  config.rounds = 6;
+  config.cohort_fraction = 0.05;
+  config.seed = 11;
+  config.clusters.push_back({&agx, device::vit_profile(), 0.7});
+  config.clusters.push_back({&tx2, device::lstm_profile(), 0.3});
+  config.shards = 4;
+  config.threads = 4;
+  FleetEngine engine(std::move(config));
+  return engine.run();
+}
+
+TEST(FleetGoldenHash, ScalarLevelReproducesCommittedTraceHash) {
+  ScopedSimdLevel scalar(linalg::simd::Level::kScalar);
+  const FleetResult result = run_small_fleet();
+  EXPECT_EQ(result.trace_hash, kGoldenScalarTraceHash)
+      << "actual hash 0x" << std::hex << result.trace_hash;
+}
+
+TEST(FleetGoldenHash, NativeLevelMatchesScalarTrace) {
+  // The trace is built from integer round fields; the float kernels feed it
+  // only through tolerance-insensitive decisions.  Both dispatch levels must
+  // therefore land on the same committed trace for this config — a drift
+  // here means an AVX2 kernel crossed a decision boundary the scalar path
+  // does not.
+  const FleetResult result = run_small_fleet();
+  EXPECT_EQ(result.trace_hash, kGoldenScalarTraceHash)
+      << "active level "
+      << linalg::simd::to_string(linalg::simd::active_level())
+      << ", actual hash 0x" << std::hex << result.trace_hash;
+}
+
+}  // namespace
+}  // namespace bofl::fleet

@@ -3,6 +3,7 @@
 //   bofl_fleet [--clients N] [--rounds N] [--cohort F] [--jobs N]
 //              [--ratio R] [--seed S] [--controller bofl|performant|oracle]
 //              [--mix agx-vit|edge-mix] [--shards N] [--threads N]
+//              [--simd avx2|scalar]
 //              [--het-cv CV] [--noise-cv CV] [--straggler-timeout K]
 //              [--faults PLAN.json | --scenario NAME]
 //              [--priors off|save|load] [--priors-path PATH]
@@ -42,6 +43,7 @@
 #include "faults/fault_plan.hpp"
 #include "faults/scenarios.hpp"
 #include "fleet/fleet_engine.hpp"
+#include "linalg/simd/dispatch.hpp"
 #include "priors/knowledge_store.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/process.hpp"
@@ -57,6 +59,7 @@ int usage(const char* argv0) {
       "usage: %s [--clients N] [--rounds N] [--cohort F] [--jobs N]\n"
       "          [--ratio R] [--seed S] [--controller bofl|performant|oracle]\n"
       "          [--mix agx-vit|edge-mix] [--shards N] [--threads N]\n"
+      "          [--simd avx2|scalar]\n"
       "          [--het-cv CV] [--noise-cv CV] [--straggler-timeout K]\n"
       "          [--faults PLAN.json | --scenario NAME]\n"
       "          [--priors off|save|load] [--priors-path PATH]\n"
@@ -74,6 +77,18 @@ int main(int argc, char** argv) {
   const FlagParser flags(argc, argv);
   if (flags.has("help")) {
     return usage(argv[0]);
+  }
+
+  // Resolve the kernel dispatch level before any numeric work; an
+  // unknown/unsupported request is a hard error, not a silent downgrade.
+  if (flags.has("simd")) {
+    const std::string simd_name = flags.get("simd", "");
+    const auto level = linalg::simd::level_from_string(simd_name);
+    if (!level.has_value()) {
+      std::fprintf(stderr, "unknown --simd level: %s\n", simd_name.c_str());
+      return usage(argv[0]);
+    }
+    linalg::simd::force_level(*level);
   }
 
   fleet::FleetConfig config;
@@ -179,6 +194,9 @@ int main(int argc, char** argv) {
     recorder =
         std::make_unique<telemetry::RunRecorder>(*registry, metrics_path);
     telemetry::install_global_recorder(recorder.get());
+    registry->gauge("runtime.simd_level")
+        .set(static_cast<double>(
+            static_cast<int>(linalg::simd::active_level())));
   }
 
   std::printf(
@@ -263,6 +281,8 @@ int main(int argc, char** argv) {
         .set("warm_clusters", static_cast<double>(result.warm_clusters))
         .set("exploration_rounds",
              static_cast<double>(result.exploration_rounds))
+        .set("simd_level", std::string(linalg::simd::to_string(
+                               linalg::simd::active_level())))
         .set("wall_s", wall_s);
     char hash_hex[17];
     std::snprintf(hash_hex, sizeof hash_hex, "%016llx",

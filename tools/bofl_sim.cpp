@@ -5,7 +5,7 @@
 //            [--ratio 2.0] [--rounds 100] [--seed 1] [--tau 5.0]
 //            [--spike-prob 0] [--spike-mag 3] [--thermal]
 //            [--faults PLAN.json | --scenario NAME]
-//            [--threads N] [--csv PATH] [--quiet]
+//            [--threads N] [--simd avx2|scalar] [--csv PATH] [--quiet]
 //            [--metrics-out PATH] [--metrics-summary]
 //
 // Runs one pace controller through one FL task on one simulated testbed and
@@ -31,6 +31,7 @@
 #include "core/state_io.hpp"
 #include "faults/fault_injector.hpp"
 #include "faults/scenarios.hpp"
+#include "linalg/simd/dispatch.hpp"
 #include "runtime/thread_pool.hpp"
 #include "telemetry/run_recorder.hpp"
 
@@ -46,8 +47,8 @@ int usage(const char* argv0) {
       "          [--ratio R] [--rounds N] [--seed S] [--tau SECONDS]\n"
       "          [--spike-prob P] [--spike-mag K] [--thermal]\n"
       "          [--faults PLAN.json | --scenario NAME]\n"
-      "          [--threads N] [--csv PATH] [--save-state PATH]\n"
-      "          [--load-state PATH] [--quiet]\n"
+      "          [--threads N] [--simd avx2|scalar] [--csv PATH]\n"
+      "          [--save-state PATH] [--load-state PATH] [--quiet]\n"
       "          [--metrics-out PATH] [--metrics-summary]\n",
       argv0);
   return 2;
@@ -59,6 +60,18 @@ int main(int argc, char** argv) {
   const FlagParser flags(argc, argv);
   if (flags.has("help")) {
     return usage(argv[0]);
+  }
+
+  // Resolve the kernel dispatch level before any numeric work; an
+  // unknown/unsupported request is a hard error, not a silent downgrade.
+  if (flags.has("simd")) {
+    const std::string simd_name = flags.get("simd", "");
+    const auto level = linalg::simd::level_from_string(simd_name);
+    if (!level.has_value()) {
+      std::fprintf(stderr, "unknown --simd level: %s\n", simd_name.c_str());
+      return usage(argv[0]);
+    }
+    linalg::simd::force_level(*level);
   }
 
   const std::string device_name = flags.get("device", "agx");
@@ -129,13 +142,17 @@ int main(int argc, char** argv) {
     recorder =
         std::make_unique<telemetry::RunRecorder>(*registry, metrics_path);
     telemetry::install_global_recorder(recorder.get());
+    const linalg::simd::Level simd_level = linalg::simd::active_level();
+    registry->gauge("runtime.simd_level")
+        .set(static_cast<double>(static_cast<int>(simd_level)));
     telemetry::JsonValue run_start = telemetry::JsonValue::object();
     run_start.set("device", model.name())
         .set("task", task.name)
         .set("controller", flags.get("controller", "bofl"))
         .set("rounds", task.num_rounds)
         .set("ratio", ratio)
-        .set("seed", seed);
+        .set("seed", seed)
+        .set("simd_level", std::string(linalg::simd::to_string(simd_level)));
     recorder->emit("run_start", std::move(run_start));
   }
 
