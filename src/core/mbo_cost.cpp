@@ -26,6 +26,15 @@ MboCostModel mbo_cost_for_device(const std::string& device_name) {
   if (device_name == "jetson-tx2") {
     return {7.2, 0.020, 0.18, 6.8};
   }
+  if (device_name == "pixel-phone") {
+    // Mobile big-core cluster: ~half the AGX's CPU throughput on the GP
+    // refit, at phone-class power.
+    return {8.8, 0.026, 0.21, 3.4};
+  }
+  if (device_name == "edge-server") {
+    // Server CPU: the refit is fast but each second is expensive.
+    return {2.2, 0.007, 0.055, 55.0};
+  }
   BOFL_REQUIRE(false, "unknown device name: " + device_name);
   return {};
 }

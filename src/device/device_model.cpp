@@ -140,4 +140,51 @@ DeviceModel jetson_tx2() {
   return {std::move(spec), std::move(space)};
 }
 
+DeviceModel pixel_phone() {
+  DeviceSpec spec;
+  spec.name = "pixel-phone";
+  // Phone-class SoC: big-core cluster roughly half the AGX's per-clock
+  // throughput, a small mobile GPU (worst on convolutions — no tensor
+  // cores, narrow memory bus) and LPDDR with about half the controller
+  // throughput.  Low rail voltages and small kappas give the watt-level
+  // power envelope of a handset; race-to-idle barely pays because idle
+  // draw is tiny, so the energy-optimal configs sit lower than on Jetson.
+  spec.cpu_scale = 0.55;
+  spec.mem_scale = 0.50;
+  spec.gpu_class_scale = {{WorkloadClass::kTransformer, 0.18},
+                          {WorkloadClass::kCnn, 0.15},
+                          {WorkloadClass::kRnn, 0.35}};
+  spec.idle_power_watts = 0.4;
+  spec.cpu_power = {0.55, 1.20, 1.5, 2.20};
+  spec.gpu_power = {0.55, 1.15, 1.5, 1.60};
+  spec.mem_power = {0.55, 1.10, 1.4, 0.90};
+  DvfsSpace space{FrequencyTable::linear(0.3000, 2.8020, 16),
+                  FrequencyTable::linear(0.1510, 0.9500, 9),
+                  FrequencyTable::linear(0.5470, 2.0920, 4)};
+  return {std::move(spec), std::move(space)};
+}
+
+DeviceModel edge_server() {
+  DeviceSpec spec;
+  spec.name = "edge-server";
+  // Server-class box with a discrete accelerator: more than double the
+  // per-clock CPU/memory throughput and a GPU that crushes dense
+  // tensor/conv work but helps the host-serialized RNN far less.  Tens of
+  // watts of idle draw make race-to-idle dominant — the energy-optimal
+  // configs sit near x_max, the opposite corner from the phone.
+  spec.cpu_scale = 2.20;
+  spec.mem_scale = 2.00;
+  spec.gpu_class_scale = {{WorkloadClass::kTransformer, 6.0},
+                          {WorkloadClass::kCnn, 6.5},
+                          {WorkloadClass::kRnn, 2.5}};
+  spec.idle_power_watts = 45.0;
+  spec.cpu_power = {0.85, 1.00, 1.3, 15.0};
+  spec.gpu_power = {0.85, 1.00, 1.3, 24.0};
+  spec.mem_power = {0.85, 1.00, 1.3, 6.00};
+  DvfsSpace space{FrequencyTable::linear(1.2000, 3.4000, 16),
+                  FrequencyTable::linear(0.3000, 1.8000, 12),
+                  FrequencyTable::linear(0.8000, 3.2000, 4)};
+  return {std::move(spec), std::move(space)};
+}
+
 }  // namespace bofl::device

@@ -133,4 +133,17 @@ struct FlatPerfTable {
 /// GPU 0.11–1.30 GHz × 13 steps, MEM 0.41–1.87 GHz × 6 steps; 936 configs.
 [[nodiscard]] DeviceModel jetson_tx2();
 
+/// Phone-class calibration point (fleet-population scenarios): big-core
+/// mobile SoC, CPU 0.30–2.80 GHz × 16, GPU 0.15–0.95 GHz × 9,
+/// MEM 0.55–2.09 GHz × 4; 576 configs, sub-watt idle.  Slower than both
+/// Jetsons on GPU-bound work; its tiny idle draw moves the energy-optimal
+/// configs toward low clocks.
+[[nodiscard]] DeviceModel pixel_phone();
+
+/// Server-class calibration point (fleet-population scenarios): discrete
+/// accelerator, CPU 1.20–3.40 GHz × 16, GPU 0.30–1.80 GHz × 12,
+/// MEM 0.80–3.20 GHz × 4; 768 configs, 45 W idle.  Fastest device in the
+/// fleet; race-to-idle dominates and pushes the energy optimum near x_max.
+[[nodiscard]] DeviceModel edge_server();
+
 }  // namespace bofl::device

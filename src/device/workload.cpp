@@ -58,4 +58,13 @@ std::vector<WorkloadProfile> paper_profiles() {
   return {vit_profile(), resnet50_profile(), lstm_profile()};
 }
 
+std::optional<WorkloadProfile> profile_from_string(std::string_view name) {
+  for (WorkloadProfile& profile : paper_profiles()) {
+    if (profile.name == name) {
+      return std::move(profile);
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace bofl::device

@@ -18,7 +18,9 @@
 // 1.7 GHz), and energy responds non-monotonically.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace bofl::device {
@@ -62,5 +64,11 @@ struct WorkloadProfile {
 
 /// All three paper workloads, in the paper's order.
 [[nodiscard]] std::vector<WorkloadProfile> paper_profiles();
+
+/// Look up a paper workload by its profile name ("vit", "resnet50",
+/// "lstm"); nullopt for anything else.  This is the name declarative specs
+/// (fleet scenarios, CLI mixes) use to reference a workload.
+[[nodiscard]] std::optional<WorkloadProfile> profile_from_string(
+    std::string_view name);
 
 }  // namespace bofl::device

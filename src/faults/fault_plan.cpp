@@ -122,20 +122,43 @@ void FaultPlan::validate() const {
   }
 }
 
+telemetry::JsonValue fault_spec_to_json(const FaultSpec& spec) {
+  telemetry::JsonValue entry = telemetry::JsonValue::object();
+  entry.set("kind", to_string(spec.kind))
+      .set("start_s", spec.start_s)
+      .set("duration_s", spec.duration_s)
+      .set("period_s", spec.period_s)
+      .set("magnitude", spec.magnitude)
+      .set("probability", spec.probability)
+      .set("client", spec.client);
+  return entry;
+}
+
+FaultSpec fault_spec_from_json(const telemetry::JsonNode& node) {
+  BOFL_REQUIRE(node.type == JsonNode::Type::kObject,
+               "each fault must be a JSON object");
+  const JsonNode* kind = node.find("kind");
+  BOFL_REQUIRE(kind != nullptr && kind->type == JsonNode::Type::kString,
+               "each fault needs a string 'kind'");
+  const std::optional<FaultKind> parsed = fault_kind_from_string(kind->string);
+  BOFL_REQUIRE(parsed.has_value(), "unknown fault kind: " + kind->string);
+  FaultSpec spec;
+  spec.kind = *parsed;
+  spec.start_s = number_field(node, "start_s", 0.0);
+  spec.duration_s = number_field(node, "duration_s", 0.0);
+  spec.period_s = number_field(node, "period_s", 0.0);
+  spec.magnitude = number_field(node, "magnitude", 1.0);
+  spec.probability = number_field(node, "probability", 1.0);
+  spec.client = static_cast<std::int64_t>(number_field(node, "client", -1.0));
+  return spec;
+}
+
 std::string FaultPlan::to_json() const {
   telemetry::JsonValue root = telemetry::JsonValue::object();
   root.set("seed", seed).set("name", name);
   telemetry::JsonValue list = telemetry::JsonValue::array();
   for (const FaultSpec& spec : faults) {
-    telemetry::JsonValue entry = telemetry::JsonValue::object();
-    entry.set("kind", to_string(spec.kind))
-        .set("start_s", spec.start_s)
-        .set("duration_s", spec.duration_s)
-        .set("period_s", spec.period_s)
-        .set("magnitude", spec.magnitude)
-        .set("probability", spec.probability)
-        .set("client", spec.client);
-    list.push_back(std::move(entry));
+    list.push_back(fault_spec_to_json(spec));
   }
   root.set("faults", std::move(list));
   return root.dump();
@@ -156,24 +179,7 @@ FaultPlan FaultPlan::from_json(const std::string& text) {
     BOFL_REQUIRE(list->type == JsonNode::Type::kArray,
                  "fault plan 'faults' must be an array");
     for (const JsonNode& entry : list->array) {
-      BOFL_REQUIRE(entry.type == JsonNode::Type::kObject,
-                   "each fault must be a JSON object");
-      const JsonNode* kind = entry.find("kind");
-      BOFL_REQUIRE(kind != nullptr && kind->type == JsonNode::Type::kString,
-                   "each fault needs a string 'kind'");
-      const std::optional<FaultKind> parsed =
-          fault_kind_from_string(kind->string);
-      BOFL_REQUIRE(parsed.has_value(), "unknown fault kind: " + kind->string);
-      FaultSpec spec;
-      spec.kind = *parsed;
-      spec.start_s = number_field(entry, "start_s", 0.0);
-      spec.duration_s = number_field(entry, "duration_s", 0.0);
-      spec.period_s = number_field(entry, "period_s", 0.0);
-      spec.magnitude = number_field(entry, "magnitude", 1.0);
-      spec.probability = number_field(entry, "probability", 1.0);
-      spec.client =
-          static_cast<std::int64_t>(number_field(entry, "client", -1.0));
-      plan.faults.push_back(spec);
+      plan.faults.push_back(fault_spec_from_json(entry));
     }
   }
   plan.validate();

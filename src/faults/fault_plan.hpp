@@ -20,6 +20,11 @@
 #include <string_view>
 #include <vector>
 
+namespace bofl::telemetry {
+class JsonValue;
+struct JsonNode;
+}  // namespace bofl::telemetry
+
 namespace bofl::faults {
 
 enum class FaultKind {
@@ -100,5 +105,12 @@ struct FaultPlan {
 
   friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
 };
+
+/// Dialect helpers shared with FleetScenario: one FaultSpec as a JSON
+/// object with the canonical field order, and back (throws on a malformed
+/// node).  FaultPlan's own (de)serialization goes through these too, so
+/// embedded and standalone fault lists stay byte-compatible.
+[[nodiscard]] telemetry::JsonValue fault_spec_to_json(const FaultSpec& spec);
+[[nodiscard]] FaultSpec fault_spec_from_json(const telemetry::JsonNode& node);
 
 }  // namespace bofl::faults

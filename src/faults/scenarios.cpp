@@ -28,11 +28,43 @@ FaultSpec per_round(FaultKind kind, double magnitude, double probability) {
 }  // namespace
 
 const std::vector<std::string>& scenario_names() {
-  static const std::vector<std::string> names = {
-      "clean",           "thermal-storm",      "flaky-sysfs",
-      "straggler-heavy", "mid-round-throttle",
-  };
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> list;
+    for (const ScenarioInfo& info : all_scenarios()) {
+      if (!info.hidden) {
+        list.push_back(info.name);
+      }
+    }
+    return list;
+  }();
   return names;
+}
+
+const std::vector<ScenarioInfo>& all_scenarios() {
+  static const std::vector<ScenarioInfo> catalog = {
+      {"clean", "no faults; the baseline every invariant compares to",
+       false},
+      {"thermal-storm",
+       "periodic fleet-wide 1.6x throttling storms with matching DVFS "
+       "clamps",
+       false},
+      {"flaky-sysfs",
+       "15% of measurement reads come back 4x off, all run long", false},
+      {"straggler-heavy",
+       "a quarter of reports land half a deadline late; 10% of clients "
+       "vanish per round",
+       false},
+      {"mid-round-throttle",
+       "one sustained mid-run co-runner episode with the top DVFS steps "
+       "rejected",
+       false},
+      {"prior-poisoned",
+       "whole-run 1.5x thermal degradation that makes a healthy-fleet "
+       "prior mispredict; excluded from the generic sweep (its feasibility "
+       "invariant does not hold here), used by the dedicated prior tests",
+       true},
+  };
+  return catalog;
 }
 
 FaultPlan make_scenario(const std::string& name, std::uint64_t seed,

@@ -19,6 +19,11 @@ void ShardRoundStats::merge(const ShardRoundStats& other) {
   phase1 += other.phase1;
   phase2 += other.phase2;
   phase3 += other.phase3;
+  active_clients += other.active_clients;
+  departed += other.departed;
+  rejoined += other.rejoined;
+  resets += other.resets;
+  battery_blocked += other.battery_blocked;
 }
 
 void ShardTelemetry::merge(const ShardTelemetry& other) {
@@ -45,7 +50,9 @@ std::uint64_t ClientShard::soa_bytes() const {
       rng_cursor.capacity() * sizeof(std::uint32_t) +
       energy_uj.capacity() * sizeof(std::uint64_t) +
       busy_us.capacity() * sizeof(std::uint64_t) +
-      misses.capacity() * sizeof(std::uint32_t));
+      misses.capacity() * sizeof(std::uint32_t) +
+      active.capacity() * sizeof(std::uint8_t) +
+      battery_uj.capacity() * sizeof(std::uint64_t));
 }
 
 }  // namespace bofl::fleet

@@ -49,6 +49,12 @@ struct ShardRoundStats {
   std::uint32_t phase1 = 0;
   std::uint32_t phase2 = 0;
   std::uint32_t phase3 = 0;
+  // Fleet-scenario population accounting (all zero outside scenario runs).
+  std::uint32_t active_clients = 0;   ///< clients present after churn
+  std::uint32_t departed = 0;         ///< left the fleet this round
+  std::uint32_t rejoined = 0;         ///< returned this round
+  std::uint32_t resets = 0;           ///< re-joins that lost their state
+  std::uint32_t battery_blocked = 0;  ///< selected but below the watermark
 
   void merge(const ShardRoundStats& other);
 };
@@ -82,6 +88,13 @@ class ClientShard {
   std::vector<std::uint64_t> energy_uj;
   std::vector<std::uint64_t> busy_us;
   std::vector<std::uint32_t> misses;
+
+  // Fleet-scenario columns, allocated by the engine ONLY when the scenario
+  // enables the matching process (so the steady-state bytes/client figure
+  // is untouched).  `active` is the churn membership bit; `battery_uj` the
+  // remaining per-client energy budget in integer microjoules.
+  std::vector<std::uint8_t> active;
+  std::vector<std::uint64_t> battery_uj;
 
   /// Per-shard completion-event queue, reused across rounds.
   CompletionQueue<std::uint64_t> queue;

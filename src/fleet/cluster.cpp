@@ -42,7 +42,8 @@ ClusterEngine::ClusterEngine(std::size_t index, const ClusterSpec& spec,
       jobs_per_round_(config.jobs_per_round),
       deadline_rng_(stream_seed(config.seed ^ kDeadlineDomain, index)),
       deadline_ratio_(config.deadline_ratio),
-      cache_(cache) {
+      cache_(cache),
+      config_(&config) {
   BOFL_REQUIRE(model_ != nullptr, "cluster needs a device model");
   BOFL_REQUIRE(jobs_per_round_ >= 1, "cluster needs at least one job/round");
   BOFL_REQUIRE(deadline_ratio_ >= 1.0, "deadline ratio must be >= 1");
@@ -50,67 +51,107 @@ ClusterEngine::ClusterEngine(std::size_t index, const ClusterSpec& spec,
   table_ = device::FlatPerfTable::build(*model_, profile_);
   x_max_flat_ = model_->space().to_flat(model_->space().max_config());
   if (kind_ == FleetControllerKind::kBofl) {
-    core::BoflOptions options = config.bofl_options;
-    options.mbo_cost = core::mbo_cost_for_device(model_->name());
-    if (config.auto_scale_tau) {
-      // Same rule as fl::Simulation: keep τ meaningfully smaller than a
-      // round so short fleet rounds can still explore.
-      options.tau =
-          Seconds{std::min(options.tau.value(), t_min_.value() / 8.0)};
-    }
-    controller_ = std::make_unique<core::BoflController>(
-        *model_, profile_, device::NoiseModel{}, options,
-        stream_seed(config.seed ^ kCanonicalDomain, index));
-    controller_->set_schedule_cache(cache_);
-    if (config.knowledge != nullptr) {
-      // Ask the knowledge plane for this cluster's prior.  Admission may
-      // downgrade (kTrust -> kVerify below the trust bar) or decline
-      // (unknown cluster / low confidence), in which case the controller
-      // stays bit-identical to a cold start.
-      const priors::KnowledgeStore::Admission admission =
-          config.knowledge->admit(priors::ClusterKey::of(*model_, profile_),
-                                  config.prior_policy);
-      if (admission.snapshot != nullptr) {
-        controller_->apply_prior(
-            admission.snapshot->make_seed(
-                config.knowledge->options().max_verify_ids),
-            admission.policy);
-        applied_policy_ = admission.policy;
-      }
-    }
     if (injector != nullptr && injector->plan().has_device_faults()) {
       // The channel's "client" is the cluster index: the canonical device
-      // IS the cluster as far as device-level faults are concerned.
+      // IS the cluster as far as device-level faults are concerned.  The
+      // channel survives workload switches (the silicon keeps its faults;
+      // only the controller is replaced).
       channel_ =
           injector->make_device_channel(static_cast<std::int64_t>(index_));
-      controller_->install_fault_model(channel_.get());
     }
+    init_controller();
   } else {
-    // Reference policies schedule over the true cost surface: the
-    // dominance-pruned flat table is their (exact) Pareto front.
-    std::vector<ilp::ConfigProfile> all;
-    all.reserve(table_.size());
-    for (std::size_t flat = 0; flat < table_.size(); ++flat) {
-      all.push_back(ilp::ConfigProfile{flat, table_.energy_j[flat],
-                                       table_.latency_s[flat]});
+    rebuild_true_front();
+  }
+}
+
+void ClusterEngine::init_controller() {
+  core::BoflOptions options = config_->bofl_options;
+  options.mbo_cost = core::mbo_cost_for_device(model_->name());
+  if (config_->auto_scale_tau) {
+    // Same rule as fl::Simulation: keep τ meaningfully smaller than a
+    // round so short fleet rounds can still explore.
+    options.tau = Seconds{std::min(options.tau.value(), t_min_.value() / 8.0)};
+  }
+  effective_options_ = options;
+  // Generation 0 keeps the original canonical stream; every workload
+  // switch derives a fresh, independent substream so the replacement
+  // controller's exploration never replays the old one's draws.
+  const std::uint64_t base =
+      stream_seed(config_->seed ^ kCanonicalDomain, index_);
+  controller_ = std::make_unique<core::BoflController>(
+      *model_, profile_, device::NoiseModel{}, options,
+      generation_ == 0 ? base : stream_seed(base, generation_));
+  controller_->set_schedule_cache(cache_);
+  applied_policy_ = priors::PriorPolicy::kCold;
+  if (config_->knowledge != nullptr) {
+    // Ask the knowledge plane for this cluster's prior.  Admission may
+    // downgrade (kTrust -> kVerify below the trust bar) or decline
+    // (unknown cluster / low confidence), in which case the controller
+    // stays bit-identical to a cold start.  After a workload switch this
+    // keys on the NEW profile, so a task switch re-admits the prior of the
+    // cluster the population just became.
+    const priors::KnowledgeStore::Admission admission =
+        config_->knowledge->admit(priors::ClusterKey::of(*model_, profile_),
+                                  config_->prior_policy);
+    if (admission.snapshot != nullptr) {
+      controller_->apply_prior(admission.snapshot->make_seed(
+                                   config_->knowledge->options().max_verify_ids),
+                               admission.policy);
+      applied_policy_ = admission.policy;
     }
-    true_front_ = ilp::prune_dominated_profiles(all).profiles;
+  }
+  if (channel_ != nullptr) {
+    controller_->install_fault_model(channel_.get());
   }
 }
 
-void ClusterEngine::extend_to(std::size_t entries) {
+void ClusterEngine::rebuild_true_front() {
+  // Reference policies schedule over the true cost surface: the
+  // dominance-pruned flat table is their (exact) Pareto front.
+  std::vector<ilp::ConfigProfile> all;
+  all.reserve(table_.size());
+  for (std::size_t flat = 0; flat < table_.size(); ++flat) {
+    all.push_back(ilp::ConfigProfile{flat, table_.energy_j[flat],
+                                     table_.latency_s[flat]});
+  }
+  true_front_ = ilp::prune_dominated_profiles(all).profiles;
+}
+
+void ClusterEngine::switch_workload(const device::WorkloadProfile& profile) {
+  profile_ = profile;
+  t_min_ = model_->round_t_min(profile_, jobs_per_round_);
+  table_ = device::FlatPerfTable::build(*model_, profile_);
+  ++generation_;
+  // The old workload's trajectory is stale the moment the population
+  // retrains on the new one: drop it so the very next extend_to() replays
+  // the replacement controller's own exploration from entry 0.  Clients
+  // keep their participation cursors — a cursor deep into the old
+  // trajectory lands on the new generation's entry at the same depth.
+  // exploration_entries_ keeps accumulating across generations; the
+  // re-exploration cost of a switch is exactly what it measures.
+  trajectory_.clear();
+  if (kind_ == FleetControllerKind::kBofl) {
+    init_controller();
+  } else {
+    rebuild_true_front();
+  }
+}
+
+void ClusterEngine::extend_to(std::size_t entries, double deadline_factor) {
   while (trajectory_.size() < entries) {
-    append_entry();
+    append_entry(deadline_factor);
   }
 }
 
-void ClusterEngine::append_entry() {
+void ClusterEngine::append_entry(double deadline_factor) {
   const auto k = static_cast<std::int64_t>(trajectory_.size());
   // The paper's §6.1 protocol per trajectory entry: uniform in
   // [T_min, ratio * T_min].  Draws are strictly sequential in k, so lazy
-  // extension reproduces the eager schedule.
+  // extension reproduces the eager schedule; the diurnal factor scales the
+  // drawn deadline without touching the draw sequence.
   const Seconds deadline =
-      t_min_ * deadline_rng_.uniform(1.0, deadline_ratio_);
+      t_min_ * (deadline_rng_.uniform(1.0, deadline_ratio_) * deadline_factor);
   const core::RoundSpec spec{k, jobs_per_round_, deadline};
   RoundEntry entry = kind_ == FleetControllerKind::kBofl
                          ? bofl_entry(spec)
@@ -124,8 +165,25 @@ void ClusterEngine::append_entry() {
 
 ClusterEngine::RoundEntry ClusterEngine::bofl_entry(
     const core::RoundSpec& spec) {
-  const core::RoundTrace trace = controller_->run_round(spec);
   RoundEntry entry;
+  // Pessimistic Eqn. 2 BEFORE the entry runs, mirroring the device
+  // scenario harness: the worst combined fault effect any job inside
+  // [now, now + deadline) could see, at the clamp-capped x_max.
+  const double t0 = controller_->sim_time().value();
+  faults::DeviceFaultChannel::WorstCase worst;
+  if (channel_ != nullptr) {
+    worst = channel_->worst_case_in(t0, t0 + spec.deadline.value());
+  }
+  const device::DvfsConfig capped = device::clamp_config(
+      model_->space(), model_->space().max_config(), worst.config_cap);
+  const double t_pess =
+      model_->latency(profile_, capped).value() * worst.latency_multiplier;
+  const double reserve = effective_options_.tau.value() +
+                         effective_options_.first_job_allowance * t_pess;
+  entry.feasible = static_cast<double>(spec.num_jobs) * t_pess *
+                       (1.0 + effective_options_.deadline_safety_margin) <=
+                   spec.deadline.value() - reserve;
+  const core::RoundTrace trace = controller_->run_round(spec);
   entry.elapsed_us = to_micros(trace.elapsed());
   entry.energy_uj = to_microjoules(trace.energy());
   entry.mbo_energy_uj = to_microjoules(trace.mbo_energy);
@@ -147,6 +205,9 @@ ClusterEngine::RoundEntry ClusterEngine::reference_entry(
   const double t_max_lat = table_.latency_s[x_max_flat_];
   const double t_max_energy = table_.energy_j[x_max_flat_];
   const auto jobs = static_cast<double>(spec.num_jobs);
+  // Reference policies have no fault channel or reserve: feasibility is
+  // simply whether running flat out fits the deadline.
+  entry.feasible = jobs * t_max_lat <= spec.deadline.value();
   if (kind_ == FleetControllerKind::kOracle) {
     const ilp::IlpOptions ilp_options{};
     const ilp::Schedule schedule =

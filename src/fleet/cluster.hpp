@@ -48,7 +48,8 @@ namespace bofl::fleet {
 
 class ClusterEngine {
  public:
-  /// `spec.model` and `cache` (nullable) must outlive the engine.  When
+  /// `spec.model`, `config` and `cache` (nullable) must outlive the
+  /// engine (workload switches rebuild the controller from `config`).  When
   /// `injector` (nullable) carries device-level faults, the canonical
   /// controller runs behind a DeviceFaultChannel keyed on the cluster
   /// index, so storms / clamps / flaky reads hit the whole cluster's
@@ -65,11 +66,36 @@ class ClusterEngine {
     std::uint64_t energy_uj = 0;      ///< training energy
     std::uint64_t mbo_energy_uj = 0;  ///< MBO update cost (phases 1–2)
     core::Phase phase = core::Phase::kExploitation;
+    /// Pessimistic Eqn. 2 feasibility, evaluated BEFORE the entry ran (the
+    /// scenario harness's never-miss precondition): at the worst fault
+    /// effect in the deadline window, jobs * T_pess * (1 + margin) fits the
+    /// deadline minus the tau + first-job reserve.  An infeasible entry is
+    /// allowed to miss; a feasible one never is.
+    bool feasible = true;
   };
 
-  /// Ensure at least `entries` trajectory entries exist.  Serial only (the
-  /// engine calls this from the round loop before the shard fan-out).
-  void extend_to(std::size_t entries);
+  /// Ensure at least `entries` trajectory entries exist, scaling any NEWLY
+  /// drawn deadline by `deadline_factor` (diurnal pressure; 1 = neutral).
+  /// The underlying uniform draw stays strictly sequential in the entry
+  /// index, so lazy extension reproduces the eager schedule for every
+  /// factor sequence.  Serial only (the engine calls this from the round
+  /// loop before the shard fan-out).
+  void extend_to(std::size_t entries, double deadline_factor = 1.0);
+
+  /// Non-stationary workload switch: from this round on, the cluster
+  /// trains `profile`.  Rebuilds the cost surface, REPLACES the canonical
+  /// controller (fresh exploration on a generation-derived seed) and drops
+  /// the old workload's trajectory — the next extend_to() replays the new
+  /// controller from entry 0, so clients mid-replay land on the new
+  /// generation's costs at their current participation depth.  With a
+  /// knowledge store attached, the new controller re-admits the prior of
+  /// the NEW (device, workload) cluster key — a mispredicting prior then
+  /// demotes through the usual drift path.
+  void switch_workload(const device::WorkloadProfile& profile);
+
+  /// Number of workload switches applied so far; entry costs and the
+  /// Pareto front are only comparable within one generation.
+  [[nodiscard]] std::size_t generation() const { return generation_; }
 
   [[nodiscard]] const RoundEntry& entry(std::size_t k) const {
     return trajectory_[k];
@@ -114,6 +140,13 @@ class ClusterEngine {
                : core::BoflController::PriorState::kNone;
   }
 
+  /// The live canonical controller (nullptr for reference policies).  The
+  /// scenario harness samples its observed Pareto front per round; the
+  /// pointer is invalidated by switch_workload.
+  [[nodiscard]] const core::BoflController* canonical_controller() const {
+    return controller_.get();
+  }
+
   /// Publish this cluster's knowledge back to the store (kBofl only):
   /// outcome feedback for the confidence score, plus a distilled snapshot
   /// when the canonical controller reached exploitation.  The engine calls
@@ -121,7 +154,9 @@ class ClusterEngine {
   void publish_to(priors::KnowledgeStore& store) const;
 
  private:
-  void append_entry();
+  void append_entry(double deadline_factor);
+  void init_controller();
+  void rebuild_true_front();
   [[nodiscard]] RoundEntry bofl_entry(const core::RoundSpec& spec);
   [[nodiscard]] RoundEntry reference_entry(const core::RoundSpec& spec);
 
@@ -139,11 +174,18 @@ class ClusterEngine {
   Rng deadline_rng_;
   double deadline_ratio_ = 8.0;
   ilp::ScheduleCache* cache_ = nullptr;  ///< non-owning, optional
+  /// The engine's config (stable for the engine's lifetime): workload
+  /// switches rebuild the canonical controller from it.
+  const FleetConfig* config_ = nullptr;
   /// Canonical BoFL controller (kBofl only) and its fault channel.
   std::unique_ptr<faults::DeviceFaultChannel> channel_;
   std::unique_ptr<core::BoflController> controller_;
+  /// The options the live controller was built with (after tau
+  /// auto-scaling) — inputs to the per-entry Eqn. 2 feasibility check.
+  core::BoflOptions effective_options_{};
   std::vector<RoundEntry> trajectory_;
   std::size_t exploration_entries_ = 0;
+  std::size_t generation_ = 0;
   priors::PriorPolicy applied_policy_ = priors::PriorPolicy::kCold;
 };
 

@@ -14,6 +14,7 @@
 #include "device/device_model.hpp"
 #include "device/workload.hpp"
 #include "faults/fault_plan.hpp"
+#include "faults/fleet_scenario.hpp"
 #include "priors/prior_policy.hpp"
 
 namespace bofl::priors {
@@ -95,6 +96,13 @@ struct FleetConfig {
   /// device-level kinds perturb each cluster's canonical trajectory through
   /// one DeviceFaultChannel per cluster.  Unset = clean run.
   std::optional<faults::FaultPlan> fault_plan;
+
+  /// Fleet-population scenario (churn / diurnal waves / task switches /
+  /// battery budgets — see faults/fleet_scenario.hpp).  Unset = steady
+  /// population, bit-identical to pre-scenario engines.  A scenario with an
+  /// embedded fault plan requires `fault_plan` to stay unset (the engine
+  /// refuses ambiguous double fault sources).
+  std::optional<faults::FleetScenario> scenario;
 
   /// The population mix; empty = one AGX/ViT cluster (caller must keep the
   /// referenced DeviceModels alive).

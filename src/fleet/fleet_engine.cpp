@@ -20,6 +20,12 @@ constexpr std::uint64_t kClusterDomain = 0xF1EE7'05A1'7ED5ULL;  // client→clus
 constexpr std::uint64_t kSelectDomain = 0xF1EE7'5E1E'C7EDULL;   // cohort draw
 constexpr std::uint64_t kSpeedDomain = 0xF1EE7'5B33'D000ULL;    // heterogeneity
 constexpr std::uint64_t kJitterDomain = 0xF1EE7'01'77E2ULL;     // round noise
+// Fleet-scenario churn domains.  Bases mix the fleet seed with the
+// scenario's own seed (stream_seed, like FaultInjector) so the same spec
+// replays under any fleet seed and two specs never share draws.
+constexpr std::uint64_t kLeaveDomain = 0xF1EE7'1EAF'E000ULL;   // churn: leave
+constexpr std::uint64_t kRejoinDomain = 0xF1EE7'4E01'0123ULL;  // churn: re-join
+constexpr std::uint64_t kResetDomain = 0xF1EE7'4E5E'7777ULL;   // churn: reset
 
 /// Uniform double in [0, 1) from a pure hash — no generator state.
 [[nodiscard]] double hash_unit(std::uint64_t base, std::uint64_t stream) {
@@ -42,7 +48,8 @@ void fnv_fold(std::uint64_t& hash, std::uint64_t value) {
   }
 }
 
-void fold_round(std::uint64_t& hash, const FleetRoundStats& stats) {
+void fold_round(std::uint64_t& hash, const FleetRoundStats& stats,
+                bool scenario_fields) {
   fnv_fold(hash, static_cast<std::uint64_t>(stats.round));
   fnv_fold(hash, stats.energy_uj);
   fnv_fold(hash, stats.mbo_energy_uj);
@@ -57,9 +64,27 @@ void fold_round(std::uint64_t& hash, const FleetRoundStats& stats) {
   fnv_fold(hash, stats.phase1);
   fnv_fold(hash, stats.phase2);
   fnv_fold(hash, stats.phase3);
+  if (scenario_fields) {
+    // Scenario-free traces keep the historical field set, so the golden
+    // hash pinned before scenarios existed stays valid.
+    fnv_fold(hash, stats.active_clients);
+    fnv_fold(hash, stats.departed);
+    fnv_fold(hash, stats.rejoined);
+    fnv_fold(hash, stats.resets);
+    fnv_fold(hash, stats.battery_blocked);
+  }
 }
 
 }  // namespace
+
+std::uint64_t fold_trace_hash(const std::vector<FleetRoundStats>& rounds,
+                              bool scenario_fields) {
+  std::uint64_t hash = kFnvOffset;
+  for (const FleetRoundStats& stats : rounds) {
+    fold_round(hash, stats, scenario_fields);
+  }
+  return hash;
+}
 
 double FleetResult::total_energy_j() const {
   double sum = 0.0;
@@ -103,6 +128,38 @@ double FleetResult::timeout_rate() const {
   const std::uint64_t total = total_participants();
   return total == 0 ? 0.0
                     : static_cast<double>(late) / static_cast<double>(total);
+}
+
+std::uint64_t FleetResult::total_departed() const {
+  std::uint64_t sum = 0;
+  for (const FleetRoundStats& stats : rounds) {
+    sum += stats.departed;
+  }
+  return sum;
+}
+
+std::uint64_t FleetResult::total_rejoined() const {
+  std::uint64_t sum = 0;
+  for (const FleetRoundStats& stats : rounds) {
+    sum += stats.rejoined;
+  }
+  return sum;
+}
+
+std::uint64_t FleetResult::total_resets() const {
+  std::uint64_t sum = 0;
+  for (const FleetRoundStats& stats : rounds) {
+    sum += stats.resets;
+  }
+  return sum;
+}
+
+std::uint64_t FleetResult::total_battery_blocked() const {
+  std::uint64_t sum = 0;
+  for (const FleetRoundStats& stats : rounds) {
+    sum += stats.battery_blocked;
+  }
+  return sum;
 }
 
 double FleetResult::bytes_per_client() const {
@@ -153,6 +210,30 @@ FleetEngine::FleetEngine(FleetConfig config) : config_(std::move(config)) {
   }
   cluster_cdf_.back() = 1.0;  // absorb rounding; hash_unit() is always < 1
 
+  const faults::FleetScenario* scenario =
+      config_.scenario.has_value() ? &*config_.scenario : nullptr;
+  if (scenario != nullptr) {
+    scenario->validate();
+    for (const faults::TaskSwitchSpec& ts : scenario->task_switches) {
+      BOFL_REQUIRE(ts.cluster < static_cast<std::int64_t>(specs_.size()),
+                   "task switch targets a cluster the mix does not have");
+    }
+    BOFL_REQUIRE(
+        scenario->fault_plan.empty() || !config_.fault_plan.has_value(),
+        "pass faults either inside the scenario or via fault_plan, not both");
+    if (!scenario->fault_plan.empty()) {
+      config_.fault_plan = scenario->fault_plan;
+    }
+    if (scenario->battery.enabled()) {
+      battery_capacity_uj_ = static_cast<std::uint64_t>(
+          std::llround(scenario->battery.capacity_j * 1e6));
+      battery_recharge_uj_ = static_cast<std::uint64_t>(
+          std::llround(scenario->battery.recharge_j_per_round * 1e6));
+      battery_watermark_uj_ = static_cast<std::uint64_t>(std::llround(
+          scenario->battery.resume_fraction * scenario->battery.capacity_j *
+          1e6));
+    }
+  }
   if (config_.fault_plan.has_value()) {
     injector_.emplace(*config_.fault_plan, config_.seed);
   }
@@ -171,6 +252,15 @@ FleetEngine::FleetEngine(FleetConfig config) : config_(std::move(config)) {
   for (std::size_t s = 0; s < num_shards; ++s) {
     shards_.emplace_back(
         runtime::shard_range(config_.num_clients, num_shards, s));
+    // Scenario columns only exist when the matching process is enabled, so
+    // steady-state runs keep their bytes/client figure.
+    ClientShard& shard = shards_.back();
+    if (scenario != nullptr && scenario->churn.enabled()) {
+      shard.active.assign(shard.size(), 1);
+    }
+    if (scenario != nullptr && scenario->battery.enabled()) {
+      shard.battery_uj.assign(shard.size(), battery_capacity_uj_);
+    }
   }
   // Cluster assignment is a weighted pure-hash draw on the client id, so it
   // is the same function of the id under every shard layout.
@@ -206,6 +296,14 @@ FleetEngine::FleetEngine(FleetConfig config) : config_(std::move(config)) {
     tel_.queue_depth = &reg->histogram(
         "fleet.event_queue_depth", telemetry::exponential_buckets(1.0, 2.0, 24));
     tel_.round_energy = &reg->histogram("fleet.round_energy_j");
+    if (scenario != nullptr) {
+      tel_.departed = &reg->counter("fleet.departed");
+      tel_.rejoined = &reg->counter("fleet.rejoined");
+      tel_.state_resets = &reg->counter("fleet.state_resets");
+      tel_.battery_blocked = &reg->counter("fleet.battery_blocked");
+      tel_.task_switches = &reg->counter("fleet.task_switches");
+      tel_.active_clients = &reg->gauge("fleet.active_clients");
+    }
     tel_.clients->set(static_cast<double>(config_.num_clients));
     tel_.shards->set(static_cast<double>(shards_.size()));
     tel_.soa_bytes->set(static_cast<double>(soa_bytes()));
@@ -229,10 +327,11 @@ FleetResult FleetEngine::run() {
   result.num_shards = shards_.size();
   result.num_clusters = clusters_.size();
   result.rounds.reserve(static_cast<std::size_t>(config_.rounds));
+  const bool scenario_fields = config_.scenario.has_value();
   std::uint64_t hash = kFnvOffset;
-  for (std::int64_t round = 0; round < config_.rounds; ++round) {
-    const FleetRoundStats stats = run_round(round, &pool);
-    fold_round(hash, stats);
+  for (std::int64_t step = 0; step < config_.rounds; ++step) {
+    const FleetRoundStats stats = run_round(next_round_++, &pool);
+    fold_round(hash, stats, scenario_fields);
     publish_round(stats);
     result.rounds.push_back(stats);
     for (const ClientShard& shard : shards_) {
@@ -276,9 +375,38 @@ FleetRoundStats FleetEngine::run_round(std::int64_t round,
       injector != nullptr && injector->plan().has_fl_faults();
   const std::uint64_t select_base = stream_seed(
       config_.seed ^ kSelectDomain, static_cast<std::uint64_t>(round));
-  const double cohort_fraction = config_.cohort_fraction;
 
-  // Pass 1 (parallel): selection, dropout, needed trajectory depth.
+  // Fleet-scenario round state: the diurnal factors are exact functions of
+  // the round index; churn draw bases mix fleet seed, scenario seed,
+  // domain and round — all layout-independent.
+  const faults::FleetScenario* scenario =
+      config_.scenario.has_value() ? &*config_.scenario : nullptr;
+  double cohort_fraction = config_.cohort_fraction;
+  double deadline_factor = 1.0;
+  if (scenario != nullptr && scenario->diurnal.enabled()) {
+    cohort_fraction = std::clamp(
+        cohort_fraction * scenario->diurnal.cohort_factor(round), 0.0, 1.0);
+    deadline_factor = scenario->diurnal.deadline_factor(round);
+  }
+  const bool has_churn = scenario != nullptr && scenario->churn.enabled();
+  const bool churn_live = has_churn && round >= scenario->churn.start_round;
+  const bool has_battery = scenario != nullptr && scenario->battery.enabled();
+  std::uint64_t leave_base = 0;
+  std::uint64_t rejoin_base = 0;
+  std::uint64_t reset_base = 0;
+  if (churn_live) {
+    const std::uint64_t churn_seed =
+        stream_seed(config_.seed, scenario->seed);
+    leave_base = stream_seed(churn_seed ^ kLeaveDomain,
+                             static_cast<std::uint64_t>(round));
+    rejoin_base = stream_seed(churn_seed ^ kRejoinDomain,
+                              static_cast<std::uint64_t>(round));
+    reset_base = stream_seed(churn_seed ^ kResetDomain,
+                             static_cast<std::uint64_t>(round));
+  }
+
+  // Pass 1 (parallel): battery recharge, churn transitions, selection,
+  // dropout, battery gate, needed trajectory depth.
   runtime::parallel_for_each(pool, shards_.size(), [&](std::size_t s) {
     ClientShard& shard = shards_[s];
     shard.round_stats = ShardRoundStats{};
@@ -288,6 +416,37 @@ FleetRoundStats FleetEngine::run_round(std::int64_t round,
     const std::size_t count = shard.size();
     for (std::size_t i = 0; i < count; ++i) {
       const std::uint64_t client = begin + i;
+      if (has_battery) {
+        // Every round recharges every client, participant or not.
+        shard.battery_uj[i] = std::min(
+            battery_capacity_uj_, shard.battery_uj[i] + battery_recharge_uj_);
+      }
+      if (has_churn) {
+        if (churn_live) {
+          if (shard.active[i] != 0) {
+            if (hash_unit(leave_base, client) < scenario->churn.leave_prob) {
+              shard.active[i] = 0;
+              ++shard.round_stats.departed;
+            }
+          } else if (hash_unit(rejoin_base, client) <
+                     scenario->churn.rejoin_prob) {
+            shard.active[i] = 1;
+            ++shard.round_stats.rejoined;
+            if (hash_unit(reset_base, client) < scenario->churn.reset_prob) {
+              // State lost: the trajectory cursor restarts at entry 0 (the
+              // cluster's verification-through-prior entries); the jitter
+              // cursor keeps advancing — a re-join is a fresh execution
+              // history, not a replay.
+              shard.participations[i] = 0;
+              ++shard.round_stats.resets;
+            }
+          }
+        }
+        if (shard.active[i] == 0) {
+          continue;
+        }
+      }
+      ++shard.round_stats.active_clients;
       if (hash_unit(select_base, client) >= cohort_fraction) {
         continue;
       }
@@ -297,20 +456,44 @@ FleetRoundStats FleetEngine::run_round(std::int64_t round,
         ++shard.telemetry.dropouts;
         continue;
       }
+      if (has_battery && shard.battery_uj[i] < battery_watermark_uj_) {
+        ++shard.round_stats.battery_blocked;
+        continue;
+      }
       shard.cohort.push_back(static_cast<std::uint32_t>(i));
       std::uint32_t& needed = shard.needed_entries[shard.cluster[i]];
       needed = std::max(needed, shard.participations[i] + 1);
     }
   });
 
-  // Serial: extend canonical trajectories in cluster order, then draw the
-  // round's deadline jitter (one fleet-wide factor, as in fl::Simulation).
+  // Serial: apply this round's workload switches BEFORE extension (a
+  // switch at round r changes every entry generated from round r on), then
+  // extend canonical trajectories in cluster order under the diurnal
+  // deadline factor, then draw the round's deadline jitter (one fleet-wide
+  // factor, as in fl::Simulation).
+  if (scenario != nullptr) {
+    for (const faults::TaskSwitchSpec& ts : scenario->task_switches) {
+      if (ts.round != round) {
+        continue;
+      }
+      for (std::size_t c = 0; c < clusters_.size(); ++c) {
+        if (ts.cluster >= 0 && ts.cluster != static_cast<std::int64_t>(c)) {
+          continue;
+        }
+        clusters_[c]->switch_workload(
+            *device::profile_from_string(ts.profile));
+        if (tel_.task_switches != nullptr) {
+          tel_.task_switches->add(1);
+        }
+      }
+    }
+  }
   for (std::size_t c = 0; c < clusters_.size(); ++c) {
     std::uint32_t needed = 0;
     for (const ClientShard& shard : shards_) {
       needed = std::max(needed, shard.needed_entries[c]);
     }
-    clusters_[c]->extend_to(needed);
+    clusters_[c]->extend_to(needed, deadline_factor);
   }
   double deadline_jitter = 1.0;
   if (fl_faults) {
@@ -398,6 +581,11 @@ FleetRoundStats FleetEngine::run_round(std::int64_t round,
       shard.energy_uj[i] += energy_uj;
       shard.busy_us[i] += elapsed_us;
       shard.misses[i] += miss ? 1U : 0U;
+      if (has_battery) {
+        // Training and MBO updates both come out of the client's budget.
+        const std::uint64_t drain = energy_uj + mbo_uj;
+        shard.battery_uj[i] -= std::min(shard.battery_uj[i], drain);
+      }
     }
   });
 
@@ -456,6 +644,11 @@ FleetRoundStats FleetEngine::run_round(std::int64_t round,
   out.phase1 = merged.phase1;
   out.phase2 = merged.phase2;
   out.phase3 = merged.phase3;
+  out.active_clients = merged.active_clients;
+  out.departed = merged.departed;
+  out.rejoined = merged.rejoined;
+  out.resets = merged.resets;
+  out.battery_blocked = merged.battery_blocked;
   return out;
 }
 
@@ -475,6 +668,13 @@ void FleetEngine::publish_round(const FleetRoundStats& stats) {
         static_cast<double>(shard.round_stats.queue_peak));
   }
   tel_.round_energy->observe(stats.energy_j());
+  if (tel_.departed != nullptr) {
+    tel_.departed->add(stats.departed);
+    tel_.rejoined->add(stats.rejoined);
+    tel_.state_resets->add(stats.resets);
+    tel_.battery_blocked->add(stats.battery_blocked);
+    tel_.active_clients->set(static_cast<double>(stats.active_clients));
+  }
   tel_.peak_rss->set(static_cast<double>(telemetry::peak_rss_bytes()));
 }
 

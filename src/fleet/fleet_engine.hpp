@@ -60,6 +60,14 @@ struct FleetRoundStats {
   std::uint32_t phase1 = 0;     ///< participants whose entry was explored…
   std::uint32_t phase2 = 0;     ///< …under the canonical controller's phase
   std::uint32_t phase3 = 0;
+  // Fleet-scenario population fields.  Only folded into trace_hash when a
+  // scenario is attached, so scenario-free traces keep their historical
+  // hashes (fleet_golden_hash_test).
+  std::uint32_t active_clients = 0;   ///< clients present after churn
+  std::uint32_t departed = 0;         ///< left the fleet this round
+  std::uint32_t rejoined = 0;         ///< returned this round
+  std::uint32_t resets = 0;           ///< re-joins that lost their state
+  std::uint32_t battery_blocked = 0;  ///< selected but below the watermark
 
   [[nodiscard]] double energy_j() const { return 1e-6 * double(energy_uj); }
   [[nodiscard]] double mbo_energy_j() const {
@@ -96,6 +104,11 @@ struct FleetResult {
   [[nodiscard]] double total_energy_j() const;
   [[nodiscard]] double total_mbo_energy_j() const;
   [[nodiscard]] std::uint64_t total_participants() const;
+  // Scenario population totals (all zero for scenario-free runs).
+  [[nodiscard]] std::uint64_t total_departed() const;
+  [[nodiscard]] std::uint64_t total_rejoined() const;
+  [[nodiscard]] std::uint64_t total_resets() const;
+  [[nodiscard]] std::uint64_t total_battery_blocked() const;
   [[nodiscard]] double miss_rate() const;     ///< misses / participations
   [[nodiscard]] double timeout_rate() const;  ///< timed-out / participations
   /// SoA bytes per client — the flat-memory figure the bench reports.
@@ -103,6 +116,15 @@ struct FleetResult {
   /// Fraction of participations replaying an exploitation-phase entry.
   [[nodiscard]] double phase3_fraction() const;
 };
+
+/// The engine's trace hash, as a free function: FNV-1a over every round's
+/// integer fields in round order.  `scenario_fields` must match whether the
+/// producing engine ran with a scenario attached (scenario-free traces keep
+/// the historical field set so their golden hashes survive).  Exposed so
+/// the scenario harness can hash a stepped run's concatenated rounds and
+/// compare it against a single-shot run's FleetResult::trace_hash.
+[[nodiscard]] std::uint64_t fold_trace_hash(
+    const std::vector<FleetRoundStats>& rounds, bool scenario_fields);
 
 class FleetEngine {
  public:
@@ -115,7 +137,10 @@ class FleetEngine {
   FleetEngine& operator=(const FleetEngine&) = delete;
 
   /// Run config.rounds rounds.  Reentrant across calls: a second run()
-  /// continues the fleet from its current state (cursors advance).
+  /// continues the fleet from its current state — client cursors advance
+  /// AND the absolute round index keeps counting, so N stepped calls of
+  /// one round replay exactly the rounds of one N-round call (the
+  /// scenario harness samples per-round cluster state this way).
   [[nodiscard]] FleetResult run();
 
   [[nodiscard]] const FleetConfig& config() const { return config_; }
@@ -144,6 +169,14 @@ class FleetEngine {
     telemetry::Gauge* peak_rss = nullptr;
     telemetry::Histogram* queue_depth = nullptr;
     telemetry::Histogram* round_energy = nullptr;
+    // Fleet-scenario population metrics (registered only when a scenario
+    // is attached).
+    telemetry::Counter* departed = nullptr;
+    telemetry::Counter* rejoined = nullptr;
+    telemetry::Counter* state_resets = nullptr;
+    telemetry::Counter* battery_blocked = nullptr;
+    telemetry::Counter* task_switches = nullptr;
+    telemetry::Gauge* active_clients = nullptr;
   };
 
   [[nodiscard]] FleetRoundStats run_round(std::int64_t round,
@@ -161,6 +194,13 @@ class FleetEngine {
   std::vector<std::unique_ptr<ClusterEngine>> clusters_;
   std::vector<ClientShard> shards_;
   Telemetry tel_;
+  /// Absolute round cursor: the next round index run() will execute.
+  std::int64_t next_round_ = 0;
+  // Battery budget in the engine's integer units (0 when the scenario has
+  // no battery process).
+  std::uint64_t battery_capacity_uj_ = 0;
+  std::uint64_t battery_recharge_uj_ = 0;
+  std::uint64_t battery_watermark_uj_ = 0;
 };
 
 }  // namespace bofl::fleet

@@ -30,6 +30,24 @@ TEST(MboCost, DeviceDefaultsMatchFigure13) {
   EXPECT_LT(agx.energy(40, 8).value(), 80.0);
 }
 
+TEST(MboCost, FleetDeviceClassesAreCalibrated) {
+  // The fleet-scenario calibration points: the phone's weak SoC makes an
+  // MBO update slower than either Jetson but far cheaper in watts; the
+  // edge server turns updates around fastest at tens of watts.
+  const MboCostModel agx = mbo_cost_for_device("jetson-agx");
+  const MboCostModel phone = mbo_cost_for_device("pixel-phone");
+  const MboCostModel server = mbo_cost_for_device("edge-server");
+  EXPECT_GT(phone.latency(40, 8).value(), agx.latency(40, 8).value());
+  EXPECT_LT(server.latency(40, 8).value(), agx.latency(40, 8).value());
+  EXPECT_LT(phone.power_watts, agx.power_watts);
+  EXPECT_GT(server.power_watts, 10.0);
+  // Despite its power envelope the server's energy per update stays the
+  // same order as the Jetsons' — it finishes fast.
+  EXPECT_LT(server.energy(40, 8).value(), 4.0 * agx.energy(40, 8).value());
+  // And the phone's per-update energy is the cheapest in the fleet.
+  EXPECT_LT(phone.energy(40, 8).value(), agx.energy(40, 8).value());
+}
+
 TEST(MboCost, UnknownDeviceRejected) {
   EXPECT_THROW((void)mbo_cost_for_device("abacus"), std::invalid_argument);
 }

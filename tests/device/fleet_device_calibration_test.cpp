@@ -1,0 +1,143 @@
+// Calibration pins for the fleet-population device classes: the
+// phone-class and server-class models added for heterogeneous fleet
+// scenarios.  These bracket the Jetson testbeds from both sides — the
+// phone is the slowest, lowest-power member of the fleet and the server
+// the fastest, hungriest — and their energy-optimal operating points sit
+// in OPPOSITE corners of the DVFS space (race-to-idle never pays on a
+// ~1 W-idle handset, always pays on a 45 W-idle server).
+#include "device/device_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace bofl::device {
+namespace {
+
+/// Latency and energy of the energy-minimal flat config.
+struct EnergyOptimum {
+  double energy_j = std::numeric_limits<double>::infinity();
+  double latency_s = 0.0;
+};
+
+EnergyOptimum energy_optimum(const DeviceModel& model,
+                             const WorkloadProfile& profile) {
+  EnergyOptimum best;
+  for (std::size_t flat = 0; flat < model.space().size(); ++flat) {
+    const DvfsConfig config = model.space().from_flat(flat);
+    const double e = model.energy(profile, config).value();
+    if (e < best.energy_j) {
+      best.energy_j = e;
+      best.latency_s = model.latency(profile, config).value();
+    }
+  }
+  return best;
+}
+
+TEST(FleetDeviceCalibration, SpaceShapesMatchTheSpec) {
+  const DeviceModel phone = pixel_phone();
+  EXPECT_EQ(phone.name(), "pixel-phone");
+  EXPECT_EQ(phone.space().size(), 16U * 9U * 4U);
+  const DeviceModel server = edge_server();
+  EXPECT_EQ(server.name(), "edge-server");
+  EXPECT_EQ(server.space().size(), 16U * 12U * 4U);
+}
+
+TEST(FleetDeviceCalibration, SpeedOrderBracketsTheJetsons) {
+  // At x_max on every paper workload: server < agx < tx2 < phone latency.
+  const DeviceModel agx = jetson_agx();
+  const DeviceModel tx2 = jetson_tx2();
+  const DeviceModel phone = pixel_phone();
+  const DeviceModel server = edge_server();
+  for (const WorkloadProfile& p : paper_profiles()) {
+    const double t_agx = agx.latency(p, agx.space().max_config()).value();
+    const double t_tx2 = tx2.latency(p, tx2.space().max_config()).value();
+    const double t_phone =
+        phone.latency(p, phone.space().max_config()).value();
+    const double t_server =
+        server.latency(p, server.space().max_config()).value();
+    EXPECT_LT(t_server, t_agx) << p.name;
+    EXPECT_LT(t_agx, t_tx2) << p.name;
+    EXPECT_LT(t_tx2, t_phone) << p.name;
+  }
+}
+
+TEST(FleetDeviceCalibration, PhoneDrawsWattsServerDrawsTens) {
+  const DeviceModel phone = pixel_phone();
+  const DeviceModel server = edge_server();
+  const WorkloadProfile vit = vit_profile();
+  // Handset full-tilt power is single-digit watts; the server runs at
+  // tens of watts before its accelerator even spins up.
+  EXPECT_LT(
+      phone.average_power(vit, phone.space().max_config()).value(), 10.0);
+  EXPECT_GT(phone.average_power(vit, phone.space().max_config()).value(),
+            phone.spec().idle_power_watts);
+  EXPECT_GT(server.spec().idle_power_watts, 40.0);
+  EXPECT_GT(
+      server.average_power(vit, server.space().max_config()).value(), 45.0);
+}
+
+TEST(FleetDeviceCalibration, EnergyOptimaSitInOppositeCorners) {
+  // The race-to-idle split the class comments promise: the phone's
+  // energy-optimal config runs well below its top speed, the server's
+  // sits essentially at x_max.
+  const DeviceModel phone = pixel_phone();
+  const DeviceModel server = edge_server();
+  const WorkloadProfile vit = vit_profile();
+  const double phone_t_min =
+      phone.latency(vit, phone.space().max_config()).value();
+  const EnergyOptimum phone_best = energy_optimum(phone, vit);
+  EXPECT_GT(phone_best.latency_s, 1.5 * phone_t_min)
+      << "phone energy optimum should NOT be race-to-idle";
+
+  const double server_t_min =
+      server.latency(vit, server.space().max_config()).value();
+  const EnergyOptimum server_best = energy_optimum(server, vit);
+  EXPECT_LT(server_best.latency_s, 1.2 * server_t_min)
+      << "server energy optimum should be race-to-idle";
+}
+
+TEST(FleetDeviceCalibration, ConfigurationSpreadSupportsPaceControl) {
+  // Both classes keep the §1 headline spread: a bad config costs several
+  // times the optimum in both time and energy, so there is something for
+  // the controller to optimise on every fleet member.
+  for (const DeviceModel& model : {pixel_phone(), edge_server()}) {
+    const WorkloadProfile vit = vit_profile();
+    double t_min = std::numeric_limits<double>::infinity(), t_max = 0.0;
+    double e_min = std::numeric_limits<double>::infinity(), e_max = 0.0;
+    for (std::size_t flat = 0; flat < model.space().size(); ++flat) {
+      const DvfsConfig c = model.space().from_flat(flat);
+      t_min = std::min(t_min, model.latency(vit, c).value());
+      t_max = std::max(t_max, model.latency(vit, c).value());
+      e_min = std::min(e_min, model.energy(vit, c).value());
+      e_max = std::max(e_max, model.energy(vit, c).value());
+    }
+    EXPECT_GT(t_max / t_min, 3.0) << model.name();
+    EXPECT_GT(e_max / e_min, 1.5) << model.name();
+  }
+}
+
+TEST(FleetDeviceCalibration, LatencyMonotoneOnBothClasses) {
+  // The monotone-frequency axiom every other model obeys — the flat-table
+  // sweep and Eqn. 2's pessimism both lean on it.
+  for (const DeviceModel& model : {pixel_phone(), edge_server()}) {
+    const DvfsSpace& space = model.space();
+    const WorkloadProfile vit = vit_profile();
+    const DvfsConfig base{3, 2, 1};
+    for (std::size_t c = base.cpu + 1; c < space.cpu_table().size(); ++c) {
+      EXPECT_LE(model.latency(vit, {c, base.gpu, base.mem}).value(),
+                model.latency(vit, {c - 1, base.gpu, base.mem}).value() +
+                    1e-12)
+          << model.name();
+    }
+    for (std::size_t g = base.gpu + 1; g < space.gpu_table().size(); ++g) {
+      EXPECT_LE(model.latency(vit, {base.cpu, g, base.mem}).value(),
+                model.latency(vit, {base.cpu, g - 1, base.mem}).value() +
+                    1e-12)
+          << model.name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bofl::device

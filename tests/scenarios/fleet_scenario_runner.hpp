@@ -1,0 +1,119 @@
+// FleetPopulationRunner: run the sharded fleet engine under a
+// FleetScenario (churn / diurnal waves / task switches / battery budgets)
+// and collect everything the population-level invariants are judged on.
+//
+// The runner steps the engine ONE round at a time (the engine's absolute
+// round cursor makes N stepped calls replay one N-round call bit-for-bit)
+// and samples per-cluster state between rounds:
+//   * every trajectory entry's pessimistic Eqn. 2 verdict vs its outcome —
+//     the never-miss property: an entry that was pessimistically feasible
+//     before it ran must not miss its deadline;
+//   * the canonical controller's observed-front hypervolume against a
+//     fixed per-(cluster, generation) reference — monotone within a
+//     generation (a workload switch starts a new generation whose areas
+//     are not comparable to the old surface's);
+//   * the concatenated round trace, re-hashed with fleet::fold_trace_hash
+//     so a stepped run can be compared bit-for-bit against a single-shot
+//     run at any other shard x thread layout.
+//
+// Heterogeneity and round noise are pinned to zero: every participant
+// replays the canonical entry exactly, so the per-round miss counters are
+// the canonical verdicts aggregated — population properties reduce to
+// trajectory properties.
+//
+// Lives under tests/ because it links fleet + faults + pareto together;
+// the production libraries stay acyclic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/fleet_scenario.hpp"
+#include "fleet/fleet_engine.hpp"
+#include "priors/prior_policy.hpp"
+
+namespace bofl::priors {
+class KnowledgeStore;
+}
+
+namespace bofl::scenarios {
+
+struct FleetPopulationOptions {
+  std::size_t num_clients = 20'000;
+  std::int64_t rounds = 24;
+  double cohort_fraction = 0.01;
+  std::int64_t jobs_per_round = 60;
+  /// >= ~8 so clusters can reach exploitation (the PR 5 finding).
+  double deadline_ratio = 8.0;
+  std::uint64_t seed = 1;
+  std::size_t shards = 0;  ///< 0 = auto
+  std::size_t threads = 1;
+  /// Cluster mix: "agx-vit" (one cluster) or "edge-mix" (the bofl_fleet
+  /// four-cluster population).
+  std::string mix = "agx-vit";
+  /// When false, one run() call executes all rounds and only the final
+  /// cluster state is sampled — the cheap path for cross-layout
+  /// bit-identity checks (the trace hash is identical either way).
+  bool stepped = true;
+  /// Optional knowledge plane (non-owning; must outlive the run): churn
+  /// resets then re-admit through the store's cluster prior.
+  priors::KnowledgeStore* knowledge = nullptr;
+  priors::PriorPolicy prior_policy = priors::PriorPolicy::kCold;
+};
+
+/// Per-cluster state sampled after each stepped round.
+struct ClusterRoundSample {
+  std::int64_t round = 0;
+  std::size_t generation = 0;   ///< workload switches applied so far
+  std::size_t entries = 0;      ///< trajectory length after the round
+  double hypervolume = 0.0;     ///< observed front vs the generation's ref
+};
+
+struct FleetPopulationResult {
+  faults::FleetScenario scenario;
+  /// Concatenated per-round stats of the whole run; trace_hash is
+  /// re-folded over the concatenation (scenario fields included), so it
+  /// matches a single-shot engine's FleetResult::trace_hash for the same
+  /// config at ANY shard x thread layout.
+  fleet::FleetResult fleet;
+  /// [cluster][sample] in round order (one sample per round when stepped,
+  /// a single final sample otherwise).
+  std::vector<std::vector<ClusterRoundSample>> clusters;
+  /// Every never-miss violation observed while stepping (entry recorded
+  /// once, in the round its cluster generated it).  Empty = property held.
+  std::vector<std::string> feasible_misses;
+
+  /// "" when no pessimistically feasible trajectory entry missed its
+  /// deadline anywhere in the run; the first violation otherwise.
+  [[nodiscard]] std::string check_no_feasible_miss() const;
+  /// "" when every cluster's hypervolume is non-decreasing within each
+  /// generation; the first regression otherwise.
+  [[nodiscard]] std::string check_monotone_hypervolume() const;
+  /// Training + MBO energy of the whole run, in joules.
+  [[nodiscard]] double total_energy_j() const;
+  /// Energy per participation — the unit the regret bound is stated in.
+  [[nodiscard]] double energy_per_participation_j() const;
+};
+
+/// Run the fleet engine under `scenario`.  Deterministic in
+/// (scenario, opts); bit-identical trace for every shards/threads/stepped
+/// combination.
+[[nodiscard]] FleetPopulationResult run_fleet_population(
+    const faults::FleetScenario& scenario, const FleetPopulationOptions& opts);
+
+/// Same, with a named scenario (faults::make_fleet_scenario, seeded from
+/// opts.seed).
+[[nodiscard]] FleetPopulationResult run_named_fleet_population(
+    const std::string& name, const FleetPopulationOptions& opts);
+
+/// Bounded energy regret: the scenario run's energy per participation must
+/// not exceed `bound_factor` times the steady run's.  "" = holds, else a
+/// description.  (Total energy is the wrong unit — churn shrinks the
+/// population, diurnal swings the cohort; per-participation cost is what a
+/// population disturbance is allowed to inflate, by re-exploration.)
+[[nodiscard]] std::string check_energy_regret(
+    const FleetPopulationResult& run, const FleetPopulationResult& steady,
+    double bound_factor);
+
+}  // namespace bofl::scenarios

@@ -2,10 +2,11 @@
 //
 //   bofl_fleet [--clients N] [--rounds N] [--cohort F] [--jobs N]
 //              [--ratio R] [--seed S] [--controller bofl|performant|oracle]
-//              [--mix agx-vit|edge-mix] [--shards N] [--threads N]
+//              [--mix agx-vit|edge-mix|global-mix] [--shards N] [--threads N]
 //              [--simd avx2|scalar]
 //              [--het-cv CV] [--noise-cv CV] [--straggler-timeout K]
 //              [--faults PLAN.json | --scenario NAME]
+//              [--fleet-scenario SPEC.json|NAME] [--list-scenarios]
 //              [--priors off|save|load] [--priors-path PATH]
 //              [--prior-policy cold|verify|trust]
 //              [--json PATH] [--quiet]
@@ -30,6 +31,12 @@
 // With --prior-policy cold a loaded store is read-only and the run is
 // bit-identical to --priors off (the differential guarantee).
 //
+// Fleet-population scenarios (--fleet-scenario) drive churn, diurnal
+// cohort/deadline waves, mid-run workload switches and per-client battery
+// budgets — pass a SPEC.json (see README "Fleet scenarios") or a built-in
+// name (churn, diurnal, task-switch, battery-budget; --list-scenarios
+// prints all of them).
+//
 // A quick 100k-client example (see README "Fleet engine"):
 //
 //   bofl_fleet --clients 100000 --rounds 20 --cohort 0.01 --threads 8
@@ -41,6 +48,7 @@
 
 #include "common/flags.hpp"
 #include "faults/fault_plan.hpp"
+#include "faults/fleet_scenario.hpp"
 #include "faults/scenarios.hpp"
 #include "fleet/fleet_engine.hpp"
 #include "linalg/simd/dispatch.hpp"
@@ -58,10 +66,11 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--clients N] [--rounds N] [--cohort F] [--jobs N]\n"
       "          [--ratio R] [--seed S] [--controller bofl|performant|oracle]\n"
-      "          [--mix agx-vit|edge-mix] [--shards N] [--threads N]\n"
+      "          [--mix agx-vit|edge-mix|global-mix] [--shards N] [--threads N]\n"
       "          [--simd avx2|scalar]\n"
       "          [--het-cv CV] [--noise-cv CV] [--straggler-timeout K]\n"
       "          [--faults PLAN.json | --scenario NAME]\n"
+      "          [--fleet-scenario SPEC.json|NAME] [--list-scenarios]\n"
       "          [--priors off|save|load] [--priors-path PATH]\n"
       "          [--prior-policy cold|verify|trust]\n"
       "          [--json PATH] [--quiet]\n"
@@ -71,12 +80,33 @@ int usage(const char* argv0) {
   return 2;
 }
 
+// Catalog of every scenario this driver understands: the fault scenarios
+// behind --scenario (including hidden ones — operators debugging a fleet
+// need the full list) and the fleet-population scenarios behind
+// --fleet-scenario.
+int list_scenarios() {
+  std::printf("fault scenarios (--scenario NAME):\n");
+  for (const faults::ScenarioInfo& info : faults::all_scenarios()) {
+    std::printf("  %-18s %s%s\n", info.name.c_str(), info.description.c_str(),
+                info.hidden ? "  [hidden]" : "");
+  }
+  std::printf("\nfleet scenarios (--fleet-scenario NAME):\n");
+  for (const std::string& name : faults::fleet_scenario_names()) {
+    std::printf("  %-18s %s\n", name.c_str(),
+                faults::fleet_scenario_description(name));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const FlagParser flags(argc, argv);
   if (flags.has("help")) {
     return usage(argv[0]);
+  }
+  if (flags.get_bool("list-scenarios")) {
+    return list_scenarios();
   }
 
   // Resolve the kernel dispatch level before any numeric work; an
@@ -120,6 +150,8 @@ int main(int argc, char** argv) {
   // The population mix.  Models live here for the engine's lifetime.
   const device::DeviceModel agx = device::jetson_agx();
   const device::DeviceModel tx2 = device::jetson_tx2();
+  const device::DeviceModel phone = device::pixel_phone();
+  const device::DeviceModel server = device::edge_server();
   const std::string mix = flags.get("mix", "agx-vit");
   if (mix == "agx-vit") {
     config.clusters.push_back({&agx, device::vit_profile(), 1.0});
@@ -128,6 +160,14 @@ int main(int argc, char** argv) {
     config.clusters.push_back({&agx, device::resnet50_profile(), 0.20});
     config.clusters.push_back({&tx2, device::lstm_profile(), 0.25});
     config.clusters.push_back({&tx2, device::vit_profile(), 0.15});
+  } else if (mix == "global-mix") {
+    // The cross-tier population: phones dominate the count, edge boards
+    // carry the mid-tier, a thin server slice anchors the fast tail.
+    config.clusters.push_back({&phone, device::vit_profile(), 0.35});
+    config.clusters.push_back({&phone, device::lstm_profile(), 0.20});
+    config.clusters.push_back({&agx, device::vit_profile(), 0.20});
+    config.clusters.push_back({&tx2, device::lstm_profile(), 0.15});
+    config.clusters.push_back({&server, device::resnet50_profile(), 0.10});
   } else {
     std::fprintf(stderr, "unknown mix: %s\n", mix.c_str());
     return usage(argv[0]);
@@ -151,6 +191,33 @@ int main(int argc, char** argv) {
                            (1.0 + config.deadline_ratio) / 2.0;
     config.fault_plan =
         faults::make_scenario(scenario_name, config.seed ^ 0xFA17ULL, horizon);
+  }
+
+  // Fleet-population scenario: a SPEC.json path (anything with a path
+  // separator or .json suffix) or a built-in name.  A spec embedding its own
+  // fault list excludes --faults/--scenario (the engine refuses ambiguous
+  // double fault sources; catch it here for a clean message).
+  const std::string fleet_scenario_arg = flags.get("fleet-scenario", "");
+  if (!fleet_scenario_arg.empty()) {
+    const bool is_file =
+        fleet_scenario_arg.find('/') != std::string::npos ||
+        (fleet_scenario_arg.size() > 5 &&
+         fleet_scenario_arg.compare(fleet_scenario_arg.size() - 5, 5,
+                                    ".json") == 0);
+    if (is_file) {
+      config.scenario = faults::FleetScenario::from_json_file(
+          fleet_scenario_arg);
+    } else {
+      config.scenario =
+          faults::make_fleet_scenario(fleet_scenario_arg, config.seed);
+    }
+    if (!config.scenario->fault_plan.empty() &&
+        config.fault_plan.has_value()) {
+      std::fprintf(stderr,
+                   "--fleet-scenario spec embeds a fault list; drop "
+                   "--faults/--scenario\n");
+      return usage(argv[0]);
+    }
   }
 
   // Fleet knowledge plane.  The store outlives the engine (non-owning
@@ -199,16 +266,21 @@ int main(int argc, char** argv) {
             static_cast<int>(linalg::simd::active_level())));
   }
 
+  const std::string fleet_scenario_name =
+      config.scenario.has_value() ? config.scenario->name : "";
   std::printf(
       "fleet: %zu clients, %lld rounds, cohort %.3f, controller=%s, mix=%s,\n"
-      "       ratio=%.1f seed=%llu shards=%zu threads=%zu%s%s\n",
+      "       ratio=%.1f seed=%llu shards=%zu threads=%zu%s%s%s%s\n",
       config.num_clients, static_cast<long long>(config.rounds),
       config.cohort_fraction, controller_name.c_str(), mix.c_str(),
       config.deadline_ratio, static_cast<unsigned long long>(config.seed),
       config.shards, config.threads,
       config.fault_plan.has_value() ? " faults=" : "",
-      config.fault_plan.has_value() ? config.fault_plan->name.c_str() : "");
+      config.fault_plan.has_value() ? config.fault_plan->name.c_str() : "",
+      config.scenario.has_value() ? " fleet-scenario=" : "",
+      fleet_scenario_name.c_str());
 
+  const bool has_fleet_scenario = config.scenario.has_value();
   const auto t0 = std::chrono::steady_clock::now();
   fleet::FleetEngine engine(std::move(config));
   const fleet::FleetResult result = engine.run();
@@ -217,15 +289,29 @@ int main(int argc, char** argv) {
           .count();
 
   if (!flags.get_bool("quiet")) {
-    std::printf("%6s %9s %8s %8s %6s %6s %12s %10s %18s\n", "round", "cohort",
-                "dropped", "missed", "late", "strag", "energy[J]", "wall[s]",
-                "phase1/2/3");
-    for (const fleet::FleetRoundStats& round : result.rounds) {
-      std::printf("%6lld %9u %8u %8u %6u %6u %12.1f %10.2f %6u/%u/%u\n",
-                  static_cast<long long>(round.round + 1), round.participants,
-                  round.dropped, round.missed, round.timed_out,
-                  round.stragglers, round.energy_j(), round.wall_s(),
-                  round.phase1, round.phase2, round.phase3);
+    if (has_fleet_scenario) {
+      std::printf("%6s %9s %9s %6s %6s %8s %8s %12s %10s %18s\n", "round",
+                  "active", "cohort", "left", "back", "blocked", "missed",
+                  "energy[J]", "wall[s]", "phase1/2/3");
+      for (const fleet::FleetRoundStats& round : result.rounds) {
+        std::printf("%6lld %9u %9u %6u %6u %8u %8u %12.1f %10.2f %6u/%u/%u\n",
+                    static_cast<long long>(round.round + 1),
+                    round.active_clients, round.participants, round.departed,
+                    round.rejoined, round.battery_blocked, round.missed,
+                    round.energy_j(), round.wall_s(), round.phase1,
+                    round.phase2, round.phase3);
+      }
+    } else {
+      std::printf("%6s %9s %8s %8s %6s %6s %12s %10s %18s\n", "round",
+                  "cohort", "dropped", "missed", "late", "strag", "energy[J]",
+                  "wall[s]", "phase1/2/3");
+      for (const fleet::FleetRoundStats& round : result.rounds) {
+        std::printf("%6lld %9u %8u %8u %6u %6u %12.1f %10.2f %6u/%u/%u\n",
+                    static_cast<long long>(round.round + 1), round.participants,
+                    round.dropped, round.missed, round.timed_out,
+                    round.stragglers, round.energy_j(), round.wall_s(),
+                    round.phase1, round.phase2, round.phase3);
+      }
     }
   }
 
@@ -249,6 +335,16 @@ int main(int argc, char** argv) {
       priors::to_string(effective_policy), result.warm_clusters,
       static_cast<unsigned long long>(result.exploration_rounds),
       static_cast<unsigned long long>(result.trace_hash));
+  if (has_fleet_scenario) {
+    std::printf(
+        "scenario: %s — %llu departed, %llu rejoined, %llu state resets, "
+        "%llu battery-blocked\n",
+        fleet_scenario_name.c_str(),
+        static_cast<unsigned long long>(result.total_departed()),
+        static_cast<unsigned long long>(result.total_rejoined()),
+        static_cast<unsigned long long>(result.total_resets()),
+        static_cast<unsigned long long>(result.total_battery_blocked()));
+  }
 
   if (store.has_value() &&
       (priors_mode == "save" ||
@@ -284,6 +380,14 @@ int main(int argc, char** argv) {
         .set("simd_level", std::string(linalg::simd::to_string(
                                linalg::simd::active_level())))
         .set("wall_s", wall_s);
+    if (has_fleet_scenario) {
+      summary.set("fleet_scenario", fleet_scenario_name)
+          .set("departed", static_cast<double>(result.total_departed()))
+          .set("rejoined", static_cast<double>(result.total_rejoined()))
+          .set("state_resets", static_cast<double>(result.total_resets()))
+          .set("battery_blocked",
+               static_cast<double>(result.total_battery_blocked()));
+    }
     char hash_hex[17];
     std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
                   static_cast<unsigned long long>(result.trace_hash));

@@ -4,7 +4,7 @@
 //            [--controller bofl|performant|oracle|linear]
 //            [--ratio 2.0] [--rounds 100] [--seed 1] [--tau 5.0]
 //            [--spike-prob 0] [--spike-mag 3] [--thermal]
-//            [--faults PLAN.json | --scenario NAME]
+//            [--faults PLAN.json | --scenario NAME] [--list-scenarios]
 //            [--threads N] [--simd avx2|scalar] [--csv PATH] [--quiet]
 //            [--metrics-out PATH] [--metrics-summary]
 //
@@ -46,12 +46,24 @@ int usage(const char* argv0) {
       "          [--controller bofl|performant|oracle|linear]\n"
       "          [--ratio R] [--rounds N] [--seed S] [--tau SECONDS]\n"
       "          [--spike-prob P] [--spike-mag K] [--thermal]\n"
-      "          [--faults PLAN.json | --scenario NAME]\n"
+      "          [--faults PLAN.json | --scenario NAME] [--list-scenarios]\n"
       "          [--threads N] [--simd avx2|scalar] [--csv PATH]\n"
       "          [--save-state PATH] [--load-state PATH] [--quiet]\n"
       "          [--metrics-out PATH] [--metrics-summary]\n",
       argv0);
   return 2;
+}
+
+// The full --scenario catalog, hidden entries included — the hidden ones
+// exist for regression tests, but an operator reading a CI log needs to be
+// able to look them up.
+int list_scenarios() {
+  std::printf("fault scenarios (--scenario NAME):\n");
+  for (const faults::ScenarioInfo& info : faults::all_scenarios()) {
+    std::printf("  %-18s %s%s\n", info.name.c_str(), info.description.c_str(),
+                info.hidden ? "  [hidden]" : "");
+  }
+  return 0;
 }
 
 }  // namespace
@@ -60,6 +72,9 @@ int main(int argc, char** argv) {
   const FlagParser flags(argc, argv);
   if (flags.has("help")) {
     return usage(argv[0]);
+  }
+  if (flags.get_bool("list-scenarios")) {
+    return list_scenarios();
   }
 
   // Resolve the kernel dispatch level before any numeric work; an
