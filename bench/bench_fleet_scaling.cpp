@@ -11,9 +11,20 @@
 //      Each size re-runs re-sharded + parallel and compares trace hashes —
 //      the engine's bit-identity contract.
 //
+//   3. Cluster control-plane sweep: clusters x threads wall-time cells on a
+//      re-exploration workload (every cluster task-switches mid-run, so the
+//      per-round GP/EHVI/ILP control plane is the dominant cost), with the
+//      control-plane ms split out from the data-plane ms.  Each parallel
+//      cell's trace hash must match the serial-control-plane reference, and
+//      the serial reference is compared against the committed baseline under
+//      bench/baselines/ (target: >= 3x control-plane speedup at 8 threads on
+//      the 16-cluster workload).
+//
 //   bench_fleet_scaling [--threads N] [--rounds R] [--clients-list 16,64]
 //                       [--ratio 8.0] [--fleet-clients-list 1000,...]
 //                       [--fleet-rounds N] [--million]
+//                       [--cluster-list 4,16] [--cluster-rounds N]
+//                       [--cluster-clients N] [--baseline PATH]
 //
 // --threads caps the sweep's largest worker count (0 / absent = one worker
 // per hardware thread; the sweep always includes 1, 2, 4 when they fit).
@@ -26,15 +37,20 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/flags.hpp"
 #include "device/device_model.hpp"
+#include "faults/fleet_scenario.hpp"
 #include "figure_common.hpp"
 #include "fl/simulation.hpp"
 #include "fleet/fleet_engine.hpp"
 #include "runtime/thread_pool.hpp"
+#include "telemetry/json_reader.hpp"
 #include "telemetry/process.hpp"
 
 namespace {
@@ -86,6 +102,54 @@ fleet::FleetConfig fleet_config(std::size_t clients, std::int64_t rounds,
   config.shards = shards;
   config.threads = threads;
   return config;
+}
+
+/// Serial-control-plane ms/round for `clusters` from the committed baseline's
+/// cluster_sweep rows, or 0 when the baseline lacks that row.
+double baseline_serial_cp_ms(const telemetry::JsonNode& metrics,
+                             std::size_t clusters) {
+  const telemetry::JsonNode* rows = metrics.find("cluster_sweep");
+  if (rows == nullptr || rows->type != telemetry::JsonNode::Type::kArray) {
+    return 0.0;
+  }
+  for (const telemetry::JsonNode& row : rows->array) {
+    const telemetry::JsonNode* serial = row.find("serial");
+    if (telemetry::number_field(row, "clusters", -1.0) ==
+            static_cast<double>(clusters) &&
+        serial != nullptr && serial->boolean) {
+      return telemetry::number_field(row, "control_plane_ms_per_round", 0.0);
+    }
+  }
+  return 0.0;
+}
+
+/// Committed-baseline metrics, or nullopt (with a printed note) when the
+/// baseline is missing/unreadable — the sweep still runs, only the
+/// vs-baseline column is skipped.
+std::optional<telemetry::JsonNode> load_baseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::printf("  (baseline %s not found; vs-baseline column skipped)\n",
+                path.c_str());
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  telemetry::JsonNode root;
+  try {
+    root = telemetry::parse_json(buffer.str());
+  } catch (const std::exception& e) {
+    std::printf("  (baseline %s unreadable: %s; vs-baseline column skipped)\n",
+                path.c_str(), e.what());
+    return std::nullopt;
+  }
+  const telemetry::JsonNode* base = root.find("metrics");
+  if (base == nullptr) {
+    std::printf("  (baseline %s has no metrics; vs-baseline column skipped)\n",
+                path.c_str());
+    return std::nullopt;
+  }
+  return *base;
 }
 
 }  // namespace
@@ -227,6 +291,113 @@ int main(int argc, char** argv) {
     cells.push_back(std::move(cell));
   }
 
+  // --- Cluster control-plane sweep: clusters x threads on a re-exploration
+  // workload.  Every cell runs the task-switch scenario (all clusters forced
+  // back into exploration at round 10) over a 4-device-class mix, so
+  // per-round cost is dominated by the canonical controllers' GP/EHVI/ILP
+  // work — exactly what the parallel control plane fans out.  The serial
+  // reference (threads=1, --serial-control-plane semantics) anchors both the
+  // in-run speedup and the comparison against the committed baseline.
+  const auto cluster_rounds = flags.get_int("cluster-rounds", 12);
+  const std::size_t cluster_clients =
+      static_cast<std::size_t>(flags.get_int("cluster-clients", 20'000));
+  const std::vector<std::size_t> cluster_counts =
+      parse_list(flags.get("cluster-list", ""), {4, 16});
+  const std::string baseline_path =
+      flags.get("baseline",
+                "bench/baselines/BENCH_fleet_control_plane_baseline.json");
+
+  bench::print_header(
+      "Cluster control-plane sweep: clusters x threads (task-switch "
+      "re-exploration workload)",
+      "control-plane ms is the per-round serial section (extension + "
+      "needed-depth + fault flush); every parallel cell must reproduce the "
+      "serial trace hash");
+  const std::optional<telemetry::JsonNode> baseline =
+      load_baseline(baseline_path);
+
+  const device::DeviceModel phone = device::pixel_phone();
+  const device::DeviceModel edge = device::edge_server();
+  const std::vector<const device::DeviceModel*> sweep_devices{&agx, &tx2,
+                                                              &phone, &edge};
+  const std::vector<device::WorkloadProfile> sweep_profiles{
+      device::vit_profile(), device::lstm_profile(),
+      device::resnet50_profile()};
+
+  telemetry::JsonValue sweep_rows = telemetry::JsonValue::array();
+  for (const std::size_t nclusters : cluster_counts) {
+    const auto make_config = [&](std::size_t threads, bool serial_cp) {
+      fleet::FleetConfig config = fleet_config(
+          cluster_clients, cluster_rounds, ratio, 0, threads);
+      config.serial_control_plane = serial_cp;
+      config.scenario = faults::make_fleet_scenario("task-switch", 7);
+      for (std::size_t c = 0; c < nclusters; ++c) {
+        config.clusters.push_back({sweep_devices[c % sweep_devices.size()],
+                                   sweep_profiles[(c / sweep_devices.size()) %
+                                                  sweep_profiles.size()],
+                                   1.0});
+      }
+      return config;
+    };
+    const double base_cp_ms =
+        baseline.has_value() ? baseline_serial_cp_ms(*baseline, nclusters)
+                             : 0.0;
+
+    std::printf("\n%zu clusters, %zu clients, %lld rounds:\n", nclusters,
+                cluster_clients, static_cast<long long>(cluster_rounds));
+    std::printf("  %8s %8s %16s %14s %10s %12s\n", "threads", "mode",
+                "control [ms/rd]", "data [ms/rd]", "speedup", "vs baseline");
+
+    // Serial control-plane reference.
+    fleet::FleetEngine reference(make_config(1, true));
+    const fleet::FleetResult ref = reference.run();
+    const double rounds_d = static_cast<double>(cluster_rounds);
+    const double serial_cp = ref.control_plane_ms / rounds_d;
+    const double serial_dp = ref.data_plane_ms / rounds_d;
+    std::printf("  %8d %8s %16.2f %14.2f %10s %11.2fx\n", 1, "serial",
+                serial_cp, serial_dp, "--",
+                base_cp_ms > 0.0 ? base_cp_ms / serial_cp : 0.0);
+    {
+      telemetry::JsonValue row = telemetry::JsonValue::object();
+      row.set("clusters", nclusters)
+          .set("threads", std::size_t{1})
+          .set("serial", true)
+          .set("control_plane_ms_per_round", serial_cp)
+          .set("data_plane_ms_per_round", serial_dp)
+          .set("deterministic", true);
+      if (base_cp_ms > 0.0) {
+        row.set("speedup_vs_baseline", base_cp_ms / serial_cp);
+      }
+      sweep_rows.push_back(std::move(row));
+    }
+
+    for (const std::size_t threads : thread_counts) {
+      fleet::FleetEngine engine(make_config(threads, false));
+      const fleet::FleetResult result = engine.run();
+      const bool same = result.trace_hash == ref.trace_hash;
+      deterministic = deterministic && same;
+      const double cp = result.control_plane_ms / rounds_d;
+      const double dp = result.data_plane_ms / rounds_d;
+      const double speedup = cp > 0.0 ? serial_cp / cp : 0.0;
+      std::printf("  %8zu %8s %16.2f %14.2f %9.2fx %11.2fx%s\n", threads,
+                  "parallel", cp, dp, speedup,
+                  base_cp_ms > 0.0 ? base_cp_ms / cp : 0.0,
+                  same ? "" : "  [MISMATCH vs serial control plane]");
+      telemetry::JsonValue row = telemetry::JsonValue::object();
+      row.set("clusters", nclusters)
+          .set("threads", threads)
+          .set("serial", false)
+          .set("control_plane_ms_per_round", cp)
+          .set("data_plane_ms_per_round", dp)
+          .set("speedup_vs_serial", speedup)
+          .set("deterministic", same);
+      if (base_cp_ms > 0.0) {
+        row.set("speedup_vs_baseline", base_cp_ms / cp);
+      }
+      sweep_rows.push_back(std::move(row));
+    }
+  }
+
   std::printf("\ndeterminism across thread counts: %s\n",
               deterministic ? "ok (bit-identical)" : "VIOLATED");
   telemetry::JsonValue metrics = telemetry::JsonValue::object();
@@ -244,6 +415,9 @@ int main(int argc, char** argv) {
       .set("fleet_rounds", fleet_rounds)
       .set("deadline_ratio", ratio)
       .set("fleet", std::move(fleet_section))
+      .set("cluster_rounds", cluster_rounds)
+      .set("cluster_clients", cluster_clients)
+      .set("cluster_sweep", std::move(sweep_rows))
       .set("deterministic", deterministic)
       .set("cells", std::move(cells));
   bench::write_bench_json("fleet_scaling", std::move(metrics));

@@ -104,6 +104,16 @@ void ClusterEngine::init_controller() {
   if (channel_ != nullptr) {
     controller_->install_fault_model(channel_.get());
   }
+  if (pool_ != nullptr) {
+    controller_->set_parallel_pool(pool_);
+  }
+}
+
+void ClusterEngine::set_parallel_pool(runtime::ThreadPool* pool) {
+  pool_ = pool;
+  if (controller_ != nullptr) {
+    controller_->set_parallel_pool(pool);
+  }
 }
 
 void ClusterEngine::rebuild_true_front() {
@@ -189,13 +199,22 @@ ClusterEngine::RoundEntry ClusterEngine::bofl_entry(
   entry.mbo_energy_uj = to_microjoules(trace.mbo_energy);
   entry.phase = trace.phase;
   if (channel_ != nullptr) {
-    // Extension runs serially from the round loop, so the canonical
-    // device's fault episodes land in the telemetry stream in entry order.
-    for (const faults::FaultEvent& event : channel_->drain_events(spec.index)) {
-      faults::emit_fault_event(event);
+    // Extension may run on a pool worker; buffer the canonical device's
+    // fault episodes (in entry order) instead of emitting inline.  The
+    // engine flushes per cluster, in cluster-index order, after the
+    // extension fan-out — the same stream order serial extension produced.
+    for (faults::FaultEvent& event : channel_->drain_events(spec.index)) {
+      pending_fault_events_.push_back(std::move(event));
     }
   }
   return entry;
+}
+
+void ClusterEngine::flush_fault_events() {
+  for (const faults::FaultEvent& event : pending_fault_events_) {
+    faults::emit_fault_event(event);
+  }
+  pending_fault_events_.clear();
 }
 
 ClusterEngine::RoundEntry ClusterEngine::reference_entry(
@@ -229,28 +248,46 @@ ClusterEngine::RoundEntry ClusterEngine::reference_entry(
   return entry;
 }
 
-void ClusterEngine::publish_to(priors::KnowledgeStore& store) const {
+ClusterEngine::PublishBatch ClusterEngine::prepare_publish() const {
+  PublishBatch batch;
   if (kind_ != FleetControllerKind::kBofl || controller_ == nullptr) {
-    return;
+    return batch;
   }
-  const priors::ClusterKey key = priors::ClusterKey::of(*model_, profile_);
+  batch.key = priors::ClusterKey::of(*model_, profile_);
   switch (controller_->prior_state()) {
     case core::BoflController::PriorState::kVerified:
     case core::BoflController::PriorState::kAdopted:
-      store.record_outcome(key, true);
+      batch.has_outcome = true;
+      batch.confirmed = true;
       break;
     case core::BoflController::PriorState::kDemoted:
-      store.record_outcome(key, false);
+      batch.has_outcome = true;
+      batch.confirmed = false;
       break;
     case core::BoflController::PriorState::kNone:
     case core::BoflController::PriorState::kVerifying:
       break;
   }
   if (controller_->phase() == core::Phase::kExploitation) {
-    store.contribute(
-        key, priors::distill(*controller_,
-                             static_cast<std::int64_t>(trajectory_.size())));
+    batch.has_snapshot = true;
+    batch.snapshot = priors::distill(
+        *controller_, static_cast<std::int64_t>(trajectory_.size()));
   }
+  return batch;
+}
+
+void ClusterEngine::apply_publish(priors::KnowledgeStore& store,
+                                  const PublishBatch& batch) {
+  if (batch.has_outcome) {
+    store.record_outcome(batch.key, batch.confirmed);
+  }
+  if (batch.has_snapshot) {
+    store.contribute(batch.key, batch.snapshot);
+  }
+}
+
+void ClusterEngine::publish_to(priors::KnowledgeStore& store) const {
+  apply_publish(store, prepare_publish());
 }
 
 std::vector<std::size_t> ClusterEngine::pareto_flat_ids() const {

@@ -35,9 +35,15 @@
 #include "faults/fault_injector.hpp"
 #include "fleet/fleet_config.hpp"
 #include "ilp/schedule_cache.hpp"
+#include "priors/cluster_key.hpp"
+#include "priors/snapshot.hpp"
 
 namespace bofl::priors {
 class KnowledgeStore;
+}
+
+namespace bofl::runtime {
+class ThreadPool;
 }
 
 namespace bofl::fleet {
@@ -78,9 +84,27 @@ class ClusterEngine {
   /// drawn deadline by `deadline_factor` (diurnal pressure; 1 = neutral).
   /// The underlying uniform draw stays strictly sequential in the entry
   /// index, so lazy extension reproduces the eager schedule for every
-  /// factor sequence.  Serial only (the engine calls this from the round
-  /// loop before the shard fan-out).
+  /// factor sequence.  Distinct clusters may extend concurrently (each owns
+  /// its controller, RNG streams and fault channel; the shared
+  /// ScheduleCache is striped and bit-stable under races) — but the SAME
+  /// cluster must never be extended from two threads.  Fault episodes raised
+  /// during extension are buffered; the engine drains them in cluster-index
+  /// order via flush_fault_events() so the telemetry stream stays canonical
+  /// regardless of extension order.
   void extend_to(std::size_t entries, double deadline_factor = 1.0);
+
+  /// Emit the fault episodes buffered since the last flush, in the entry
+  /// order they occurred.  Serial only: the engine calls this in
+  /// cluster-index order after each round's extension fan-out, reproducing
+  /// the byte stream serial extension used to emit inline.
+  void flush_fault_events();
+
+  /// Hand the canonical controller a pool for its GP/EHVI inner loops.
+  /// Survives switch_workload (re-applied when the controller is rebuilt).
+  /// When control-plane extension itself runs on pool workers,
+  /// parallel_for_each detects re-entry and runs those inner loops inline —
+  /// same bits either way.
+  void set_parallel_pool(runtime::ThreadPool* pool);
 
   /// Non-stationary workload switch: from this round on, the cluster
   /// trains `profile`.  Rebuilds the cost surface, REPLACES the canonical
@@ -147,10 +171,30 @@ class ClusterEngine {
     return controller_.get();
   }
 
-  /// Publish this cluster's knowledge back to the store (kBofl only):
+  /// Everything a cluster wants to tell the knowledge store at end of run:
   /// outcome feedback for the confidence score, plus a distilled snapshot
-  /// when the canonical controller reached exploitation.  The engine calls
-  /// this in cluster-index order after the round loop.
+  /// when the canonical controller reached exploitation.  Building the
+  /// snapshot (GP posterior slices, front distillation) is the expensive
+  /// part and is side-effect-free, so batches for distinct clusters are
+  /// prepared in parallel; the store itself is only touched when the engine
+  /// applies the batches serially in cluster-index order, keeping the
+  /// warm-store bytes layout-invariant.
+  struct PublishBatch {
+    priors::ClusterKey key{};
+    bool has_outcome = false;
+    bool confirmed = false;
+    bool has_snapshot = false;
+    priors::PriorSnapshot snapshot{};
+  };
+  /// Const and store-free: safe to call concurrently across clusters.
+  [[nodiscard]] PublishBatch prepare_publish() const;
+  /// Apply a prepared batch to `store`.  Serial only, cluster-index order.
+  static void apply_publish(priors::KnowledgeStore& store,
+                            const PublishBatch& batch);
+
+  /// prepare_publish + apply_publish in one step (kBofl only; no-op
+  /// otherwise).  The engine's serial escape hatch uses this in
+  /// cluster-index order after the round loop.
   void publish_to(priors::KnowledgeStore& store) const;
 
  private:
@@ -183,6 +227,13 @@ class ClusterEngine {
   /// The options the live controller was built with (after tau
   /// auto-scaling) — inputs to the per-entry Eqn. 2 feasibility check.
   core::BoflOptions effective_options_{};
+  /// Fault episodes raised while extending, awaiting the engine's ordered
+  /// flush.  Only the extending thread appends; only the (serial) flush
+  /// drains — never both at once.
+  std::vector<faults::FaultEvent> pending_fault_events_;
+  /// Pool handed to the canonical controller's inner loops; survives
+  /// workload switches (init_controller re-applies it).
+  runtime::ThreadPool* pool_ = nullptr;
   std::vector<RoundEntry> trajectory_;
   std::size_t exploration_entries_ = 0;
   std::size_t generation_ = 0;

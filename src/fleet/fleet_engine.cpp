@@ -1,6 +1,7 @@
 #include "fleet/fleet_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -296,6 +297,7 @@ FleetEngine::FleetEngine(FleetConfig config) : config_(std::move(config)) {
     tel_.queue_depth = &reg->histogram(
         "fleet.event_queue_depth", telemetry::exponential_buckets(1.0, 2.0, 24));
     tel_.round_energy = &reg->histogram("fleet.round_energy_j");
+    tel_.control_plane_ms = &reg->histogram("fleet.control_plane_ms");
     if (scenario != nullptr) {
       tel_.departed = &reg->counter("fleet.departed");
       tel_.rejoined = &reg->counter("fleet.rejoined");
@@ -322,6 +324,15 @@ std::uint64_t FleetEngine::soa_bytes() const {
 
 FleetResult FleetEngine::run() {
   runtime::ThreadPool pool(config_.threads);
+  // Hand the pool to every canonical controller for the duration of this
+  // call (it is stack-local): GP/EHVI inner loops fan out when extension
+  // runs on the round-loop thread, and run inline (parallel_for_each's
+  // re-entry guard) when extension itself runs on a worker.
+  for (const std::unique_ptr<ClusterEngine>& cluster : clusters_) {
+    cluster->set_parallel_pool(&pool);
+  }
+  const double cp_ms_start = control_plane_ms_total_;
+  const double dp_ms_start = data_plane_ms_total_;
   FleetResult result;
   result.num_clients = config_.num_clients;
   result.num_shards = shards_.size();
@@ -340,21 +351,47 @@ FleetResult FleetEngine::run() {
     }
   }
   result.trace_hash = hash;
-  // Knowledge-plane bookkeeping and publish-back, in cluster-index order so
-  // the store's merged content is shard/thread-layout invariant.  Derived
+  // Knowledge-plane bookkeeping and publish-back.  Distilling a snapshot
+  // walks the canonical controller's GP posterior — expensive — so batches
+  // are PREPARED in parallel across clusters; the store itself only sees
+  // the serial apply loop below, in cluster-index order, so its merged
+  // content (and saved bytes) stays shard/thread-layout invariant.  Derived
   // from the canonical trajectories, so (like max_queue_depth) these fields
   // are observability — deliberately NOT folded into trace_hash.
-  for (const std::unique_ptr<ClusterEngine>& cluster : clusters_) {
+  const auto publish_start = std::chrono::steady_clock::now();
+  const bool publishing = config_.knowledge != nullptr &&
+                          config_.prior_policy != priors::PriorPolicy::kCold;
+  std::vector<ClusterEngine::PublishBatch> batches;
+  if (publishing && !config_.serial_control_plane) {
+    batches.resize(clusters_.size());
+    runtime::parallel_for_each(&pool, clusters_.size(), [&](std::size_t c) {
+      batches[c] = clusters_[c]->prepare_publish();
+    });
+  }
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    const ClusterEngine& cluster = *clusters_[c];
     result.exploration_rounds +=
-        static_cast<std::uint64_t>(cluster->exploration_entries());
-    if (cluster->applied_policy() != priors::PriorPolicy::kCold) {
+        static_cast<std::uint64_t>(cluster.exploration_entries());
+    if (cluster.applied_policy() != priors::PriorPolicy::kCold) {
       ++result.warm_clusters;
     }
-    if (config_.knowledge != nullptr &&
-        config_.prior_policy != priors::PriorPolicy::kCold) {
-      cluster->publish_to(*config_.knowledge);
+    if (publishing) {
+      if (batches.empty()) {
+        cluster.publish_to(*config_.knowledge);
+      } else {
+        ClusterEngine::apply_publish(*config_.knowledge, batches[c]);
+      }
     }
   }
+  control_plane_ms_total_ +=
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - publish_start)
+          .count();
+  for (const std::unique_ptr<ClusterEngine>& cluster : clusters_) {
+    cluster->set_parallel_pool(nullptr);
+  }
+  result.control_plane_ms = control_plane_ms_total_ - cp_ms_start;
+  result.data_plane_ms = data_plane_ms_total_ - dp_ms_start;
   result.soa_bytes = soa_bytes();
   result.peak_rss_bytes = telemetry::peak_rss_bytes();
   for (const ClientShard& shard : shards_) {
@@ -369,6 +406,7 @@ FleetResult FleetEngine::run() {
 
 FleetRoundStats FleetEngine::run_round(std::int64_t round,
                                        runtime::ThreadPool* pool) {
+  const auto round_start = std::chrono::steady_clock::now();
   const faults::FaultInjector* injector =
       injector_.has_value() ? &*injector_ : nullptr;
   const bool fl_faults =
@@ -466,11 +504,17 @@ FleetRoundStats FleetEngine::run_round(std::int64_t round,
     }
   });
 
-  // Serial: apply this round's workload switches BEFORE extension (a
+  // Control plane: apply this round's workload switches BEFORE extension (a
   // switch at round r changes every entry generated from round r on), then
-  // extend canonical trajectories in cluster order under the diurnal
-  // deadline factor, then draw the round's deadline jitter (one fleet-wide
-  // factor, as in fl::Simulation).
+  // extend canonical trajectories under the diurnal deadline factor, then
+  // draw the round's deadline jitter (one fleet-wide factor, as in
+  // fl::Simulation).  Extension fans out over the pool — clusters are
+  // independent (own controller, RNG streams, fault channel; the shared
+  // ScheduleCache is striped and bit-stable under races) — unless
+  // serial_control_plane pins it to this thread.  Either way the fault
+  // events buffered during extension flush serially in cluster-index order,
+  // so the telemetry stream is identical in both modes.
+  const auto control_start = std::chrono::steady_clock::now();
   if (scenario != nullptr) {
     for (const faults::TaskSwitchSpec& ts : scenario->task_switches) {
       if (ts.round != round) {
@@ -488,12 +532,38 @@ FleetRoundStats FleetEngine::run_round(std::int64_t round,
       }
     }
   }
-  for (std::size_t c = 0; c < clusters_.size(); ++c) {
-    std::uint32_t needed = 0;
-    for (const ClientShard& shard : shards_) {
-      needed = std::max(needed, shard.needed_entries[c]);
+  // Needed-depth reduction: fold the shards' per-cluster maxima with one
+  // parallel pass over clusters (each index reads all shards, writes only
+  // its own cell) instead of the old O(clusters x shards) serial loop.
+  needed_depth_.assign(clusters_.size(), 0);
+  runtime::parallel_for_each(
+      config_.serial_control_plane ? nullptr : pool, clusters_.size(),
+      [&](std::size_t c) {
+        std::uint32_t needed = 0;
+        for (const ClientShard& shard : shards_) {
+          needed = std::max(needed, shard.needed_entries[c]);
+        }
+        needed_depth_[c] = needed;
+      });
+  if (config_.serial_control_plane) {
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+      clusters_[c]->extend_to(needed_depth_[c], deadline_factor);
     }
-    clusters_[c]->extend_to(needed, deadline_factor);
+  } else {
+    runtime::parallel_for_each(pool, clusters_.size(), [&](std::size_t c) {
+      clusters_[c]->extend_to(needed_depth_[c], deadline_factor);
+    });
+  }
+  for (const std::unique_ptr<ClusterEngine>& cluster : clusters_) {
+    cluster->flush_fault_events();
+  }
+  const double control_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() -
+                                control_start)
+                                .count();
+  control_plane_ms_total_ += control_ms;
+  if (tel_.control_plane_ms != nullptr) {
+    tel_.control_plane_ms->observe(control_ms);
   }
   double deadline_jitter = 1.0;
   if (fl_faults) {
@@ -649,6 +719,11 @@ FleetRoundStats FleetEngine::run_round(std::int64_t round,
   out.rejoined = merged.rejoined;
   out.resets = merged.resets;
   out.battery_blocked = merged.battery_blocked;
+  data_plane_ms_total_ +=
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - round_start)
+          .count() -
+      control_ms;
   return out;
 }
 

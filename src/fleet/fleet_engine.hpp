@@ -96,6 +96,13 @@ struct FleetResult {
   /// many clusters started from an admitted prior.
   std::uint64_t exploration_rounds = 0;
   std::uint32_t warm_clusters = 0;
+  /// Wall-time split of this run() call: the cluster control plane (task
+  /// switches, needed-depth reduction, trajectory extension, fault-event
+  /// flush, end-of-run prior distillation) vs everything else (the shard
+  /// data plane + merges).  Timing is observability — host-dependent, so
+  /// (like max_queue_depth) NOT in trace_hash and not part of equality.
+  double control_plane_ms = 0.0;
+  double data_plane_ms = 0.0;
   std::size_t num_clients = 0;
   std::size_t num_shards = 0;
   std::size_t num_clusters = 0;
@@ -169,6 +176,7 @@ class FleetEngine {
     telemetry::Gauge* peak_rss = nullptr;
     telemetry::Histogram* queue_depth = nullptr;
     telemetry::Histogram* round_energy = nullptr;
+    telemetry::Histogram* control_plane_ms = nullptr;
     // Fleet-scenario population metrics (registered only when a scenario
     // is attached).
     telemetry::Counter* departed = nullptr;
@@ -196,6 +204,14 @@ class FleetEngine {
   Telemetry tel_;
   /// Absolute round cursor: the next round index run() will execute.
   std::int64_t next_round_ = 0;
+  /// Per-cluster needed trajectory depth for the upcoming round, folded
+  /// from the shards' per-cluster maxima (scratch, sized to clusters_).
+  std::vector<std::uint32_t> needed_depth_;
+  /// Lifetime wall-time accumulators behind FleetResult's split: run()
+  /// snapshots them on entry and reports the deltas, so stepped runs
+  /// attribute time to the call that spent it.
+  double control_plane_ms_total_ = 0.0;
+  double data_plane_ms_total_ = 0.0;
   // Battery budget in the engine's integer units (0 when the scenario has
   // no battery process).
   std::uint64_t battery_capacity_uj_ = 0;

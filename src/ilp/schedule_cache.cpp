@@ -85,6 +85,37 @@ Schedule ScheduleCache::solve(const std::vector<ConfigProfile>& profiles,
   return schedule;
 }
 
+std::unique_lock<std::mutex> ScheduleCache::lock_stripe(Stripe& stripe) {
+  std::unique_lock<std::mutex> lock(stripe.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    stripe.waits.fetch_add(1, std::memory_order_relaxed);
+    count("ilp.cache_stripe_waits");
+    lock.lock();
+  }
+  return lock;
+}
+
+bool ScheduleCache::wipe_if_full() {
+  // Take every stripe lock in index order (deadlock-free: this is the only
+  // multi-stripe path), then re-check capacity — a concurrent wipe may have
+  // already emptied the table between the caller's check and here.
+  std::array<std::unique_lock<std::mutex>, kStripeCount> locks;
+  for (std::size_t s = 0; s < kStripeCount; ++s) {
+    locks[s] = lock_stripe(stripes_[s]);
+  }
+  if (total_entries_.load(std::memory_order_relaxed) < options_.max_entries) {
+    return false;
+  }
+  for (Stripe& stripe : stripes_) {
+    stripe.entries.clear();
+    stripe.count.store(0, std::memory_order_relaxed);
+  }
+  total_entries_.store(0, std::memory_order_relaxed);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  count("ilp.cache_evictions");
+  return true;
+}
+
 Schedule ScheduleCache::solve_pruned(const std::vector<ConfigProfile>& pruned,
                                      std::int64_t num_jobs,
                                      double deadline_seconds,
@@ -96,44 +127,53 @@ Schedule ScheduleCache::solve_pruned(const std::vector<ConfigProfile>& pruned,
                                        options);
   }
   const Key key = make_key(pruned, num_jobs, deadline_seconds, options);
+  Stripe& stripe = stripe_for(key);
 
   IlpOptions tuned = options;
   bool warm_started = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      ++stats_.hits;
+    std::unique_lock<std::mutex> lock = lock_stripe(stripe);
+    auto it = stripe.entries.find(key);
+    if (it != stripe.entries.end()) {
+      stripe.hits.fetch_add(1, std::memory_order_relaxed);
       count("ilp.cache_hit");
       return it->second;
     }
-    ++stats_.misses;
-    if (options_.warm_start_resolves && last_num_jobs_ == num_jobs &&
-        last_counts_.size() == pruned.size()) {
+  }
+  stripe.misses.fetch_add(1, std::memory_order_relaxed);
+  count("ilp.cache_miss");
+  if (options_.warm_start_resolves) {
+    std::lock_guard<std::mutex> warm_lock(warm_mutex_);
+    if (last_num_jobs_ == num_jobs && last_counts_.size() == pruned.size()) {
       tuned.warm_start = last_counts_;  // validated inside solve_ilp
       warm_started = true;
-      ++stats_.warm_starts;
+      warm_starts_.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  count("ilp.cache_miss");
   if (warm_started) {
     count("ilp.cache_warm_start");
   }
 
-  // Solve outside the lock: distinct round problems from different client
-  // threads proceed in parallel.  A same-key race costs one duplicate solve
-  // of a deterministic problem — both threads store identical bits.
+  // Solve outside any lock: distinct round problems from different threads
+  // proceed in parallel.  A same-key race costs one duplicate solve of a
+  // deterministic problem — both threads store identical bits.
   const Schedule schedule =
       solve_round_schedule_pruned(pruned, num_jobs, deadline_seconds, tuned);
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (entries_.size() >= options_.max_entries) {
-    entries_.clear();
-    ++stats_.evictions;
-    count("ilp.cache_evictions");
+  if (total_entries_.load(std::memory_order_relaxed) >= options_.max_entries) {
+    wipe_if_full();
   }
-  entries_.emplace(key, schedule);
+  {
+    std::unique_lock<std::mutex> lock = lock_stripe(stripe);
+    auto [it, inserted] = stripe.entries.emplace(key, schedule);
+    (void)it;
+    if (inserted) {
+      stripe.count.fetch_add(1, std::memory_order_relaxed);
+      total_entries_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   if (options_.warm_start_resolves && schedule.feasible) {
+    std::lock_guard<std::mutex> warm_lock(warm_mutex_);
     last_counts_.assign(pruned.size(), 0);
     for (const auto& [index, jobs] : schedule.assignments) {
       last_counts_[index] = jobs;
@@ -144,18 +184,36 @@ Schedule ScheduleCache::solve_pruned(const std::vector<ConfigProfile>& pruned,
 }
 
 ScheduleCache::Stats ScheduleCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats stats;
+  for (const Stripe& stripe : stripes_) {
+    stats.hits += stripe.hits.load(std::memory_order_relaxed);
+    stats.misses += stripe.misses.load(std::memory_order_relaxed);
+    stats.stripe_waits += stripe.waits.load(std::memory_order_relaxed);
+  }
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.warm_starts = warm_starts_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 std::size_t ScheduleCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
+  std::size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    total += stripe.count.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 void ScheduleCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  entries_.clear();
+  std::array<std::unique_lock<std::mutex>, kStripeCount> locks;
+  for (std::size_t s = 0; s < kStripeCount; ++s) {
+    locks[s] = lock_stripe(stripes_[s]);
+  }
+  for (Stripe& stripe : stripes_) {
+    stripe.entries.clear();
+    stripe.count.store(0, std::memory_order_relaxed);
+  }
+  total_entries_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> warm_lock(warm_mutex_);
   last_counts_.clear();
   last_num_jobs_ = -1;
 }

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "linalg/cholesky.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace bofl::gp {
 namespace {
@@ -91,6 +93,36 @@ TEST(Kernel, CrossCovarianceMatchesPointwise) {
   ASSERT_EQ(cross.size(), 3u);
   for (std::size_t i = 0; i < 3; ++i) {
     EXPECT_DOUBLE_EQ(cross[i], k(x, points[i]));
+  }
+}
+
+TEST(Kernel, GramFromAPoolWorkerIsBitwiseEqualToSerial) {
+  // The fleet control plane extends clusters ON pool workers, and each
+  // cluster's GP fit may hand that same pool to gram().  The row fan-out
+  // must detect the worker thread and run inline (never re-enter the pool)
+  // and the result must stay bitwise equal to the serial product.  Use
+  // enough points to cross gram()'s internal parallel threshold.
+  Rng rng(42);
+  const Kernel k(KernelFamily::kMatern52, 1.2, {0.4, 0.4, 0.4});
+  std::vector<linalg::Vector> points;
+  for (int i = 0; i < 64; ++i) {
+    points.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  }
+
+  const linalg::Matrix serial = k.gram(points);
+  runtime::ThreadPool pool(4);
+  const linalg::Matrix parallel = k.gram(points, &pool);
+  linalg::Matrix from_worker = pool.submit([&]() {
+    EXPECT_TRUE(pool.on_worker_thread());
+    return k.gram(points, &pool);  // must run the row loop inline
+  }).get();
+
+  ASSERT_EQ(serial.rows(), points.size());
+  for (std::size_t i = 0; i < serial.rows(); ++i) {
+    for (std::size_t j = 0; j < serial.cols(); ++j) {
+      EXPECT_EQ(serial(i, j), parallel(i, j)) << i << "," << j;
+      EXPECT_EQ(serial(i, j), from_worker(i, j)) << i << "," << j;
+    }
   }
 }
 

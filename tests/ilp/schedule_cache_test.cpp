@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -182,6 +185,79 @@ TEST(ScheduleCache, WarmStartResolvesIsOptInAndCounted) {
   const Schedule cold = solve_round_schedule_pruned(profiles, 10, 90.0);
   EXPECT_NEAR(b.total_energy, cold.total_energy,
               1e-4 * cold.total_energy + 1e-12);
+}
+
+TEST(ScheduleCache, ConcurrentSolvesAcrossStripesStayBitIdentical) {
+  // The striped-lock contract: many threads hammering a mix of keys (hits,
+  // racing cold misses, capacity wipes excluded — large max_entries) must
+  // each observe exactly what a fresh uncached solve produces, and the
+  // lock-free stats must reconcile with the call count afterwards.
+  Rng rng(77);
+  struct Problem {
+    std::vector<ConfigProfile> profiles;
+    std::int64_t jobs = 0;
+    double deadline = 0.0;
+    Schedule expected;
+  };
+  std::vector<Problem> problems;
+  for (int p = 0; p < 24; ++p) {
+    Problem problem;
+    problem.profiles = random_profiles(rng, 2 + static_cast<std::size_t>(p % 5));
+    problem.jobs = 1 + p * 3;
+    problem.deadline = 10.0 + rng.uniform() * 40.0;
+    problem.expected =
+        solve_round_schedule(problem.profiles, problem.jobs, problem.deadline);
+    problems.push_back(std::move(problem));
+  }
+
+  ScheduleCache cache;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIterations = 6;
+  // gtest assertions are not thread-safe, so workers only record results;
+  // all comparisons happen on the main thread after the join.
+  std::vector<std::vector<Schedule>> results(
+      kThreads, std::vector<Schedule>(problems.size()));
+  std::atomic<bool> stop_reader{false};
+  std::thread reader([&]() {  // stats()/size() are lock-free by contract
+    while (!stop_reader.load(std::memory_order_relaxed)) {
+      const ScheduleCache::Stats snapshot = cache.stats();
+      (void)snapshot;
+      (void)cache.size();
+    }
+  });
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      for (std::size_t iter = 0; iter < kIterations; ++iter) {
+        for (std::size_t p = 0; p < problems.size(); ++p) {
+          // Stagger the visit order per thread so stripes contend.
+          const std::size_t i = (p + t * 7 + iter) % problems.size();
+          results[t][i] = cache.solve(problems[i].profiles, problems[i].jobs,
+                                      problems[i].deadline);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  stop_reader.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t p = 0; p < problems.size(); ++p) {
+      SCOPED_TRACE(::testing::Message() << "thread " << t << " problem " << p);
+      expect_bitwise_equal(results[t][p], problems[p].expected);
+    }
+  }
+  const ScheduleCache::Stats stats = cache.stats();
+  // Every call is either a hit or a miss; racing cold misses on one key may
+  // each count a miss, so misses >= distinct problems but the cache still
+  // holds exactly one entry per key.
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kIterations * problems.size());
+  EXPECT_GE(stats.misses, problems.size());
+  EXPECT_EQ(cache.size(), problems.size());
+  EXPECT_EQ(stats.evictions, 0u);
 }
 
 TEST(PruneDominatedProfiles, MatchesSolverSemantics) {

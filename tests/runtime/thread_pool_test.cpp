@@ -97,6 +97,31 @@ TEST(ParallelForEach, NestedRegionsOnOnePoolComplete) {
   EXPECT_EQ(total.load(), 64);
 }
 
+TEST(ParallelForEach, ReenteringThePoolFromASubmittedWorkerRunsInline) {
+  // The nested-parallelism rule the fleet control plane relies on: a region
+  // started FROM a pool worker (a submitted task, not a nested region) must
+  // detect the worker thread and run inline instead of re-entering the pool
+  // — otherwise a pool whose every worker waits on a nested region
+  // deadlocks.  Saturate the pool with such tasks to force the worst case.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::vector<std::future<void>> futures;
+  for (int t = 0; t < 8; ++t) {
+    futures.push_back(pool.submit([&pool, &total]() {
+      EXPECT_TRUE(pool.on_worker_thread());
+      parallel_for_each(&pool, 16, [&](std::size_t) {
+        EXPECT_TRUE(pool.on_worker_thread());  // ran inline on this worker
+        ++total;
+      });
+    }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  EXPECT_EQ(total.load(), 8 * 16);
+  EXPECT_FALSE(pool.on_worker_thread());  // the guard is per-thread
+}
+
 TEST(ParallelForEach, PerTaskStreamsAreThreadCountInvariant) {
   // The determinism recipe the rest of the stack uses: one stream_seed-ed
   // Rng per item, results written to the item's slot.

@@ -67,7 +67,7 @@ int usage(const char* argv0) {
       "usage: %s [--clients N] [--rounds N] [--cohort F] [--jobs N]\n"
       "          [--ratio R] [--seed S] [--controller bofl|performant|oracle]\n"
       "          [--mix agx-vit|edge-mix|global-mix] [--shards N] [--threads N]\n"
-      "          [--simd avx2|scalar]\n"
+      "          [--serial-control-plane] [--simd avx2|scalar]\n"
       "          [--het-cv CV] [--noise-cv CV] [--straggler-timeout K]\n"
       "          [--faults PLAN.json | --scenario NAME]\n"
       "          [--fleet-scenario SPEC.json|NAME] [--list-scenarios]\n"
@@ -131,6 +131,9 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   config.shards = static_cast<std::size_t>(flags.get_int("shards", 0));
   config.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  // Escape hatch: extend cluster trajectories one at a time on the round
+  // loop thread (results are bit-identical either way).
+  config.serial_control_plane = flags.get_bool("serial-control-plane");
   config.heterogeneity_cv = flags.get_double("het-cv", 0.08);
   config.round_noise_cv = flags.get_double("noise-cv", 0.01);
   config.straggler_timeout = flags.get_double("straggler-timeout", 0.0);
@@ -322,7 +325,8 @@ int main(int argc, char** argv) {
       "%llu participations\n"
       "rates: miss %.4f, timeout %.4f; phase-3 occupancy %.3f\n"
       "scale: %zu shards, %zu clusters, %.1f B/client SoA, "
-      "peak RSS %.1f MB, wall %.2f s\n"
+      "peak RSS %.1f MB, wall %.2f s "
+      "(control plane %.1f ms, data plane %.1f ms)\n"
       "priors: mode=%s policy=%s, %u warm clusters, "
       "%llu exploration rounds\n"
       "trace hash: %016llx\n",
@@ -331,7 +335,8 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(result.total_participants()),
       result.miss_rate(), result.timeout_rate(), result.phase3_fraction(),
       result.num_shards, result.num_clusters, result.bytes_per_client(),
-      rss_mb, wall_s, priors_mode.c_str(),
+      rss_mb, wall_s, result.control_plane_ms, result.data_plane_ms,
+      priors_mode.c_str(),
       priors::to_string(effective_policy), result.warm_clusters,
       static_cast<unsigned long long>(result.exploration_rounds),
       static_cast<unsigned long long>(result.trace_hash));
@@ -379,7 +384,11 @@ int main(int argc, char** argv) {
              static_cast<double>(result.exploration_rounds))
         .set("simd_level", std::string(linalg::simd::to_string(
                                linalg::simd::active_level())))
-        .set("wall_s", wall_s);
+        .set("wall_s", wall_s)
+        .set("control_plane_ms", result.control_plane_ms)
+        .set("data_plane_ms", result.data_plane_ms)
+        .set("serial_control_plane",
+             flags.get_bool("serial-control-plane") ? 1.0 : 0.0);
     if (has_fleet_scenario) {
       summary.set("fleet_scenario", fleet_scenario_name)
           .set("departed", static_cast<double>(result.total_departed()))
